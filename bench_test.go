@@ -1,0 +1,454 @@
+// Benchmarks regenerating every table and figure of the paper (at a
+// reduced, fixed configuration so a full -bench=. run stays in the
+// minutes range) plus the ablations called out in DESIGN.md.
+//
+//	go test -bench=. -benchmem
+//
+// Absolute wall-clock numbers depend on the machine; the custom
+// metrics (solved fractions, compatible-pair fractions, SBP/SBPH gap)
+// are deterministic reproductions of the paper's measurements at
+// bench scale. EXPERIMENTS.md records the full-scale runs.
+package signedteams_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/cluster"
+	"repro/internal/compat"
+	"repro/internal/datasets"
+	"repro/internal/experiments"
+	"repro/internal/predict"
+	"repro/internal/sgraph"
+	"repro/internal/signedbfs"
+	"repro/internal/skills"
+	"repro/internal/team"
+)
+
+// benchConfig is the reduced configuration all table/figure benches
+// share: Epinions at 4% scale (≈1,154 users), 10 tasks per point.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Seed:      1,
+		Scale:     0.04,
+		Tasks:     10,
+		TaskSize:  5,
+		TaskSizes: []int{2, 5, 10},
+	}
+}
+
+// --- Table and figure benches (E1–E8 in DESIGN.md) -----------------
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+func BenchmarkTable2Compatibility(b *testing.B) {
+	cfg := benchConfig()
+	cfg.SampleSources = 40 // exact SBP per source is the hot spot
+	var lastUsers float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(cfg, []string{"slashdot"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Relation == compat.NNE {
+				lastUsers = r.CompUsers
+			}
+		}
+	}
+	b.ReportMetric(100*lastUsers, "NNE-comp-users-%")
+}
+
+func BenchmarkTable2SBPvsSBPH(b *testing.B) {
+	// E3: the exact-vs-heuristic gap on Slashdot (paper: ≈2.5 points).
+	cfg := benchConfig()
+	cfg.SampleSources = 40
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(cfg, []string{"slashdot"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sbp, sbph float64
+		for _, r := range rows {
+			switch r.Relation {
+			case compat.SBP:
+				sbp = r.CompUsers
+			case compat.SBPH:
+				sbph = r.CompUsers
+			}
+		}
+		gap = sbp - sbph
+	}
+	b.ReportMetric(100*gap, "SBP-minus-SBPH-pts")
+}
+
+func BenchmarkTable3UnsignedBaseline(b *testing.B) {
+	cfg := benchConfig()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 1
+		for _, r := range rows {
+			if r.Relation == compat.SPA && r.CompatibleFrac < worst {
+				worst = r.CompatibleFrac
+			}
+		}
+	}
+	b.ReportMetric(100*worst, "SPA-compatible-%")
+}
+
+func BenchmarkFigure2aSolutions(b *testing.B) {
+	cfg := benchConfig()
+	var lcmd float64
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Figure2ab(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Relation == compat.SPM && r.Algorithm == experiments.AlgoLCMD {
+				lcmd = r.SolvedFrac
+			}
+		}
+	}
+	b.ReportMetric(100*lcmd, "SPM-LCMD-solved-%")
+}
+
+func BenchmarkFigure2bDiameter(b *testing.B) {
+	cfg := benchConfig()
+	var diam float64
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Figure2ab(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Relation == compat.SPM && r.Algorithm == experiments.AlgoLCMD {
+				diam = r.AvgDiameter
+			}
+		}
+	}
+	b.ReportMetric(diam, "SPM-LCMD-diameter")
+}
+
+func BenchmarkFigure2cTaskSize(b *testing.B) {
+	cfg := benchConfig()
+	var solvedAtMax float64
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Figure2cd(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Relation == compat.SPA && r.TaskSize == 10 {
+				solvedAtMax = r.SolvedFrac
+			}
+		}
+	}
+	b.ReportMetric(100*solvedAtMax, "SPA-k10-solved-%")
+}
+
+func BenchmarkFigure2dTaskSize(b *testing.B) {
+	cfg := benchConfig()
+	var diamAtMax float64
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Figure2cd(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Relation == compat.NNE && r.TaskSize == 10 {
+				diamAtMax = r.AvgDiameter
+			}
+		}
+	}
+	b.ReportMetric(diamAtMax, "NNE-k10-diameter")
+}
+
+func BenchmarkPolicyGrid(b *testing.B) {
+	// E9: the 2×2 policy ablation behind the paper's LCMD/LCMC choice.
+	cfg := benchConfig()
+	var lcmdDiam float64
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.PolicyGrid(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Skill == team.LeastCompatibleFirst && r.User == team.MinDistance {
+				lcmdDiam = r.AvgDiameter
+			}
+		}
+	}
+	b.ReportMetric(lcmdDiam, "LCMD-diameter")
+}
+
+// --- Ablations (E10, E11) ------------------------------------------
+
+func BenchmarkSBPHBeamWidth(b *testing.B) {
+	// E10: how the SBPH beam width trades recall for work, against
+	// the exact SBP ground truth on Slashdot.
+	d, err := datasets.SlashdotSim(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Graph
+	n := g.NumNodes()
+	exactCompat := make(map[sgraph.NodeID]*balance.PathDists)
+	for u := sgraph.NodeID(0); int(u) < 32; u++ {
+		r, err := balance.ExactSBP(g, u, balance.ExactOptions{MaxLen: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exactCompat[u] = r
+	}
+	for _, beam := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("K=%d", beam), func(b *testing.B) {
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				found, total := 0, 0
+				for u := sgraph.NodeID(0); int(u) < 32; u++ {
+					h := balance.SBPH(g, u, beam)
+					e := exactCompat[u]
+					for v := 0; v < n; v++ {
+						if e.PosDist[v] != balance.NoPath && int(u) != v {
+							total++
+							if h.PosDist[v] != balance.NoPath {
+								found++
+							}
+						}
+					}
+				}
+				recall = float64(found) / float64(total)
+			}
+			b.ReportMetric(100*recall, "recall-%")
+		})
+	}
+}
+
+func BenchmarkPathCounting(b *testing.B) {
+	// E11: saturating uint64 counters vs exact big.Int (Algorithm 1).
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Graph
+	rng := rand.New(rand.NewSource(9))
+	sources := make([]sgraph.NodeID, 64)
+	for i := range sources {
+		sources[i] = sgraph.NodeID(rng.Intn(g.NumNodes()))
+	}
+	b.Run("saturating", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := signedbfs.CountPaths(g, sources[i%len(sources)])
+			if r.SaturatedAt {
+				b.Fatal("unexpected saturation")
+			}
+		}
+	})
+	b.Run("bigint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			signedbfs.CountPathsBig(g, sources[i%len(sources)])
+		}
+	})
+}
+
+func BenchmarkCostObjectives(b *testing.B) {
+	// Ablation: the paper's Diameter objective vs the SumDistance
+	// extension, priced on the same tasks.
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := compat.MustNew(compat.SPM, d.Graph, compat.Options{CacheCap: d.Graph.NumNodes() + 1})
+	rng := rand.New(rand.NewSource(5))
+	var tasks []skills.Task
+	for i := 0; i < 8; i++ {
+		t, err := skills.RandomTask(rng, d.Assign, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = append(tasks, t)
+	}
+	for _, kind := range []team.CostKind{team.Diameter, team.SumDistance} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var total int64
+			var solved int
+			for i := 0; i < b.N; i++ {
+				tm, err := team.Form(rel, d.Assign, tasks[i%len(tasks)], team.Options{Cost: kind})
+				if err != nil {
+					if errors.Is(err, team.ErrNoTeam) {
+						continue
+					}
+					b.Fatal(err)
+				}
+				total += int64(tm.Cost)
+				solved++
+			}
+			if solved > 0 {
+				b.ReportMetric(float64(total)/float64(solved), "avg-cost")
+			}
+		})
+	}
+}
+
+func BenchmarkSignPrediction(b *testing.B) {
+	// Extension bench: accuracy of the compatibility-derived sign
+	// predictors (paper conclusions: link prediction).
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range predict.Methods() {
+		b.Run(m.String(), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				results, err := predict.Evaluate(d.Graph, rand.New(rand.NewSource(7)), 0.1, []predict.Method{m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = results[0].Accuracy()
+			}
+			b.ReportMetric(100*acc, "accuracy-%")
+		})
+	}
+}
+
+func BenchmarkClustering(b *testing.B) {
+	// Extension bench: correlation-clustering disagreements (paper
+	// conclusions: clustering).
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Graph
+	b.Run("TwoFactions", func(b *testing.B) {
+		var bad int
+		for i := 0; i < b.N; i++ {
+			_, bad = cluster.TwoFactions(g)
+		}
+		b.ReportMetric(float64(bad), "disagreements")
+	})
+	b.Run("PivotCC+LocalSearch", func(b *testing.B) {
+		var bad int
+		for i := 0; i < b.N; i++ {
+			labels := cluster.PivotCC(g, rand.New(rand.NewSource(int64(i))))
+			var err error
+			_, bad, err = cluster.LocalSearch(g, labels, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(bad), "disagreements")
+	})
+}
+
+func BenchmarkExactSolverScaling(b *testing.B) {
+	// Theorem 2.2 made tangible: the exact TFSNC solver's work grows
+	// exponentially with the task size even on a fixed small graph.
+	d, err := datasets.SlashdotSim(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := compat.MustNew(compat.NNE, d.Graph, compat.Options{CacheCap: d.Graph.NumNodes() + 1})
+	rng := rand.New(rand.NewSource(13))
+	for _, k := range []int{2, 3, 4, 5} {
+		task, err := skills.RandomTask(rng, d.Assign, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := team.Exact(rel, d.Assign, task, team.ExactOptions{})
+				if err != nil && !errors.Is(err, team.ErrNoTeam) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Core operation micro-benches ----------------------------------
+
+func BenchmarkSignedBFSRow(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		signedbfs.CountPaths(g, sgraph.NodeID(i%g.NumNodes()))
+	}
+}
+
+func BenchmarkSBPHRow(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		balance.SBPH(g, sgraph.NodeID(i%g.NumNodes()), balance.DefaultBeamWidth)
+	}
+}
+
+func BenchmarkExactSBPRow(b *testing.B) {
+	d, err := datasets.SlashdotSim(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := balance.ExactSBP(g, sgraph.NodeID(i%g.NumNodes()), balance.ExactOptions{MaxLen: 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFormTeamLCMD(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := compat.MustNew(compat.SPM, d.Graph, compat.Options{CacheCap: d.Graph.NumNodes() + 1})
+	rng := rand.New(rand.NewSource(3))
+	var sampled []skills.Task
+	for i := 0; i < 16; i++ {
+		t, err := skills.RandomTask(rng, d.Assign, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampled = append(sampled, t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := team.Form(rel, d.Assign, sampled[i%len(sampled)], team.Options{
+			Skill: team.LeastCompatibleFirst,
+			User:  team.MinDistance,
+		})
+		if err != nil && !errors.Is(err, team.ErrNoTeam) {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command cmatrix materialises a compatibility relation into a dense
+// matrix snapshot and answers queries from it.
+//
+// Build and save (expensive relations — exact SBP — pay off most):
+//
+//	cmatrix -dataset slashdot -relation SBP -out slashdot-sbp.cmx
+//
+// Inspect and query a snapshot:
+//
+//	cmatrix -in slashdot-sbp.cmx -info
+//	cmatrix -in slashdot-sbp.cmx -query 3,17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/balance"
+	"repro/internal/compat"
+	"repro/internal/datasets"
+	"repro/internal/matrix"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "", "built-in dataset to build from: slashdot, epinions or wikipedia")
+		seed     = flag.Int64("seed", 1, "dataset seed")
+		scale    = flag.Float64("scale", 0, "dataset scale (0 = default)")
+		relation = flag.String("relation", "SPO", "relation to materialise")
+		maxLen   = flag.Int("sbp-maxlen", 14, "exact SBP path length cap (SBP only)")
+		out      = flag.String("out", "", "write the snapshot to this file")
+		in       = flag.String("in", "", "read a snapshot from this file instead of building")
+		info     = flag.Bool("info", false, "print snapshot metadata")
+		query    = flag.String("query", "", "answer one pair query, e.g. -query 3,17")
+		workers  = flag.Int("workers", 0, "build parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(*dataset, *seed, *scale, *relation, *maxLen, *out, *in, *info, *query, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "cmatrix:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, seed int64, scale float64, relation string, maxLen int, out, in string, info bool, query string, workers int) error {
+	var m *matrix.Matrix
+	switch {
+	case in != "" && dataset != "":
+		return fmt.Errorf("pass either -in or -dataset, not both")
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		m, err = matrix.Read(f, nil)
+		if err != nil {
+			return err
+		}
+	case dataset != "":
+		d, err := datasets.Load(dataset, seed, scale)
+		if err != nil {
+			return err
+		}
+		kind, err := compat.ParseKind(relation)
+		if err != nil {
+			return err
+		}
+		opts := compat.Options{CacheCap: d.Graph.NumNodes() + 1}
+		if kind == compat.SBP {
+			opts.Exact = balance.ExactOptions{MaxLen: maxLen}
+		}
+		rel, err := compat.New(kind, d.Graph, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "materialising %v over %d nodes...\n", kind, d.Graph.NumNodes())
+		m, err = matrix.Build(rel, workers)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("pass -dataset (build) or -in (load)")
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		n, err := m.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes, %v over %d nodes)\n", out, n, m.Kind(), m.NumNodes())
+	}
+	if info {
+		fmt.Printf("relation %v\nnodes    %d\n", m.Kind(), m.NumNodes())
+	}
+	if query != "" {
+		parts := strings.SplitN(query, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -query %q, want u,v", query)
+		}
+		u, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		v, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad -query %q, want integer pair", query)
+		}
+		ok, err := m.Compatible(int32(u), int32(v))
+		if err != nil {
+			return err
+		}
+		d, defined, err := m.Distance(int32(u), int32(v))
+		if err != nil {
+			return err
+		}
+		if defined {
+			fmt.Printf("compatible(%d,%d) = %v, distance = %d\n", u, v, ok, d)
+		} else {
+			fmt.Printf("compatible(%d,%d) = %v, distance undefined\n", u, v, ok)
+		}
+	}
+	return nil
+}

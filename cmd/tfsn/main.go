@@ -1,0 +1,192 @@
+// Command tfsn answers team formation queries on a signed network:
+// given a dataset (built-in stand-in or snapshot files), a
+// compatibility relation and a task, it prints the formed team, its
+// members' skills and the team diameter.
+//
+// Usage:
+//
+//	tfsn -dataset epinions -relation SPO -k 5
+//	tfsn -dataset slashdot -relation SBPH -task "skill-0002,skill-0005"
+//	tfsn -edges g.edges -skills g.skills -relation NNE -k 3
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/compat"
+	"repro/internal/datasets"
+	"repro/internal/sgraph"
+	"repro/internal/skills"
+	"repro/internal/team"
+)
+
+func main() {
+	var (
+		dataset   = flag.String("dataset", "", "built-in dataset: slashdot, epinions or wikipedia")
+		edgesPath = flag.String("edges", "", "signed edge list file (with -skills, instead of -dataset)")
+		skillsTSV = flag.String("skills", "", "skill assignment TSV file")
+		seed      = flag.Int64("seed", 1, "dataset / task sampling seed")
+		scale     = flag.Float64("scale", 0, "built-in dataset scale (0 = default)")
+		relation  = flag.String("relation", "SPO", "compatibility relation: DPE, SPA, SPM, SPO, SBPH, SBP, NNE")
+		taskSpec  = flag.String("task", "", "comma-separated skill names for the task")
+		k         = flag.Int("k", 0, "instead of -task: sample a random task of k skills")
+		skillPol  = flag.String("skill-policy", "leastcompatible", "skill policy: rarest or leastcompatible")
+		userPol   = flag.String("user-policy", "mindistance", "user policy: mindistance, mostcompatible or random")
+		costKind  = flag.String("cost", "diameter", "cost objective: diameter or sumdistance")
+		topk      = flag.Int("topk", 1, "return up to this many distinct teams")
+		maxSeeds  = flag.Int("maxseeds", 0, "cap Algorithm 2 seeds (0 = all)")
+	)
+	flag.Parse()
+	if err := run(*dataset, *edgesPath, *skillsTSV, *seed, *scale, *relation, *taskSpec, *k, *skillPol, *userPol, *costKind, *topk, *maxSeeds); err != nil {
+		fmt.Fprintln(os.Stderr, "tfsn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, edgesPath, skillsTSV string, seed int64, scale float64, relation, taskSpec string, k int, skillPol, userPol, costKind string, topk, maxSeeds int) error {
+	d, err := loadData(dataset, edgesPath, skillsTSV, seed, scale)
+	if err != nil {
+		return err
+	}
+	kind, err := compat.ParseKind(relation)
+	if err != nil {
+		return err
+	}
+	rel, err := compat.New(kind, d.Graph, compat.Options{})
+	if err != nil {
+		return err
+	}
+	task, err := resolveTask(d.Assign, taskSpec, k, seed)
+	if err != nil {
+		return err
+	}
+	opts, err := parsePolicies(skillPol, userPol, seed)
+	if err != nil {
+		return err
+	}
+	opts.MaxSeeds = maxSeeds
+	switch strings.ToLower(costKind) {
+	case "diameter":
+		opts.Cost = team.Diameter
+	case "sumdistance", "sum":
+		opts.Cost = team.SumDistance
+	default:
+		return fmt.Errorf("unknown cost %q (want diameter or sumdistance)", costKind)
+	}
+	if topk <= 0 {
+		return fmt.Errorf("-topk must be positive, got %d", topk)
+	}
+
+	fmt.Printf("dataset  %s (%d users, %d edges, %d negative)\n",
+		d.Name, d.Graph.NumNodes(), d.Graph.NumEdges(), d.Graph.NumNegativeEdges())
+	names := make([]string, len(task))
+	for i, s := range task {
+		names[i] = d.Assign.Universe().Name(s)
+	}
+	fmt.Printf("task     {%s}\n", strings.Join(names, ", "))
+	fmt.Printf("relation %v, policies %v/%v, cost %v\n\n", kind, opts.Skill, opts.User, opts.Cost)
+
+	teams, err := team.FormTopK(rel, d.Assign, task, opts, topk)
+	if errors.Is(err, team.ErrNoTeam) {
+		fmt.Println("no compatible team exists for this task under", kind)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for rank, tm := range teams {
+		if topk > 1 {
+			fmt.Printf("#%d ", rank+1)
+		}
+		fmt.Printf("team of %d (%v %d; %d/%d seeds succeeded):\n",
+			len(tm.Members), opts.Cost, tm.Cost, tm.SeedsSucceeded, tm.SeedsTried)
+		for _, m := range tm.Members {
+			var covers []string
+			for _, s := range d.Assign.UserSkills(m) {
+				if task.Contains(s) {
+					covers = append(covers, d.Assign.Universe().Name(s))
+				}
+			}
+			fmt.Printf("  user %-6d covers %s\n", m, strings.Join(covers, ", "))
+		}
+	}
+	return nil
+}
+
+func loadData(dataset, edgesPath, skillsTSV string, seed int64, scale float64) (*datasets.Dataset, error) {
+	switch {
+	case dataset != "" && edgesPath != "":
+		return nil, errors.New("pass either -dataset or -edges/-skills, not both")
+	case dataset != "":
+		return datasets.Load(dataset, seed, scale)
+	case edgesPath != "" && skillsTSV != "":
+		ef, err := os.Open(edgesPath)
+		if err != nil {
+			return nil, err
+		}
+		defer ef.Close()
+		g, _, err := sgraph.ReadEdgeList(ef)
+		if err != nil {
+			return nil, err
+		}
+		sf, err := os.Open(skillsTSV)
+		if err != nil {
+			return nil, err
+		}
+		defer sf.Close()
+		assign, err := skills.ReadTSV(sf, g.NumNodes())
+		if err != nil {
+			return nil, err
+		}
+		return &datasets.Dataset{Name: edgesPath, Graph: g, Assign: assign}, nil
+	default:
+		return nil, errors.New("pass -dataset, or -edges together with -skills")
+	}
+}
+
+func resolveTask(assign *skills.Assignment, taskSpec string, k int, seed int64) (skills.Task, error) {
+	if taskSpec != "" {
+		var ids []skills.SkillID
+		for _, name := range strings.Split(taskSpec, ",") {
+			s, ok := assign.Universe().Lookup(strings.TrimSpace(name))
+			if !ok {
+				return nil, fmt.Errorf("unknown skill %q", name)
+			}
+			ids = append(ids, s)
+		}
+		return skills.NewTask(ids...), nil
+	}
+	if k > 0 {
+		return skills.RandomTask(rand.New(rand.NewSource(seed)), assign, k)
+	}
+	return nil, errors.New("pass -task or -k")
+}
+
+func parsePolicies(skillPol, userPol string, seed int64) (team.Options, error) {
+	var opts team.Options
+	switch strings.ToLower(skillPol) {
+	case "rarest":
+		opts.Skill = team.RarestFirst
+	case "leastcompatible", "lc":
+		opts.Skill = team.LeastCompatibleFirst
+	default:
+		return opts, fmt.Errorf("unknown skill policy %q", skillPol)
+	}
+	switch strings.ToLower(userPol) {
+	case "mindistance", "md":
+		opts.User = team.MinDistance
+	case "mostcompatible", "mc":
+		opts.User = team.MostCompatible
+	case "random":
+		opts.User = team.RandomUser
+		opts.Rng = rand.New(rand.NewSource(seed))
+	default:
+		return opts, fmt.Errorf("unknown user policy %q", userPol)
+	}
+	return opts, nil
+}

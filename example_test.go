@@ -1,0 +1,129 @@
+package signedteams_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	signedteams "repro"
+)
+
+// Example builds a small signed network and checks compatibility
+// under two relations of different strictness.
+func Example() {
+	g := signedteams.MustFromEdges(4, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Positive},
+		{U: 1, V: 2, Sign: signedteams.Positive},
+		{U: 0, V: 2, Sign: signedteams.Negative}, // 0 and 2 are foes
+		{U: 2, V: 3, Sign: signedteams.Positive},
+	})
+	spo := signedteams.MustNewRelation(signedteams.SPO, g, signedteams.RelationOptions{})
+	nne := signedteams.MustNewRelation(signedteams.NNE, g, signedteams.RelationOptions{})
+
+	foes, _ := spo.Compatible(0, 2)
+	distant, _ := spo.Compatible(0, 3) // shortest path 0-2-3 is negative, 0-1-2-3 longer
+	relaxed, _ := nne.Compatible(0, 3) // no direct negative edge
+
+	fmt.Println(foes, distant, relaxed)
+	// Output: false false true
+}
+
+// ExampleFormTeam covers a two-skill task with a compatible team.
+func ExampleFormTeam() {
+	g := signedteams.MustFromEdges(4, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Positive},
+		{U: 1, V: 2, Sign: signedteams.Positive},
+		{U: 0, V: 3, Sign: signedteams.Negative},
+	})
+	univ, _ := signedteams.NewUniverse([]string{"go", "sql"})
+	assign := signedteams.NewAssignment(univ, 4)
+	assign.MustAdd(0, 0) // user 0: go
+	assign.MustAdd(2, 1) // user 2: sql
+	assign.MustAdd(3, 1) // user 3: sql — but a foe of user 0
+
+	rel := signedteams.MustNewRelation(signedteams.SPO, g, signedteams.RelationOptions{})
+	team, _ := signedteams.FormTeam(rel, assign, signedteams.NewTask(0, 1), signedteams.FormOptions{
+		Skill: signedteams.LeastCompatibleFirst,
+		User:  signedteams.MinDistance,
+	})
+	fmt.Println(team.Members, team.Cost)
+	// Output: [0 2] 2
+}
+
+// ExampleIsBalanced demonstrates Harary's balance test.
+func ExampleIsBalanced() {
+	// "The enemy of my enemy is my friend": two negative edges and a
+	// positive closing edge form a balanced triangle.
+	balanced := signedteams.MustFromEdges(3, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Negative},
+		{U: 1, V: 2, Sign: signedteams.Negative},
+		{U: 0, V: 2, Sign: signedteams.Positive},
+	})
+	// Two friends with a common enemy... who are also enemies: odd
+	// number of negative edges, unbalanced.
+	unbalanced := signedteams.MustFromEdges(3, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Positive},
+		{U: 1, V: 2, Sign: signedteams.Positive},
+		{U: 0, V: 2, Sign: signedteams.Negative},
+	})
+	fmt.Println(signedteams.IsBalanced(balanced), signedteams.IsBalanced(unbalanced))
+	// Output: true false
+}
+
+// ExampleCountTriangles censuses signed triangles.
+func ExampleCountTriangles() {
+	g := signedteams.MustFromEdges(3, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Negative},
+		{U: 1, V: 2, Sign: signedteams.Negative},
+		{U: 0, V: 2, Sign: signedteams.Positive},
+	})
+	census := signedteams.CountTriangles(g)
+	fmt.Println(census.PNN, census.BalancedFraction())
+	// Output: 1 1
+}
+
+// ExampleRarestFirstUnsigned shows why sign-oblivious team formation
+// goes wrong: the closest cover contains a feud.
+func ExampleRarestFirstUnsigned() {
+	g := signedteams.MustFromEdges(3, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Negative}, // close, but foes
+		{U: 0, V: 2, Sign: signedteams.Positive},
+		{U: 1, V: 2, Sign: signedteams.Positive},
+	})
+	univ, _ := signedteams.NewUniverse([]string{"a", "b"})
+	assign := signedteams.NewAssignment(univ, 3)
+	assign.MustAdd(0, 0)
+	assign.MustAdd(1, 1)
+
+	team, _ := signedteams.RarestFirstUnsigned(g.IgnoreSigns(), assign, signedteams.NewTask(0, 1))
+	rel := signedteams.MustNewRelation(signedteams.NNE, g, signedteams.RelationOptions{})
+	ok, _ := signedteams.TeamCompatible(rel, team.Members)
+	fmt.Println(team.Members, ok)
+	// Output: [0 1] false
+}
+
+// ExampleTwoFactions splits a polarised network into its camps.
+func ExampleTwoFactions() {
+	g := signedteams.MustFromEdges(4, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Positive},
+		{U: 2, V: 3, Sign: signedteams.Positive},
+		{U: 0, V: 2, Sign: signedteams.Negative},
+		{U: 1, V: 3, Sign: signedteams.Negative},
+	})
+	labels, disagreements := signedteams.TwoFactions(g)
+	sameSide := labels.Of[0] == labels.Of[1]
+	acrossSides := labels.Of[0] != labels.Of[2]
+	fmt.Println(sameSide, acrossSides, disagreements)
+	// Output: true true 0
+}
+
+// ExampleGenerateZipfSkills synthesises a Zipf skill assignment, as
+// the paper does for the Wikipedia dataset.
+func ExampleGenerateZipfSkills() {
+	rng := rand.New(rand.NewSource(1))
+	assign, _ := signedteams.GenerateZipfSkills(rng, 100, signedteams.ZipfConfig{
+		NumSkills:         20,
+		MeanSkillsPerUser: 3,
+	})
+	fmt.Println(assign.NumUsers(), assign.Universe().Len() == 20, assign.TotalAssignments() > 0)
+	// Output: 100 true true
+}

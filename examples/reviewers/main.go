@@ -1,0 +1,81 @@
+// Reviewer-panel scenario on the Epinions stand-in: assemble panels
+// of product reviewers covering several product categories, where the
+// signed network encodes trust/distrust between reviewers. Compares
+// the paper's LCMD and LCMC algorithms with the RANDOM baseline —
+// a miniature of Figures 2(a)/(b).
+//
+//	go run ./examples/reviewers
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	signedteams "repro"
+)
+
+func main() {
+	// A small-scale Epinions stand-in keeps this example snappy
+	// (≈1,440 reviewers); crank the scale up for realism.
+	data, err := signedteams.LoadDataset("epinions", 42, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, assign := data.Graph, data.Assign
+	fmt.Printf("trust network: %d reviewers, %d trust edges (%d distrust)\n\n",
+		g.NumNodes(), g.NumEdges(), g.NumNegativeEdges())
+
+	rel := signedteams.MustNewRelation(signedteams.SPM, g, signedteams.RelationOptions{
+		CacheCap: g.NumNodes() + 1,
+	})
+	if err := signedteams.PrecomputeRelation(rel, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// 20 random panels, each covering 5 product categories.
+	const panels, categories = 20, 5
+	taskRng := rand.New(rand.NewSource(7))
+	type outcome struct {
+		solved  int
+		diamSum int64
+	}
+	results := map[string]*outcome{"LCMD": {}, "LCMC": {}, "RANDOM": {}}
+	for i := 0; i < panels; i++ {
+		task, err := signedteams.RandomTask(taskRng, assign, categories)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for name, opts := range map[string]signedteams.FormOptions{
+			"LCMD":   {Skill: signedteams.LeastCompatibleFirst, User: signedteams.MinDistance},
+			"LCMC":   {Skill: signedteams.LeastCompatibleFirst, User: signedteams.MostCompatible},
+			"RANDOM": {Skill: signedteams.LeastCompatibleFirst, User: signedteams.RandomUser, Rng: rand.New(rand.NewSource(int64(i)))},
+		} {
+			team, err := signedteams.FormTeam(rel, assign, task, opts)
+			if errors.Is(err, signedteams.ErrNoTeam) {
+				continue
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[name].solved++
+			results[name].diamSum += int64(team.Cost)
+		}
+	}
+
+	fmt.Printf("panels of %d categories, %d tasks, relation SPM:\n\n", categories, panels)
+	fmt.Printf("%-7s  %-9s  %s\n", "algo", "solved", "avg diameter")
+	for _, name := range []string{"LCMD", "LCMC", "RANDOM"} {
+		o := results[name]
+		avg := 0.0
+		if o.solved > 0 {
+			avg = float64(o.diamSum) / float64(o.solved)
+		}
+		fmt.Printf("%-7s  %2d/%-6d  %.2f\n", name, o.solved, panels, avg)
+	}
+	fmt.Println()
+	fmt.Println("LCMD and LCMC solve about the same number of panels (compatibility")
+	fmt.Println("is what limits them), but LCMD assembles tighter panels — the")
+	fmt.Println("paper's Figure 2(b) conclusion.")
+}

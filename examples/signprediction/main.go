@@ -1,0 +1,65 @@
+// Sign prediction: the paper's conclusions propose exploiting
+// compatibility for link/sign prediction. This example evaluates the
+// three compatibility-derived predictors against the always-positive
+// baseline on a held-out 10% of the Epinions stand-in's edges, and
+// then shows the same machinery clustering the network.
+//
+//	go run ./examples/signprediction
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	signedteams "repro"
+)
+
+func main() {
+	data, err := signedteams.LoadDataset("epinions", 17, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := data.Graph
+	fmt.Printf("network: %d users, %d edges (%.1f%% negative)\n\n",
+		g.NumNodes(), g.NumEdges(), 100*float64(g.NumNegativeEdges())/float64(g.NumEdges()))
+
+	results, err := signedteams.EvaluateSignPrediction(g, rand.New(rand.NewSource(1)), 0.10, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sign prediction on 10% held-out edges:")
+	fmt.Printf("%-15s  %-9s  %-9s  %s\n", "method", "accuracy", "coverage", "negative-edge recall")
+	for _, r := range results {
+		negRecall := 0.0
+		if r.NegTest > 0 {
+			negRecall = float64(r.CorrectNeg) / float64(r.NegTest)
+		}
+		fmt.Printf("%-15v  %-9.3f  %-9.3f  %.3f\n", r.Method, r.Accuracy(), r.Coverage(), negRecall)
+	}
+	fmt.Println()
+	fmt.Println("The always-positive baseline matches the class prior and can never")
+	fmt.Println("catch a feud; the balance-based predictors recover most negative")
+	fmt.Println("edges because a hostile pair sits across the faction boundary.")
+
+	// Clustering with the same machinery.
+	labels, disagreements := signedteams.TwoFactions(g)
+	fmt.Printf("\ntwo-faction split: %d clusters, %d disagreements (%.2f%% of edges)\n",
+		labels.NumClusters, disagreements, 100*float64(disagreements)/float64(g.NumEdges()))
+
+	pivot := signedteams.PivotCC(g, rand.New(rand.NewSource(2)))
+	pivotBad, err := signedteams.ClusterDisagreements(g, pivot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refined, refinedBad, err := signedteams.ClusterLocalSearch(g, pivot, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CC-PIVOT: %d clusters, %d disagreements; after local search: %d clusters, %d\n",
+		pivot.NumClusters, pivotBad, refined.NumClusters, refinedBad)
+
+	if agr, err := signedteams.ClusterAgreement(labels, refined); err == nil {
+		fmt.Printf("pair-agreement between the two clusterings: %.3f\n", agr)
+	}
+}

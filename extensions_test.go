@@ -1,0 +1,161 @@
+package signedteams_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	signedteams "repro"
+)
+
+func TestFormTopKFacade(t *testing.T) {
+	g := signedteams.MustFromEdges(4, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Positive},
+		{U: 0, V: 2, Sign: signedteams.Positive},
+		{U: 1, V: 3, Sign: signedteams.Positive},
+		{U: 2, V: 3, Sign: signedteams.Positive},
+	})
+	univ, _ := signedteams.NewUniverse([]string{"a", "b"})
+	assign := signedteams.NewAssignment(univ, 4)
+	assign.MustAdd(1, 0)
+	assign.MustAdd(2, 0)
+	assign.MustAdd(3, 1)
+	rel := signedteams.MustNewRelation(signedteams.NNE, g, signedteams.RelationOptions{})
+	// Skill "b" is rarer (one holder), so it seeds the search and
+	// there is a single seed; the task {a} has two holders and must
+	// yield two distinct teams.
+	teams, err := signedteams.FormTopK(rel, assign, signedteams.NewTask(0), signedteams.FormOptions{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(teams) != 2 {
+		t.Fatalf("teams = %d, want 2 (two seeds, distinct teams)", len(teams))
+	}
+	if teams[0].Cost > teams[1].Cost {
+		t.Fatal("top-k not sorted")
+	}
+	full, err := signedteams.FormTopK(rel, assign, signedteams.NewTask(0, 1), signedteams.FormOptions{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 1 || len(full[0].Members) != 2 {
+		t.Fatalf("full task teams = %+v, want one two-member team", full)
+	}
+}
+
+func TestTeamCostWithFacade(t *testing.T) {
+	g := signedteams.MustFromEdges(3, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Positive},
+		{U: 1, V: 2, Sign: signedteams.Positive},
+	})
+	rel := signedteams.MustNewRelation(signedteams.NNE, g, signedteams.RelationOptions{})
+	members := []signedteams.NodeID{0, 1, 2}
+	diam, err := signedteams.TeamCostWith(rel, members, signedteams.DiameterCost)
+	if err != nil || diam != 2 {
+		t.Fatalf("diameter = %d,%v", diam, err)
+	}
+	sum, err := signedteams.TeamCostWith(rel, members, signedteams.SumDistanceCost)
+	if err != nil || sum != 4 { // 1+2+1
+		t.Fatalf("sum = %d,%v", sum, err)
+	}
+}
+
+func TestSignPredictionFacade(t *testing.T) {
+	d, err := signedteams.LoadDataset("slashdot", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := signedteams.EvaluateSignPrediction(d.Graph, rand.New(rand.NewSource(1)), 0.2, signedteams.PredictMethods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Test == 0 {
+			t.Fatalf("%v: empty test set", r.Method)
+		}
+		if r.Accuracy() < 0 || r.Accuracy() > 1 || r.Coverage() < 0 || r.Coverage() > 1 {
+			t.Fatalf("%v: out-of-range metrics %+v", r.Method, r)
+		}
+	}
+	p, err := signedteams.NewSignPredictor(d.Graph, signedteams.PredictCamps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Predict(0, 1); !ok {
+		t.Fatal("camps predictor abstained")
+	}
+}
+
+func TestMatrixFacade(t *testing.T) {
+	d, err := signedteams.LoadDataset("slashdot", 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := signedteams.MustNewRelation(signedteams.SPO, d.Graph, signedteams.RelationOptions{CacheCap: 256})
+	m, err := signedteams.BuildMatrix(rel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The matrix is itself a Relation: team formation runs on it.
+	univ := d.Assign.Universe()
+	_ = univ
+	task, err := signedteams.RandomTask(rand.New(rand.NewSource(1)), d.Assign, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err1 := signedteams.FormTeam(rel, d.Assign, task, signedteams.FormOptions{})
+	t2, err2 := signedteams.FormTeam(m, d.Assign, task, signedteams.FormOptions{})
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("live vs matrix feasibility differ: %v / %v", err1, err2)
+	}
+	if err1 == nil && t1.Cost != t2.Cost {
+		t.Fatalf("live cost %d vs matrix cost %d", t1.Cost, t2.Cost)
+	}
+	// Snapshot round trip through the facade.
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := signedteams.ReadMatrix(&buf, d.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok1, _ := m.Compatible(0, 1)
+	ok2, _ := m2.Compatible(0, 1)
+	if ok1 != ok2 {
+		t.Fatal("snapshot changed answers")
+	}
+}
+
+func TestClusteringFacade(t *testing.T) {
+	d, err := signedteams.LoadDataset("slashdot", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph
+	two, bad := signedteams.TwoFactions(g)
+	if two.NumClusters != 2 {
+		t.Fatalf("clusters = %d", two.NumClusters)
+	}
+	if bad < 0 || bad > g.NumEdges() {
+		t.Fatalf("disagreements = %d", bad)
+	}
+	pivot := signedteams.PivotCC(g, rand.New(rand.NewSource(5)))
+	before, err := signedteams.ClusterDisagreements(g, pivot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, after, err := signedteams.ClusterLocalSearch(g, pivot, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before {
+		t.Fatalf("local search worsened %d → %d", before, after)
+	}
+	if agr, err := signedteams.ClusterAgreement(two, refined); err != nil || agr < 0 || agr > 1 {
+		t.Fatalf("agreement = %v,%v", agr, err)
+	}
+}

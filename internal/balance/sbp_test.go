@@ -1,0 +1,483 @@
+package balance
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sgraph"
+)
+
+// figure1a is the paper's Figure 1(a) instance: u=0, x1=1, x2=2, x3=3,
+// x4=4, v=5. The only shortest u–v path (u,x1,v) is negative;
+// (u,x2,x1,v) is positive but unbalanced (shortcut edge (u,x1) closes
+// the unbalanced triangle (u,x1,x2)); (u,x2,x3,x4,v) is positive and
+// balanced. So u,v are SBP-compatible but not SP-compatible.
+func figure1a() *sgraph.Graph {
+	return sgraph.MustFromEdges(6, []sgraph.Edge{
+		edge(0, 1, sgraph.Negative),
+		edge(1, 5, sgraph.Positive),
+		edge(0, 2, sgraph.Positive),
+		edge(1, 2, sgraph.Positive),
+		edge(2, 3, sgraph.Positive),
+		edge(3, 4, sgraph.Positive),
+		edge(4, 5, sgraph.Positive),
+	})
+}
+
+// figure1b is the paper's Figure 1(b) instance: u=0, x1=1, x2=2, x3=3,
+// x4=4, x5=5, v=6. All edges positive except (x3,x5). The shortest
+// balanced path u→x4 is (u,x3,x4), but the only balanced positive
+// path u→v, (u,x1,x2,x4,x5,v), does not extend it — the prefix
+// property fails, so SBPH misses the pair while exact SBP finds it.
+func figure1b() *sgraph.Graph {
+	return sgraph.MustFromEdges(7, []sgraph.Edge{
+		edge(0, 3, sgraph.Positive),
+		edge(3, 4, sgraph.Positive),
+		edge(0, 1, sgraph.Positive),
+		edge(1, 2, sgraph.Positive),
+		edge(2, 4, sgraph.Positive),
+		edge(4, 5, sgraph.Positive),
+		edge(5, 6, sgraph.Positive),
+		edge(3, 5, sgraph.Negative),
+	})
+}
+
+func TestWalkBasics(t *testing.T) {
+	g := figure1a()
+	w := NewWalk(g, 0)
+	if w.Len() != 0 || w.Sign() != sgraph.Positive || w.Head() != 0 {
+		t.Fatal("fresh walk state wrong")
+	}
+	if !w.Extend(2) {
+		t.Fatal("Extend(2) must succeed")
+	}
+	if w.Len() != 1 || w.Head() != 2 || w.Sign() != sgraph.Positive {
+		t.Fatal("walk state after Extend wrong")
+	}
+	if !w.Contains(0) || !w.Contains(2) || w.Contains(1) {
+		t.Fatal("Contains wrong")
+	}
+	// Extending 2→1 closes the unbalanced triangle (0,1,2): forbidden.
+	if w.CanExtend(1) {
+		t.Fatal("extension into unbalanced triangle must be rejected")
+	}
+	if !w.Extend(3) || !w.Extend(4) || !w.Extend(5) {
+		t.Fatal("balanced path u,x2,x3,x4,v must be extendable")
+	}
+	if w.Sign() != sgraph.Positive || w.Len() != 4 {
+		t.Fatalf("final sign %v len %d, want + 4", w.Sign(), w.Len())
+	}
+	// Retract back to the start.
+	for w.Len() > 0 {
+		w.Retract()
+	}
+	if w.Head() != 0 || w.Sign() != sgraph.Positive {
+		t.Fatal("retract did not restore initial state")
+	}
+}
+
+func TestWalkRejectsNonSimpleAndNonEdges(t *testing.T) {
+	g := figure1a()
+	w := NewWalk(g, 0)
+	if w.CanExtend(0) {
+		t.Fatal("walk must reject revisiting its start")
+	}
+	if w.CanExtend(5) {
+		t.Fatal("walk must reject a non-edge extension")
+	}
+	w.Extend(1)
+	if w.CanExtend(0) {
+		t.Fatal("walk must stay simple")
+	}
+}
+
+func TestWalkRetractPastStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retract past start did not panic")
+		}
+	}()
+	NewWalk(figure1a(), 0).Retract()
+}
+
+func TestWalkSignTracking(t *testing.T) {
+	// 0 −(−) 1 −(−) 2: sign flips twice.
+	g := sgraph.MustFromEdges(3, []sgraph.Edge{
+		edge(0, 1, sgraph.Negative), edge(1, 2, sgraph.Negative),
+	})
+	w := NewWalk(g, 0)
+	w.Extend(1)
+	if w.Sign() != sgraph.Negative {
+		t.Fatal("sign after one negative edge must be −")
+	}
+	w.Extend(2)
+	if w.Sign() != sgraph.Positive {
+		t.Fatal("sign after two negative edges must be +")
+	}
+	w.Retract()
+	if w.Sign() != sgraph.Negative {
+		t.Fatal("Retract must restore sign")
+	}
+}
+
+func TestIsBalancedPathFigure1a(t *testing.T) {
+	g := figure1a()
+	cases := []struct {
+		path []sgraph.NodeID
+		ok   bool
+		sign sgraph.Sign
+	}{
+		{[]sgraph.NodeID{0, 1, 5}, true, sgraph.Negative},       // shortest, negative
+		{[]sgraph.NodeID{0, 2, 1, 5}, false, 0},                 // positive but unbalanced
+		{[]sgraph.NodeID{0, 2, 3, 4, 5}, true, sgraph.Positive}, // balanced positive
+		{[]sgraph.NodeID{0, 5}, false, 0},                       // not a path
+		{[]sgraph.NodeID{}, false, 0},
+	}
+	for i, tc := range cases {
+		ok, sign := IsBalancedPath(g, tc.path)
+		if ok != tc.ok || (ok && sign != tc.sign) {
+			t.Errorf("case %d %v: got (%v,%v), want (%v,%v)", i, tc.path, ok, sign, tc.ok, tc.sign)
+		}
+	}
+}
+
+func TestExactSBPFigure1a(t *testing.T) {
+	g := figure1a()
+	r, err := ExactSBP(g, 0, ExactOptions{})
+	if err != nil {
+		t.Fatalf("ExactSBP: %v", err)
+	}
+	if r.PosDist[5] != 4 {
+		t.Fatalf("PosDist[v] = %d, want 4 (path u,x2,x3,x4,v)", r.PosDist[5])
+	}
+	if r.NegDist[5] != 2 {
+		t.Fatalf("NegDist[v] = %d, want 2 (path u,x1,v)", r.NegDist[5])
+	}
+	// x1 is reachable negatively (direct edge) but not positively: the
+	// only positive routes close the unbalanced triangle or induce the
+	// (u,x1) conflict.
+	if r.NegDist[1] != 1 || r.PosDist[1] != NoPath {
+		t.Fatalf("x1: pos=%d neg=%d, want NoPath/1", r.PosDist[1], r.NegDist[1])
+	}
+	if r.PosDist[0] != 0 {
+		t.Fatal("source positive distance must be 0")
+	}
+}
+
+func TestExactSBPFigure1b(t *testing.T) {
+	g := figure1b()
+	r, err := ExactSBP(g, 0, ExactOptions{})
+	if err != nil {
+		t.Fatalf("ExactSBP: %v", err)
+	}
+	if r.PosDist[4] != 2 {
+		t.Fatalf("PosDist[x4] = %d, want 2 (u,x3,x4)", r.PosDist[4])
+	}
+	if r.PosDist[6] != 5 {
+		t.Fatalf("PosDist[v] = %d, want 5 (u,x1,x2,x4,x5,v)", r.PosDist[6])
+	}
+}
+
+func TestSBPHMissesFigure1b(t *testing.T) {
+	g := figure1b()
+	for _, k := range []int{1, 2, 8, 64} {
+		r := SBPH(g, 0, k)
+		if r.PosDist[4] != 2 {
+			t.Fatalf("K=%d: SBPH PosDist[x4] = %d, want 2", k, r.PosDist[4])
+		}
+		if r.PosDist[6] != NoPath {
+			t.Fatalf("K=%d: SBPH found a positive balanced path u→v of length %d; the prefix property should forbid it", k, r.PosDist[6])
+		}
+	}
+}
+
+func TestSBPHFindsFigure1a(t *testing.T) {
+	// In Figure 1(a) the balanced positive path has the prefix
+	// property, so SBPH must find it.
+	g := figure1a()
+	r := SBPH(g, 0, DefaultBeamWidth)
+	if r.PosDist[5] != 4 {
+		t.Fatalf("SBPH PosDist[v] = %d, want 4", r.PosDist[5])
+	}
+	if r.NegDist[5] != 2 {
+		t.Fatalf("SBPH NegDist[v] = %d, want 2", r.NegDist[5])
+	}
+}
+
+// bruteSBP enumerates every simple path from src without pruning and
+// classifies each with the from-scratch balance checker. Only for tiny
+// graphs.
+func bruteSBP(g *sgraph.Graph, src sgraph.NodeID) *PathDists {
+	n := g.NumNodes()
+	res := &PathDists{Source: src, PosDist: make([]int32, n), NegDist: make([]int32, n)}
+	for i := range res.PosDist {
+		res.PosDist[i] = NoPath
+		res.NegDist[i] = NoPath
+	}
+	res.PosDist[src] = 0
+	path := []sgraph.NodeID{src}
+	on := make([]bool, n)
+	on[src] = true
+	var dfs func()
+	dfs = func() {
+		head := path[len(path)-1]
+		if len(path) > 1 {
+			if ok, sign := IsBalancedPath(g, path); ok {
+				l := int32(len(path) - 1)
+				if sign == sgraph.Positive {
+					if res.PosDist[head] == NoPath || l < res.PosDist[head] {
+						res.PosDist[head] = l
+					}
+				} else {
+					if res.NegDist[head] == NoPath || l < res.NegDist[head] {
+						res.NegDist[head] = l
+					}
+				}
+			}
+		}
+		for _, v := range g.NeighborIDs(head) {
+			if on[v] {
+				continue
+			}
+			on[v] = true
+			path = append(path, v)
+			dfs()
+			path = path[:len(path)-1]
+			on[v] = false
+		}
+	}
+	dfs()
+	return res
+}
+
+func TestExactSBPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(6)
+		b := sgraph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := sgraph.NodeID(rng.Intn(n)), sgraph.NodeID(rng.Intn(n))
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			s := sgraph.Positive
+			if rng.Intn(2) == 0 {
+				s = sgraph.Negative
+			}
+			b.AddEdge(u, v, s)
+		}
+		g := b.MustBuild()
+		src := sgraph.NodeID(rng.Intn(n))
+		got, err := ExactSBP(g, src, ExactOptions{})
+		if err != nil {
+			t.Fatalf("ExactSBP: %v", err)
+		}
+		want := bruteSBP(g, src)
+		for v := 0; v < n; v++ {
+			if got.PosDist[v] != want.PosDist[v] || got.NegDist[v] != want.NegDist[v] {
+				t.Fatalf("trial %d node %d: got (%d,%d), brute (%d,%d)",
+					trial, v, got.PosDist[v], got.NegDist[v], want.PosDist[v], want.NegDist[v])
+			}
+		}
+	}
+}
+
+// TestSBPHUnderApproximatesExact: whatever SBPH reports reachable must
+// be reachable for the exact enumeration with a length no smaller.
+func TestSBPHUnderApproximatesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(8)
+		b := sgraph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := sgraph.NodeID(rng.Intn(n)), sgraph.NodeID(rng.Intn(n))
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			s := sgraph.Positive
+			if rng.Intn(3) == 0 {
+				s = sgraph.Negative
+			}
+			b.AddEdge(u, v, s)
+		}
+		g := b.MustBuild()
+		src := sgraph.NodeID(rng.Intn(n))
+		exact, err := ExactSBP(g, src, ExactOptions{})
+		if err != nil {
+			t.Fatalf("ExactSBP: %v", err)
+		}
+		heur := SBPH(g, src, DefaultBeamWidth)
+		for v := 0; v < n; v++ {
+			if heur.PosDist[v] != NoPath {
+				if exact.PosDist[v] == NoPath {
+					t.Fatalf("trial %d node %d: SBPH reports a positive balanced path the exact search lacks", trial, v)
+				}
+				if heur.PosDist[v] < exact.PosDist[v] {
+					t.Fatalf("trial %d node %d: SBPH distance %d below exact %d", trial, v, heur.PosDist[v], exact.PosDist[v])
+				}
+			}
+			if heur.NegDist[v] != NoPath {
+				if exact.NegDist[v] == NoPath {
+					t.Fatalf("trial %d node %d: SBPH reports a negative balanced path the exact search lacks", trial, v)
+				}
+				if heur.NegDist[v] < exact.NegDist[v] {
+					t.Fatalf("trial %d node %d: SBPH neg distance %d below exact %d", trial, v, heur.NegDist[v], exact.NegDist[v])
+				}
+			}
+		}
+	}
+}
+
+// TestSBPOnAllPositiveGraphEqualsBFS: with no negative edges every
+// path is balanced and positive, so both SBP and SBPH distances reduce
+// to plain BFS distances.
+func TestSBPOnAllPositiveGraphEqualsBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(8)
+		b := sgraph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := sgraph.NodeID(rng.Intn(n)), sgraph.NodeID(rng.Intn(n))
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			b.AddEdge(u, v, sgraph.Positive)
+		}
+		g := b.MustBuild()
+		exact, err := ExactSBP(g, 0, ExactOptions{})
+		if err != nil {
+			t.Fatalf("ExactSBP: %v", err)
+		}
+		heur := SBPH(g, 0, DefaultBeamWidth)
+		// Reference BFS.
+		bfs := bfsDistances(g, 0)
+		for v := 0; v < n; v++ {
+			want := bfs[v]
+			if v == 0 {
+				want = 0
+			}
+			if exact.PosDist[v] != want {
+				t.Fatalf("trial %d node %d: exact pos %d, BFS %d", trial, v, exact.PosDist[v], want)
+			}
+			if heur.PosDist[v] != want {
+				t.Fatalf("trial %d node %d: SBPH pos %d, BFS %d", trial, v, heur.PosDist[v], want)
+			}
+			if exact.NegDist[v] != NoPath || heur.NegDist[v] != NoPath {
+				t.Fatalf("trial %d node %d: negative path reported in an all-positive graph", trial, v)
+			}
+		}
+	}
+}
+
+func bfsDistances(g *sgraph.Graph, src sgraph.NodeID) []int32 {
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = NoPath
+	}
+	dist[src] = 0
+	queue := []sgraph.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.NeighborIDs(u) {
+			if dist[v] == NoPath {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+func TestExactSBPBudget(t *testing.T) {
+	// A dense graph with a budget of 1 must fail fast.
+	rng := rand.New(rand.NewSource(31))
+	b := sgraph.NewBuilder(12)
+	for u := 0; u < 12; u++ {
+		for v := u + 1; v < 12; v++ {
+			s := sgraph.Positive
+			if rng.Intn(2) == 0 {
+				s = sgraph.Negative
+			}
+			b.AddEdge(sgraph.NodeID(u), sgraph.NodeID(v), s)
+		}
+	}
+	g := b.MustBuild()
+	_, err := ExactSBP(g, 0, ExactOptions{MaxExpanded: 1})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestExactSBPMaxLen(t *testing.T) {
+	g := figure1a()
+	// With MaxLen 3 the length-4 positive balanced path to v is out of
+	// reach; the negative length-2 path remains.
+	r, err := ExactSBP(g, 0, ExactOptions{MaxLen: 3})
+	if err != nil {
+		t.Fatalf("ExactSBP: %v", err)
+	}
+	if r.PosDist[5] != NoPath {
+		t.Fatalf("PosDist[v] = %d with MaxLen 3, want NoPath", r.PosDist[5])
+	}
+	if r.NegDist[5] != 2 {
+		t.Fatalf("NegDist[v] = %d, want 2", r.NegDist[5])
+	}
+}
+
+func TestSBPHBeamWidthDefault(t *testing.T) {
+	g := figure1a()
+	r0 := SBPH(g, 0, 0) // 0 selects the default
+	rd := SBPH(g, 0, DefaultBeamWidth)
+	for v := 0; v < g.NumNodes(); v++ {
+		if r0.PosDist[v] != rd.PosDist[v] || r0.NegDist[v] != rd.NegDist[v] {
+			t.Fatal("beamWidth 0 must behave as the default width")
+		}
+	}
+}
+
+// TestSBPHSoundForEveryBeamWidth: regardless of K, every pair SBPH
+// reports reachable must be exact-SBP reachable with a length no
+// smaller. (Note SBPH is not monotone in K: the prefix-property level
+// gate can make a wider beam finalize a state earlier through paths
+// that later dead-end, so we check soundness per width, not
+// containment across widths.)
+func TestSBPHSoundForEveryBeamWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(10)
+		b := sgraph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := sgraph.NodeID(rng.Intn(n)), sgraph.NodeID(rng.Intn(n))
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			s := sgraph.Positive
+			if rng.Intn(3) == 0 {
+				s = sgraph.Negative
+			}
+			b.AddEdge(u, v, s)
+		}
+		g := b.MustBuild()
+		exact, err := ExactSBP(g, 0, ExactOptions{})
+		if err != nil {
+			t.Fatalf("ExactSBP: %v", err)
+		}
+		for _, k := range []int{1, 2, 4, 16} {
+			heur := SBPH(g, 0, k)
+			for v := 0; v < n; v++ {
+				if heur.PosDist[v] != NoPath &&
+					(exact.PosDist[v] == NoPath || heur.PosDist[v] < exact.PosDist[v]) {
+					t.Fatalf("trial %d K=%d node %d: SBPH pos %d vs exact %d",
+						trial, k, v, heur.PosDist[v], exact.PosDist[v])
+				}
+				if heur.NegDist[v] != NoPath &&
+					(exact.NegDist[v] == NoPath || heur.NegDist[v] < exact.NegDist[v]) {
+					t.Fatalf("trial %d K=%d node %d: SBPH neg %d vs exact %d",
+						trial, k, v, heur.NegDist[v], exact.NegDist[v])
+				}
+			}
+		}
+	}
+}

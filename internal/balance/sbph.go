@@ -1,0 +1,151 @@
+package balance
+
+import "repro/internal/sgraph"
+
+// DefaultBeamWidth is the default number of shortest balanced paths
+// SBPH retains per (node, sign) state.
+const DefaultBeamWidth = 8
+
+// SBPH is the heuristic counterpart of ExactSBP described in the
+// paper: it explores only balanced paths with the *prefix property* —
+// paths every prefix of which is itself a shortest structurally
+// balanced path (of its sign) to its endpoint. Shortest balanced paths
+// do not enjoy the prefix property in general (Figure 1(b) of the
+// paper), so SBPH under-approximates SBP: every pair it reports
+// compatible is SBP-compatible, but not vice versa.
+//
+// The search is a level-synchronous BFS over (node, sign-of-path)
+// states. For each state it retains at most beamWidth representative
+// paths, all of the minimal length at which the state was first
+// reached; longer paths to an already-reached state are discarded
+// (that is precisely the prefix restriction). beamWidth ≤ 0 selects
+// DefaultBeamWidth. Larger beams recover more of SBP at higher cost —
+// see the beam-width ablation benchmark.
+//
+// Worst-case work is O(n · beamWidth) retained paths, each extended
+// across its endpoint's adjacency with an O(len + deg) balance check,
+// so SBPH is polynomial — in contrast with the exponential ExactSBP.
+func SBPH(g *sgraph.Graph, src sgraph.NodeID, beamWidth int) *PathDists {
+	if beamWidth <= 0 {
+		beamWidth = DefaultBeamWidth
+	}
+	n := g.NumNodes()
+	res := &PathDists{
+		Source:  src,
+		PosDist: make([]int32, n),
+		NegDist: make([]int32, n),
+	}
+	for i := range res.PosDist {
+		res.PosDist[i] = NoPath
+		res.NegDist[i] = NoPath
+	}
+	res.PosDist[src] = 0
+
+	type entry struct {
+		nodes []sgraph.NodeID
+		camps []uint8
+		sign  sgraph.Sign
+	}
+
+	// stateLevel[2*v+s] = level at which state (v, sign s) was first
+	// reached; -1 when unreached. stateCount tracks retained paths.
+	stateLevel := make([]int32, 2*n)
+	for i := range stateLevel {
+		stateLevel[i] = -1
+	}
+	stateCount := make([]int, 2*n)
+	stateIdx := func(v sgraph.NodeID, sign sgraph.Sign) int {
+		if sign == sgraph.Positive {
+			return 2 * int(v)
+		}
+		return 2*int(v) + 1
+	}
+	stateLevel[stateIdx(src, sgraph.Positive)] = 0
+	stateCount[stateIdx(src, sgraph.Positive)] = 1
+
+	frontier := []entry{{
+		nodes: []sgraph.NodeID{src},
+		camps: []uint8{0},
+		sign:  sgraph.Positive,
+	}}
+
+	// onPath[v] = 1 + index of v within the entry currently being
+	// extended; reset after each entry.
+	onPath := make([]int32, n)
+
+	for level := int32(1); len(frontier) > 0; level++ {
+		var next []entry
+		for _, e := range frontier {
+			head := e.nodes[len(e.nodes)-1]
+			for i, v := range e.nodes {
+				onPath[v] = int32(i) + 1
+			}
+			ids := g.NeighborIDs(head)
+			signs := g.NeighborSigns(head)
+			for i, v := range ids {
+				if onPath[v] != 0 {
+					continue // not simple
+				}
+				res.Expanded++
+				newSign := e.sign * signs[i]
+				st := stateIdx(v, newSign)
+				if lvl := stateLevel[st]; lvl != -1 && lvl < level {
+					continue // a shorter balanced path of this sign exists
+				}
+				if stateLevel[st] == level && stateCount[st] >= beamWidth {
+					continue // beam full at this level
+				}
+				campV := e.camps[len(e.camps)-1]
+				if signs[i] == sgraph.Negative {
+					campV ^= 1
+				}
+				if !extensionBalanced(g, e.nodes, e.camps, onPath, v, campV) {
+					continue
+				}
+				if stateLevel[st] == -1 {
+					stateLevel[st] = level
+				}
+				stateCount[st]++
+				ne := entry{
+					nodes: append(append(make([]sgraph.NodeID, 0, len(e.nodes)+1), e.nodes...), v),
+					camps: append(append(make([]uint8, 0, len(e.camps)+1), e.camps...), campV),
+					sign:  newSign,
+				}
+				next = append(next, ne)
+			}
+			for _, v := range e.nodes {
+				onPath[v] = 0
+			}
+		}
+		frontier = next
+	}
+
+	for v := sgraph.NodeID(0); int(v) < n; v++ {
+		if lvl := stateLevel[stateIdx(v, sgraph.Positive)]; lvl != -1 {
+			res.PosDist[v] = lvl
+		}
+		if lvl := stateLevel[stateIdx(v, sgraph.Negative)]; lvl != -1 {
+			res.NegDist[v] = lvl
+		}
+	}
+	return res
+}
+
+// extensionBalanced checks that appending v (with forced camp campV)
+// to the path described by nodes/camps keeps the induced subgraph
+// balanced. onPath must map node → index+1 for the path's nodes.
+func extensionBalanced(g *sgraph.Graph, nodes []sgraph.NodeID, camps []uint8, onPath []int32, v sgraph.NodeID, campV uint8) bool {
+	ids := g.NeighborIDs(v)
+	signs := g.NeighborSigns(v)
+	for i, z := range ids {
+		pz := onPath[z]
+		if pz == 0 {
+			continue
+		}
+		same := camps[pz-1] == campV
+		if same != (signs[i] == sgraph.Positive) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+package balance
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sgraph"
+)
+
+func TestCountTrianglesHand(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		signs [3]sgraph.Sign
+		want  TriangleCensus
+	}{
+		{"PPP", [3]sgraph.Sign{1, 1, 1}, TriangleCensus{PPP: 1}},
+		{"PPN", [3]sgraph.Sign{1, 1, -1}, TriangleCensus{PPN: 1}},
+		{"PNN", [3]sgraph.Sign{1, -1, -1}, TriangleCensus{PNN: 1}},
+		{"NNN", [3]sgraph.Sign{-1, -1, -1}, TriangleCensus{NNN: 1}},
+	} {
+		g := sgraph.MustFromEdges(3, []sgraph.Edge{
+			{U: 0, V: 1, Sign: tc.signs[0]},
+			{U: 1, V: 2, Sign: tc.signs[1]},
+			{U: 0, V: 2, Sign: tc.signs[2]},
+		})
+		got := CountTriangles(g)
+		if got != tc.want {
+			t.Errorf("%s: census = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCountTrianglesK4(t *testing.T) {
+	// All-positive K4 has 4 triangles.
+	b := sgraph.NewBuilder(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(sgraph.NodeID(u), sgraph.NodeID(v), sgraph.Positive)
+		}
+	}
+	census := CountTriangles(b.MustBuild())
+	if census.PPP != 4 || census.Total() != 4 {
+		t.Fatalf("census = %+v, want 4 PPP", census)
+	}
+	if census.BalancedFraction() != 1 {
+		t.Fatal("all-positive K4 must be fully balanced")
+	}
+}
+
+func TestCountTrianglesTriangleFree(t *testing.T) {
+	// A path has no triangles; BalancedFraction is vacuously 1.
+	g := sgraph.MustFromEdges(4, []sgraph.Edge{
+		{U: 0, V: 1, Sign: sgraph.Positive},
+		{U: 1, V: 2, Sign: sgraph.Negative},
+		{U: 2, V: 3, Sign: sgraph.Positive},
+	})
+	census := CountTriangles(g)
+	if census.Total() != 0 || census.BalancedFraction() != 1 {
+		t.Fatalf("census = %+v", census)
+	}
+}
+
+// bruteTriangles counts triangles by checking all node triples.
+func bruteTriangles(g *sgraph.Graph) TriangleCensus {
+	var census TriangleCensus
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			suv, ok1 := g.EdgeSign(sgraph.NodeID(u), sgraph.NodeID(v))
+			if !ok1 {
+				continue
+			}
+			for w := v + 1; w < n; w++ {
+				suw, ok2 := g.EdgeSign(sgraph.NodeID(u), sgraph.NodeID(w))
+				svw, ok3 := g.EdgeSign(sgraph.NodeID(v), sgraph.NodeID(w))
+				if !ok2 || !ok3 {
+					continue
+				}
+				neg := 0
+				for _, s := range []sgraph.Sign{suv, suw, svw} {
+					if s == sgraph.Negative {
+						neg++
+					}
+				}
+				switch neg {
+				case 0:
+					census.PPP++
+				case 1:
+					census.PPN++
+				case 2:
+					census.PNN++
+				default:
+					census.NNN++
+				}
+			}
+		}
+	}
+	return census
+}
+
+func TestCountTrianglesMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(25)
+		b := sgraph.NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			u, v := sgraph.NodeID(rng.Intn(n)), sgraph.NodeID(rng.Intn(n))
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			s := sgraph.Positive
+			if rng.Intn(3) == 0 {
+				s = sgraph.Negative
+			}
+			b.AddEdge(u, v, s)
+		}
+		g := b.MustBuild()
+		got, want := CountTriangles(g), bruteTriangles(g)
+		if got != want {
+			t.Fatalf("trial %d: census %+v vs brute %+v", trial, got, want)
+		}
+	}
+}
+
+func TestCensusStringAndAccessors(t *testing.T) {
+	c := TriangleCensus{PPP: 3, PPN: 1, PNN: 2, NNN: 0}
+	if c.Total() != 6 || c.Balanced() != 5 {
+		t.Fatalf("accessors wrong: %+v", c)
+	}
+	if got := c.BalancedFraction(); got < 0.83 || got > 0.84 {
+		t.Fatalf("fraction = %g", got)
+	}
+	if !strings.Contains(c.String(), "83.3%") {
+		t.Fatalf("String = %s", c.String())
+	}
+}
+
+func TestBalancedGraphCensusHasNoUnbalancedTriangles(t *testing.T) {
+	// Property: a structurally balanced graph has zero PPN and NNN
+	// triangles (a balanced graph has no unbalanced cycles at all).
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 20; trial++ {
+		g, _ := plantedTwoCamp(rng, 40+rng.Intn(40), 400)
+		census := CountTriangles(g)
+		if census.PPN != 0 || census.NNN != 0 {
+			t.Fatalf("trial %d: balanced graph has unbalanced triangles: %+v", trial, census)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package balance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sgraph"
+)
+
+// TestWalkExtendRetractRoundTrip: after any sequence of successful
+// Extends, the same number of Retracts restores the walk to its
+// initial state exactly (head, sign, length, membership).
+func TestWalkExtendRetractRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		b := sgraph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := sgraph.NodeID(rng.Intn(n)), sgraph.NodeID(rng.Intn(n))
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			s := sgraph.Positive
+			if rng.Intn(3) == 0 {
+				s = sgraph.Negative
+			}
+			b.AddEdge(u, v, s)
+		}
+		g := b.MustBuild()
+		start := sgraph.NodeID(rng.Intn(n))
+		w := NewWalk(g, start)
+		// Random walk forward.
+		steps := 0
+		for tries := 0; tries < 30; tries++ {
+			head := w.Head()
+			ids := g.NeighborIDs(head)
+			if len(ids) == 0 {
+				break
+			}
+			v := ids[rng.Intn(len(ids))]
+			if w.Extend(v) {
+				steps++
+			}
+		}
+		// And all the way back.
+		for i := 0; i < steps; i++ {
+			w.Retract()
+		}
+		return w.Head() == start && w.Len() == 0 && w.Sign() == sgraph.Positive && w.Contains(start)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWalkMatchesFromScratchChecker: every prefix accepted by the
+// incremental walk is accepted by the from-scratch checker with the
+// same sign, and CanExtend never mutates the walk.
+func TestWalkMatchesFromScratchChecker(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		b := sgraph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := sgraph.NodeID(rng.Intn(n)), sgraph.NodeID(rng.Intn(n))
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			s := sgraph.Positive
+			if rng.Intn(2) == 0 {
+				s = sgraph.Negative
+			}
+			b.AddEdge(u, v, s)
+		}
+		g := b.MustBuild()
+		start := sgraph.NodeID(rng.Intn(n))
+		w := NewWalk(g, start)
+		for tries := 0; tries < 25; tries++ {
+			head := w.Head()
+			ids := g.NeighborIDs(head)
+			if len(ids) == 0 {
+				break
+			}
+			v := ids[rng.Intn(len(ids))]
+			before := append([]sgraph.NodeID(nil), w.Nodes()...)
+			can := w.CanExtend(v)
+			// CanExtend must not mutate.
+			after := w.Nodes()
+			if len(before) != len(after) {
+				return false
+			}
+			for i := range before {
+				if before[i] != after[i] {
+					return false
+				}
+			}
+			if !can {
+				// If rejected for balance reasons, the from-scratch
+				// checker must reject the extended sequence too (or
+				// it is a non-simple/non-edge rejection).
+				if w.Contains(v) {
+					continue
+				}
+				if _, edge := g.EdgeSign(head, v); !edge {
+					continue
+				}
+				ext := append(append([]sgraph.NodeID(nil), before...), v)
+				if ok, _ := IsBalancedPath(g, ext); ok {
+					return false
+				}
+				continue
+			}
+			w.Extend(v)
+			ok, sign := IsBalancedPath(g, w.Nodes())
+			if !ok || sign != w.Sign() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sgraph"
+)
+
+// plantedGraph builds a two-faction signed graph with optional noise
+// and returns it with the ground-truth labels.
+func plantedGraph(t *testing.T, seed int64, n, m int, noise float64) (*sgraph.Graph, Labels) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	topo, err := gen.ChungLu(rng, n, m, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Connect(rng)
+	camps := gen.RandomCamps(rng, n, 0.4)
+	inter := 0
+	for _, e := range topo.Edges {
+		if camps[e[0]] != camps[e[1]] {
+			inter++
+		}
+	}
+	edges, err := gen.FactionSigns(rng, topo, camps, float64(inter)/float64(len(topo.Edges)), noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.Build(topo.N, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	of := make([]int32, n)
+	for i, c := range camps {
+		of[i] = int32(c)
+	}
+	return g, Labels{Of: of, NumClusters: 2}
+}
+
+func TestDisagreementsHandGraph(t *testing.T) {
+	// Triangle: (0,1,+), (1,2,+), (0,2,−).
+	g := sgraph.MustFromEdges(3, []sgraph.Edge{
+		{U: 0, V: 1, Sign: sgraph.Positive},
+		{U: 1, V: 2, Sign: sgraph.Positive},
+		{U: 0, V: 2, Sign: sgraph.Negative},
+	})
+	// All in one cluster: the negative edge disagrees.
+	bad, err := Disagreements(g, Labels{Of: []int32{0, 0, 0}, NumClusters: 1})
+	if err != nil || bad != 1 {
+		t.Fatalf("one cluster: %d,%v want 1", bad, err)
+	}
+	// {0},{1,2}: (0,1)+ across = 1, (0,2)− across ok, (1,2)+ inside ok.
+	bad, err = Disagreements(g, Labels{Of: []int32{0, 1, 1}, NumClusters: 2})
+	if err != nil || bad != 1 {
+		t.Fatalf("split: %d,%v want 1", bad, err)
+	}
+	// Label length mismatch.
+	if _, err := Disagreements(g, Labels{Of: []int32{0, 1}}); err == nil {
+		t.Fatal("short labels accepted")
+	}
+}
+
+func TestTwoFactionsRecoversPlanted(t *testing.T) {
+	g, truth := plantedGraph(t, 3, 150, 900, 0)
+	labels, violations := TwoFactions(g)
+	if violations != 0 {
+		t.Fatalf("violations = %d on a balanced planted graph", violations)
+	}
+	agr, err := Agreement(labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr != 1 {
+		t.Fatalf("agreement = %.3f, want 1.0 (exact recovery on a balanced graph)", agr)
+	}
+}
+
+func TestTwoFactionsNoisy(t *testing.T) {
+	g, truth := plantedGraph(t, 5, 150, 900, 0.05)
+	labels, violations := TwoFactions(g)
+	if violations == 0 {
+		t.Fatal("noisy graph should have violations")
+	}
+	agr, err := Agreement(labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr < 0.9 {
+		t.Fatalf("agreement = %.3f, want ≥ 0.9 with 5%% noise", agr)
+	}
+}
+
+func TestPivotCCBasics(t *testing.T) {
+	g, _ := plantedGraph(t, 7, 100, 500, 0.02)
+	labels := PivotCC(g, rand.New(rand.NewSource(1)))
+	if len(labels.Of) != 100 {
+		t.Fatal("wrong label count")
+	}
+	if labels.NumClusters < 1 || labels.NumClusters > 100 {
+		t.Fatalf("clusters = %d", labels.NumClusters)
+	}
+	for _, c := range labels.Of {
+		if c < 0 || int(c) >= labels.NumClusters {
+			t.Fatalf("label %d out of range", c)
+		}
+	}
+	// Deterministic in the rng.
+	labels2 := PivotCC(g, rand.New(rand.NewSource(1)))
+	for i := range labels.Of {
+		if labels.Of[i] != labels2.Of[i] {
+			t.Fatal("PivotCC nondeterministic for a fixed rng")
+		}
+	}
+}
+
+func TestLocalSearchNeverWorsens(t *testing.T) {
+	g, _ := plantedGraph(t, 9, 120, 700, 0.08)
+	for trial := 0; trial < 5; trial++ {
+		labels := PivotCC(g, rand.New(rand.NewSource(int64(trial))))
+		before, err := Disagreements(g, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, after, err := LocalSearch(g, labels, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after > before {
+			t.Fatalf("trial %d: local search worsened %d → %d", trial, before, after)
+		}
+	}
+}
+
+func TestLocalSearchValidation(t *testing.T) {
+	g := sgraph.MustFromEdges(2, []sgraph.Edge{{U: 0, V: 1, Sign: sgraph.Positive}})
+	if _, _, err := LocalSearch(g, Labels{Of: []int32{0}}, 1); err == nil {
+		t.Fatal("short labels accepted")
+	}
+}
+
+func TestLocalSearchMergesObviousClusters(t *testing.T) {
+	// Two positive cliques joined by positive edges, initially
+	// over-split: local search should merge them (or at least reach
+	// zero disagreements).
+	b := sgraph.NewBuilder(6)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddEdge(sgraph.NodeID(u), sgraph.NodeID(v), sgraph.Positive)
+		}
+	}
+	g := b.MustBuild()
+	labels := Labels{Of: []int32{0, 0, 0, 1, 1, 1}, NumClusters: 2}
+	_, bad, err := LocalSearch(g, labels, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("disagreements = %d after local search on an all-positive clique, want 0", bad)
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	a := Labels{Of: []int32{0, 0, 1, 1}, NumClusters: 2}
+	b := Labels{Of: []int32{1, 1, 0, 0}, NumClusters: 2} // same partition, renamed
+	agr, err := Agreement(a, b)
+	if err != nil || agr != 1 {
+		t.Fatalf("agreement = %v,%v want 1", agr, err)
+	}
+	c := Labels{Of: []int32{0, 1, 0, 1}, NumClusters: 2}
+	agr, err = Agreement(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs: (0,1) same/diff, (0,2) diff/same, (0,3) diff/diff ✓,
+	// (1,2) diff/diff ✓, (1,3) diff/same, (2,3) same/diff → 2/6.
+	if agr < 0.33 || agr > 0.34 {
+		t.Fatalf("agreement = %.3f, want 1/3", agr)
+	}
+	if _, err := Agreement(a, Labels{Of: []int32{0}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if agr, _ := Agreement(Labels{Of: []int32{0}}, Labels{Of: []int32{3}}); agr != 1 {
+		t.Fatal("single-node agreement must be 1")
+	}
+}
+
+func TestPivotPlusLocalSearchApproachesTwoFactions(t *testing.T) {
+	// On a mostly balanced two-faction graph, pivot + local search
+	// should get within striking distance of the frustration bound.
+	g, _ := plantedGraph(t, 11, 150, 900, 0.03)
+	_, twoFactionBad := TwoFactions(g)
+	labels := PivotCC(g, rand.New(rand.NewSource(2)))
+	_, pivotBad, err := LocalSearch(g, labels, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pivotBad > 4*twoFactionBad+20 {
+		t.Fatalf("pivot+LS disagreements %d too far above two-faction bound %d", pivotBad, twoFactionBad)
+	}
+}

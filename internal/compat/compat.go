@@ -1,0 +1,183 @@
+// Package compat implements the user-compatibility relations of
+// "Forming Compatible Teams in Signed Networks" (EDBT 2020), the core
+// of the paper: given a signed graph, when can two users work
+// together?
+//
+// Seven relations are provided, ordered from strictest to most
+// relaxed (Proposition 3.5 of the paper):
+//
+//	DPE  — direct positive edge
+//	SPA  — all shortest paths positive
+//	SPM  — at least as many positive as negative shortest paths
+//	SPO  — at least one positive shortest path
+//	SBPH — heuristic structurally-balanced-path compatibility
+//	SBP  — exact structurally-balanced-path compatibility
+//	NNE  — no direct negative edge
+//
+// with Comp_DPE ⊆ Comp_SPA ⊆ Comp_SPM ⊆ Comp_SPO ⊆ Comp_SBP ⊆
+// Comp_NNE and Comp_SBPH ⊆ Comp_SBP. All relations are reflexive and
+// symmetric, satisfy positive-edge compatibility (a +1 edge implies
+// compatible) and negative-edge incompatibility (a −1 edge implies
+// incompatible).
+//
+// Every relation also defines the pairwise distance the team
+// formation cost uses: the SP family and DPE use shortest-path
+// length; SBP/SBPH use the length of the shortest structurally
+// balanced positive path (the heuristic's, for SBPH); NNE uses
+// shortest-path length ignoring signs.
+//
+// Relations answer point queries from lazily computed per-source rows
+// held in a bounded cache, so they are cheap to use inside the greedy
+// team formation loop; the bulk statistics in stats.go bypass the
+// cache and stream rows instead.
+package compat
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/balance"
+	"repro/internal/sgraph"
+)
+
+// Kind enumerates the compatibility relations.
+type Kind int
+
+// The relations, in the containment order of Proposition 3.5
+// (SBPH slots in as a subset of SBP).
+const (
+	DPE Kind = iota
+	SPA
+	SPM
+	SPO
+	SBPH
+	SBP
+	NNE
+	numKinds
+)
+
+// Kinds lists all relation kinds in containment order.
+func Kinds() []Kind { return []Kind{DPE, SPA, SPM, SPO, SBPH, SBP, NNE} }
+
+// String returns the paper's name for the relation.
+func (k Kind) String() string {
+	switch k {
+	case DPE:
+		return "DPE"
+	case SPA:
+		return "SPA"
+	case SPM:
+		return "SPM"
+	case SPO:
+		return "SPO"
+	case SBPH:
+		return "SBPH"
+	case SBP:
+		return "SBP"
+	case NNE:
+		return "NNE"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a (case-insensitive) relation name.
+func ParseKind(name string) (Kind, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "DPE":
+		return DPE, nil
+	case "SPA":
+		return SPA, nil
+	case "SPM":
+		return SPM, nil
+	case "SPO":
+		return SPO, nil
+	case "SBPH":
+		return SBPH, nil
+	case "SBP":
+		return SBP, nil
+	case "NNE":
+		return NNE, nil
+	default:
+		return 0, fmt.Errorf("compat: unknown relation %q (want DPE, SPA, SPM, SPO, SBPH, SBP or NNE)", name)
+	}
+}
+
+// Relation answers compatibility and distance queries on a fixed
+// signed graph. Implementations are safe for concurrent use.
+//
+// Compatible is reflexive and symmetric. Distance returns the
+// relation's distance and ok=false when the relation defines no
+// distance for the pair (e.g. no positive balanced path under SBP).
+// The error return carries resource-exhaustion failures (only the
+// exact SBP relation, whose path enumeration is budgeted, produces
+// them).
+type Relation interface {
+	Kind() Kind
+	Graph() *sgraph.Graph
+	Compatible(u, v sgraph.NodeID) (bool, error)
+	Distance(u, v sgraph.NodeID) (int32, bool, error)
+}
+
+// Options tunes relation construction.
+type Options struct {
+	// BeamWidth is the SBPH beam (paths kept per node/sign state);
+	// ≤0 selects balance.DefaultBeamWidth.
+	BeamWidth int
+	// Exact bounds the exact SBP enumeration.
+	Exact balance.ExactOptions
+	// CacheCap bounds the per-relation row cache (rows, not bytes);
+	// ≤0 selects DefaultCacheCap.
+	CacheCap int
+}
+
+// DefaultCacheCap is the default number of per-source rows a relation
+// caches.
+const DefaultCacheCap = 256
+
+// New constructs the relation of the given kind over g.
+func New(k Kind, g *sgraph.Graph, opts Options) (Relation, error) {
+	if k < 0 || k >= numKinds {
+		return nil, fmt.Errorf("compat: unknown relation kind %d", int(k))
+	}
+	cap := opts.CacheCap
+	if cap <= 0 {
+		cap = DefaultCacheCap
+	}
+	base := baseRelation{g: g, kind: k}
+	switch k {
+	case DPE, NNE:
+		r := &edgeRelation{baseRelation: base}
+		r.cache = newRowCache(cap, r.computeRow)
+		return r, nil
+	case SPA, SPM, SPO:
+		r := &spRelation{baseRelation: base}
+		r.cache = newRowCache(cap, r.computeRow)
+		return r, nil
+	case SBPH:
+		beam := opts.BeamWidth
+		if beam <= 0 {
+			beam = balance.DefaultBeamWidth
+		}
+		r := &sbphRelation{baseRelation: base, beam: beam}
+		r.canonical = true // see baseRelation: SBPH is not row-symmetric
+		r.cache = newRowCache(cap, r.computeRow)
+		return r, nil
+	case SBP:
+		r := &sbpRelation{baseRelation: base, opts: opts.Exact}
+		r.cache = newRowCache(cap, r.computeRow)
+		return r, nil
+	default:
+		return nil, fmt.Errorf("compat: unhandled relation kind %v", k)
+	}
+}
+
+// MustNew is New that panics on error, for tests and examples with
+// known-good arguments.
+func MustNew(k Kind, g *sgraph.Graph, opts Options) Relation {
+	r, err := New(k, g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

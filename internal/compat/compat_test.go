@@ -1,0 +1,325 @@
+package compat
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/sgraph"
+)
+
+// figure1a is the paper's Figure 1(a): u=0 and v=5 are SBP-compatible
+// but not SP-compatible.
+func figure1a() *sgraph.Graph {
+	return sgraph.MustFromEdges(6, []sgraph.Edge{
+		{U: 0, V: 1, Sign: sgraph.Negative},
+		{U: 1, V: 5, Sign: sgraph.Positive},
+		{U: 0, V: 2, Sign: sgraph.Positive},
+		{U: 1, V: 2, Sign: sgraph.Positive},
+		{U: 2, V: 3, Sign: sgraph.Positive},
+		{U: 3, V: 4, Sign: sgraph.Positive},
+		{U: 4, V: 5, Sign: sgraph.Positive},
+	})
+}
+
+func allRelations(t testing.TB, g *sgraph.Graph) map[Kind]Relation {
+	t.Helper()
+	rels := make(map[Kind]Relation)
+	for _, k := range Kinds() {
+		rels[k] = MustNew(k, g, Options{})
+	}
+	return rels
+}
+
+func mustCompatible(t *testing.T, r Relation, u, v sgraph.NodeID) bool {
+	t.Helper()
+	ok, err := r.Compatible(u, v)
+	if err != nil {
+		t.Fatalf("%v.Compatible(%d,%d): %v", r.Kind(), u, v, err)
+	}
+	return ok
+}
+
+func TestKindStringAndParse(t *testing.T) {
+	for _, k := range Kinds() {
+		parsed, err := ParseKind(k.String())
+		if err != nil || parsed != k {
+			t.Fatalf("round trip failed for %v: %v", k, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatal("ParseKind accepted garbage")
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Fatalf("unknown kind String = %q", got)
+	}
+	if _, err := ParseKind("sbph"); err != nil {
+		t.Fatal("ParseKind must be case-insensitive")
+	}
+}
+
+func TestNewRejectsUnknownKind(t *testing.T) {
+	if _, err := New(Kind(99), figure1a(), Options{}); err == nil {
+		t.Fatal("New accepted an unknown kind")
+	}
+}
+
+func TestFigure1aRelationVerdicts(t *testing.T) {
+	g := figure1a()
+	rels := allRelations(t, g)
+	u, v := sgraph.NodeID(0), sgraph.NodeID(5)
+	want := map[Kind]bool{
+		DPE:  false,
+		SPA:  false,
+		SPM:  false,
+		SPO:  false, // the only shortest path is negative
+		SBPH: true,  // the balanced positive path has the prefix property here
+		SBP:  true,
+		NNE:  true, // no direct negative edge between u and v
+	}
+	for k, expect := range want {
+		if got := mustCompatible(t, rels[k], u, v); got != expect {
+			t.Errorf("%v.Compatible(u,v) = %v, want %v", k, got, expect)
+		}
+	}
+	// Distances: SP-family distance is graph distance 2; SBP distance
+	// is the balanced positive path length 4.
+	if d, ok, err := rels[NNE].Distance(u, v); err != nil || !ok || d != 2 {
+		t.Errorf("NNE distance = %d,%v,%v, want 2", d, ok, err)
+	}
+	if d, ok, err := rels[SPO].Distance(u, v); err != nil || !ok || d != 2 {
+		t.Errorf("SPO distance = %d,%v,%v, want 2", d, ok, err)
+	}
+	if d, ok, err := rels[SBP].Distance(u, v); err != nil || !ok || d != 4 {
+		t.Errorf("SBP distance = %d,%v,%v, want 4", d, ok, err)
+	}
+	if d, ok, err := rels[SBPH].Distance(u, v); err != nil || !ok || d != 4 {
+		t.Errorf("SBPH distance = %d,%v,%v, want 4", d, ok, err)
+	}
+	// DPE has no distance semantics issue here: u,v unreachable via
+	// positive edge but plain distance is still defined.
+	if d, ok, err := rels[DPE].Distance(u, v); err != nil || !ok || d != 2 {
+		t.Errorf("DPE distance = %d,%v,%v, want 2", d, ok, err)
+	}
+}
+
+func randomSignedGraph(rng *rand.Rand, n, m int, negFrac float64) *sgraph.Graph {
+	b := sgraph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := sgraph.NodeID(rng.Intn(n)), sgraph.NodeID(rng.Intn(n))
+		if u == v || b.HasEdge(u, v) {
+			continue
+		}
+		s := sgraph.Positive
+		if rng.Float64() < negFrac {
+			s = sgraph.Negative
+		}
+		b.AddEdge(u, v, s)
+	}
+	return b.MustBuild()
+}
+
+// TestEdgeAxioms: every relation must satisfy positive-edge
+// compatibility and negative-edge incompatibility (Section 2 of the
+// paper).
+func TestEdgeAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		g := randomSignedGraph(rng, 8+rng.Intn(8), 30, 0.35)
+		rels := allRelations(t, g)
+		for _, e := range g.Edges() {
+			for k, r := range rels {
+				got := mustCompatible(t, r, e.U, e.V)
+				if e.Sign == sgraph.Positive && !got {
+					t.Fatalf("trial %d: %v violates positive edge compatibility on %+v", trial, k, e)
+				}
+				if e.Sign == sgraph.Negative && got {
+					t.Fatalf("trial %d: %v violates negative edge incompatibility on %+v", trial, k, e)
+				}
+			}
+		}
+	}
+}
+
+// TestReflexiveSymmetric: Comp must be reflexive and symmetric for
+// every relation.
+func TestReflexiveSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 6; trial++ {
+		n := 7 + rng.Intn(6)
+		g := randomSignedGraph(rng, n, 25, 0.3)
+		rels := allRelations(t, g)
+		for k, r := range rels {
+			for u := sgraph.NodeID(0); int(u) < n; u++ {
+				if !mustCompatible(t, r, u, u) {
+					t.Fatalf("%v not reflexive at %d", k, u)
+				}
+				for v := u + 1; int(v) < n; v++ {
+					if mustCompatible(t, r, u, v) != mustCompatible(t, r, v, u) {
+						t.Fatalf("trial %d: %v not symmetric on (%d,%d)", trial, k, u, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestContainmentChain verifies Proposition 3.5 on random graphs:
+// DPE ⊆ SPA ⊆ SPM ⊆ SPO ⊆ SBP ⊆ NNE, plus SBPH ⊆ SBP.
+func TestContainmentChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	chain := []Kind{DPE, SPA, SPM, SPO, SBP, NNE}
+	for trial := 0; trial < 12; trial++ {
+		n := 6 + rng.Intn(8)
+		g := randomSignedGraph(rng, n, 3*n, 0.3)
+		rels := allRelations(t, g)
+		for u := sgraph.NodeID(0); int(u) < n; u++ {
+			for v := u + 1; int(v) < n; v++ {
+				prev := false
+				for i, k := range chain {
+					cur := mustCompatible(t, rels[k], u, v)
+					if i > 0 && prev && !cur {
+						t.Fatalf("trial %d pair (%d,%d): %v compatible but %v not — containment violated",
+							trial, u, v, chain[i-1], k)
+					}
+					prev = cur
+				}
+				if mustCompatible(t, rels[SBPH], u, v) && !mustCompatible(t, rels[SBP], u, v) {
+					t.Fatalf("trial %d pair (%d,%d): SBPH ⊄ SBP", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestSBPDistanceNeverBelowGraphDistance: a balanced positive path is
+// a path, so its length is at least the graph distance.
+func TestSBPDistanceNeverBelowGraphDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	g := randomSignedGraph(rng, 12, 36, 0.3)
+	sbp := MustNew(SBP, g, Options{})
+	nne := MustNew(NNE, g, Options{})
+	for u := sgraph.NodeID(0); int(u) < 12; u++ {
+		for v := sgraph.NodeID(0); int(v) < 12; v++ {
+			db, okb, err := sbp.Distance(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dn, okn, err := nne.Distance(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if okb && okn && db < dn {
+				t.Fatalf("(%d,%d): SBP distance %d below graph distance %d", u, v, db, dn)
+			}
+		}
+	}
+}
+
+func TestCacheCapOneStillCorrect(t *testing.T) {
+	g := figure1a()
+	r := MustNew(SPO, g, Options{CacheCap: 1})
+	// Alternate sources to force evictions, answers must not change.
+	for i := 0; i < 10; i++ {
+		if mustCompatible(t, r, 0, 5) {
+			t.Fatal("SPO(0,5) must be false")
+		}
+		if !mustCompatible(t, r, 2, 3) {
+			t.Fatal("SPO(2,3) must be true")
+		}
+		if !mustCompatible(t, r, 4, 5) {
+			t.Fatal("SPO(4,5) must be true")
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	g := randomSignedGraph(rand.New(rand.NewSource(61)), 30, 120, 0.25)
+	r := MustNew(SPM, g, Options{CacheCap: 4})
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				u, v := sgraph.NodeID(rng.Intn(30)), sgraph.NodeID(rng.Intn(30))
+				if _, err := r.Compatible(u, v); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(int64(w))
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSBPBudgetErrorPropagates(t *testing.T) {
+	// Dense graph and a one-step budget: Compatible must surface the
+	// budget error rather than fabricate an answer.
+	rng := rand.New(rand.NewSource(67))
+	b := sgraph.NewBuilder(14)
+	for u := 0; u < 14; u++ {
+		for v := u + 1; v < 14; v++ {
+			s := sgraph.Positive
+			if rng.Intn(2) == 0 {
+				s = sgraph.Negative
+			}
+			b.AddEdge(sgraph.NodeID(u), sgraph.NodeID(v), s)
+		}
+	}
+	g := b.MustBuild()
+	r := MustNew(SBP, g, Options{Exact: balance.ExactOptions{MaxExpanded: 1}})
+	if _, err := r.Compatible(0, 13); !errors.Is(err, balance.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if _, _, err := r.Distance(0, 13); !errors.Is(err, balance.ErrBudgetExceeded) {
+		t.Fatalf("Distance err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestPrecomputeFillsCache(t *testing.T) {
+	g := randomSignedGraph(rand.New(rand.NewSource(71)), 40, 150, 0.25)
+	r := MustNew(SPM, g, Options{CacheCap: 64})
+	if err := Precompute(r, 4); err != nil {
+		t.Fatalf("Precompute: %v", err)
+	}
+	// All queries must now be served (answers correct regardless; this
+	// is a smoke check that nothing broke).
+	for u := sgraph.NodeID(0); u < 40; u++ {
+		if _, err := r.Compatible(u, (u+1)%40); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPrecomputePropagatesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	b := sgraph.NewBuilder(14)
+	for u := 0; u < 14; u++ {
+		for v := u + 1; v < 14; v++ {
+			s := sgraph.Positive
+			if rng.Intn(2) == 0 {
+				s = sgraph.Negative
+			}
+			b.AddEdge(sgraph.NodeID(u), sgraph.NodeID(v), s)
+		}
+	}
+	r := MustNew(SBP, b.MustBuild(), Options{Exact: balance.ExactOptions{MaxExpanded: 5}})
+	if err := Precompute(r, 2); !errors.Is(err, balance.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestRelationGraphAccessor(t *testing.T) {
+	g := figure1a()
+	for _, k := range Kinds() {
+		if MustNew(k, g, Options{}).Graph() != g {
+			t.Fatalf("%v.Graph() does not return the underlying graph", k)
+		}
+	}
+}

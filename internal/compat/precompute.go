@@ -1,0 +1,64 @@
+package compat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sgraph"
+)
+
+// Precompute fills the relation's row cache for every node, in
+// parallel. Use it before all-pairs workloads (the experiment harness
+// does) so that subsequent point queries never block on a BFS; the
+// relation must have been created with CacheCap ≥ NumNodes or rows
+// will evict each other.
+//
+// workers ≤ 0 uses GOMAXPROCS. The first row-computation error aborts
+// the sweep.
+func Precompute(rel Relation, workers int) error {
+	b, ok := rel.(interface {
+		row(u sgraph.NodeID) (row, error)
+	})
+	if !ok {
+		return fmt.Errorf("compat: relation %v does not support precomputation", rel.Kind())
+	}
+	n := rel.Graph().NumNodes()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return nil
+	}
+	var next int64 = -1
+	var firstErr error
+	var errOnce sync.Once
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := atomic.AddInt64(&next, 1)
+				if i >= int64(n) {
+					return
+				}
+				if _, err := b.row(sgraph.NodeID(i)); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,228 @@
+package compat
+
+import (
+	"sync"
+
+	"repro/internal/balance"
+	"repro/internal/sgraph"
+	"repro/internal/signedbfs"
+)
+
+// row is one source node's view of a relation: compatibility and
+// distance to every other node. Rows are immutable once computed.
+type row interface {
+	compatible(v sgraph.NodeID) bool
+	distance(v sgraph.NodeID) (int32, bool)
+}
+
+// rowCache is a bounded map from source node to its row. When full it
+// evicts an arbitrary entry (map iteration order), which is adequate
+// for the access patterns here: the greedy team formation loop works
+// from a small, slowly changing set of sources.
+type rowCache struct {
+	mu      sync.Mutex
+	rows    map[sgraph.NodeID]row
+	cap     int
+	compute func(u sgraph.NodeID) (row, error)
+}
+
+func newRowCache(cap int, compute func(u sgraph.NodeID) (row, error)) *rowCache {
+	return &rowCache{
+		rows:    make(map[sgraph.NodeID]row, cap),
+		cap:     cap,
+		compute: compute,
+	}
+}
+
+func (c *rowCache) get(u sgraph.NodeID) (row, error) {
+	c.mu.Lock()
+	if r, ok := c.rows[u]; ok {
+		c.mu.Unlock()
+		return r, nil
+	}
+	c.mu.Unlock()
+	// Compute outside the lock: rows can be expensive and concurrent
+	// callers should not serialise on one BFS. A racing duplicate
+	// computation is harmless (identical immutable rows).
+	r, err := c.compute(u)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if len(c.rows) >= c.cap {
+		for k := range c.rows {
+			delete(c.rows, k)
+			break
+		}
+	}
+	c.rows[u] = r
+	c.mu.Unlock()
+	return r, nil
+}
+
+// baseRelation carries the pieces common to all relations.
+//
+// canonical forces queries to run from the smaller endpoint. The
+// graph-defined relations are symmetric per source row (an undirected
+// path reverses freely), but the SBPH heuristic is not: the prefix
+// property constrains prefixes, and the reverse of a prefix-property
+// path need not have it. Canonicalising the query direction restores
+// the symmetry the Comp relation requires, at the price of SBPH being
+// defined as "the heuristic search from min(u,v) reaches max(u,v)".
+type baseRelation struct {
+	g         *sgraph.Graph
+	kind      Kind
+	cache     *rowCache
+	canonical bool
+}
+
+func (b *baseRelation) Kind() Kind                       { return b.kind }
+func (b *baseRelation) Graph() *sgraph.Graph             { return b.g }
+func (b *baseRelation) row(u sgraph.NodeID) (row, error) { return b.cache.get(u) }
+
+func (b *baseRelation) Compatible(u, v sgraph.NodeID) (bool, error) {
+	if u == v {
+		return true, nil // reflexivity
+	}
+	if b.canonical && u > v {
+		u, v = v, u
+	}
+	r, err := b.row(u)
+	if err != nil {
+		return false, err
+	}
+	return r.compatible(v), nil
+}
+
+func (b *baseRelation) Distance(u, v sgraph.NodeID) (int32, bool, error) {
+	if u == v {
+		return 0, true, nil
+	}
+	if b.canonical && u > v {
+		u, v = v, u
+	}
+	r, err := b.row(u)
+	if err != nil {
+		return 0, false, err
+	}
+	d, ok := r.distance(v)
+	return d, ok, nil
+}
+
+// ---------------------------------------------------------------------------
+// DPE and NNE: edge-test compatibility with plain BFS distances.
+
+// edgeRelation implements DPE (compatible iff a positive edge joins
+// the pair) and NNE (compatible iff no negative edge joins the pair).
+// Both use plain shortest-path distance.
+type edgeRelation struct {
+	baseRelation
+}
+
+type edgeRow struct {
+	g    *sgraph.Graph
+	u    sgraph.NodeID
+	kind Kind
+	dist []int32
+}
+
+func (r *edgeRelation) computeRow(u sgraph.NodeID) (row, error) {
+	return &edgeRow{g: r.g, u: u, kind: r.kind, dist: signedbfs.Distances(r.g, u)}, nil
+}
+
+func (r *edgeRow) compatible(v sgraph.NodeID) bool {
+	s, ok := r.g.EdgeSign(r.u, v)
+	if r.kind == DPE {
+		return ok && s == sgraph.Positive
+	}
+	return !ok || s == sgraph.Positive // NNE: no negative edge
+}
+
+func (r *edgeRow) distance(v sgraph.NodeID) (int32, bool) {
+	d := r.dist[v]
+	return d, d != signedbfs.Unreachable
+}
+
+// ---------------------------------------------------------------------------
+// SPA / SPM / SPO: shortest-path sign counting (Algorithm 1).
+
+type spRelation struct {
+	baseRelation
+}
+
+type spRow struct {
+	kind Kind
+	res  *signedbfs.Result
+}
+
+func (r *spRelation) computeRow(u sgraph.NodeID) (row, error) {
+	return &spRow{kind: r.kind, res: signedbfs.CountPaths(r.g, u)}, nil
+}
+
+func (r *spRow) compatible(v sgraph.NodeID) bool {
+	if !r.res.Reachable(v) {
+		return false
+	}
+	switch r.kind {
+	case SPA:
+		return r.res.AllPositive(v)
+	case SPM:
+		return r.res.MajorityPositive(v)
+	default: // SPO
+		return r.res.HasPositive(v)
+	}
+}
+
+func (r *spRow) distance(v sgraph.NodeID) (int32, bool) {
+	d := r.res.Dist[v]
+	return d, d != signedbfs.Unreachable
+}
+
+// ---------------------------------------------------------------------------
+// SBPH: heuristic structurally balanced paths.
+
+type sbphRelation struct {
+	baseRelation
+	beam int
+}
+
+type sbpRow struct {
+	dists *balance.PathDists
+}
+
+func (r *sbphRelation) computeRow(u sgraph.NodeID) (row, error) {
+	return &sbpRow{dists: balance.SBPH(r.g, u, r.beam)}, nil
+}
+
+func (r *sbpRow) compatible(v sgraph.NodeID) bool {
+	return r.dists.PosDist[v] != balance.NoPath
+}
+
+func (r *sbpRow) distance(v sgraph.NodeID) (int32, bool) {
+	d := r.dists.PosDist[v]
+	return d, d != balance.NoPath
+}
+
+// ---------------------------------------------------------------------------
+// SBP: exact structurally balanced paths (budgeted, exponential).
+
+type sbpRelation struct {
+	baseRelation
+	opts balance.ExactOptions
+}
+
+func (r *sbpRelation) computeRow(u sgraph.NodeID) (row, error) {
+	d, err := balance.ExactSBP(r.g, u, r.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &sbpRow{dists: d}, nil
+}
+
+// Compile-time interface checks.
+var (
+	_ Relation = (*edgeRelation)(nil)
+	_ Relation = (*spRelation)(nil)
+	_ Relation = (*sbphRelation)(nil)
+	_ Relation = (*sbpRelation)(nil)
+)

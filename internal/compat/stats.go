@@ -1,0 +1,267 @@
+package compat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sgraph"
+	"repro/internal/skills"
+)
+
+// Stats aggregates the Table 2 measurements for one relation:
+// the fraction of compatible user pairs, the average relation-distance
+// between compatible users, and (optionally) the skill-pair
+// compatibility matrix that also powers the MAX upper bound of
+// Figure 2(a).
+//
+// Pairs are ordered (source u, target v≠u). On the full source set
+// the ordered fraction equals the unordered one because the scanned
+// relations are row-symmetric; for SBPH the stats measure the
+// *directed* heuristic (search from u reaches v), which is what the
+// paper's algorithm emits — the Relation interface's symmetrised
+// SBPH agrees with it on canonical (min→max) queries.
+type Stats struct {
+	Kind            Kind
+	Pairs           int64 // ordered pairs scanned
+	CompatiblePairs int64
+	DistSum         int64 // relation-distance summed over compatible pairs with a defined distance
+	DistCount       int64
+	Skills          *SkillMatrix // nil unless requested
+	SourcesScanned  int
+	TotalSources    int
+}
+
+// UserFraction returns the fraction of scanned pairs that are
+// compatible.
+func (s *Stats) UserFraction() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return float64(s.CompatiblePairs) / float64(s.Pairs)
+}
+
+// AvgDistance returns the mean relation-distance between compatible
+// users.
+func (s *Stats) AvgDistance() float64 {
+	if s.DistCount == 0 {
+		return 0
+	}
+	return float64(s.DistSum) / float64(s.DistCount)
+}
+
+// StatsOptions controls ComputeStats.
+type StatsOptions struct {
+	// Sources restricts the scan to the given source nodes; nil scans
+	// every node (exact statistics).
+	Sources []sgraph.NodeID
+	// Workers bounds the parallelism; ≤0 uses GOMAXPROCS.
+	Workers int
+	// Assign, when non-nil, requests the skill-pair compatibility
+	// matrix over this assignment.
+	Assign *skills.Assignment
+}
+
+// ComputeStats scans one relation row per source and aggregates pair,
+// distance and (optionally) skill-pair statistics. It bypasses the
+// relation's row cache: every row is visited exactly once, streamed,
+// and dropped.
+func ComputeStats(rel Relation, opts StatsOptions) (*Stats, error) {
+	rp, ok := rel.(rowProvider)
+	if !ok {
+		return nil, fmt.Errorf("compat: relation %v does not expose rows", rel.Kind())
+	}
+	g := rel.Graph()
+	n := g.NumNodes()
+	sources := opts.Sources
+	if sources == nil {
+		sources = make([]sgraph.NodeID, n)
+		for i := range sources {
+			sources[i] = sgraph.NodeID(i)
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if len(sources) == 0 {
+		return &Stats{Kind: rel.Kind(), TotalSources: n}, nil
+	}
+
+	var numSkills int
+	if opts.Assign != nil {
+		numSkills = opts.Assign.Universe().Len()
+	}
+
+	type acc struct {
+		stats  Stats
+		skills *SkillMatrix
+	}
+	accs := make([]acc, workers)
+	var next int64 = -1
+	var firstErr error
+	var errOnce sync.Once
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		if numSkills > 0 {
+			accs[w].skills = NewSkillMatrix(numSkills)
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := &accs[w]
+			for {
+				if failed.Load() {
+					return
+				}
+				i := atomic.AddInt64(&next, 1)
+				if i >= int64(len(sources)) {
+					return
+				}
+				u := sources[i]
+				r, err := rp.computeRow(u)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+				a.stats.SourcesScanned++
+				var uSkills []skills.SkillID
+				if a.skills != nil {
+					uSkills = opts.Assign.UserSkills(u)
+					// Reflexive self-compatibility: one user holding
+					// two skills makes that skill pair compatible.
+					a.skills.markCross(uSkills, uSkills)
+				}
+				for v := sgraph.NodeID(0); int(v) < n; v++ {
+					if v == u {
+						continue
+					}
+					a.stats.Pairs++
+					if !r.compatible(v) {
+						continue
+					}
+					a.stats.CompatiblePairs++
+					if d, ok := r.distance(v); ok {
+						a.stats.DistSum += int64(d)
+						a.stats.DistCount++
+					}
+					if a.skills != nil {
+						a.skills.markCross(uSkills, opts.Assign.UserSkills(v))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	total := &Stats{Kind: rel.Kind(), TotalSources: n}
+	if numSkills > 0 {
+		total.Skills = NewSkillMatrix(numSkills)
+	}
+	for w := range accs {
+		total.Pairs += accs[w].stats.Pairs
+		total.CompatiblePairs += accs[w].stats.CompatiblePairs
+		total.DistSum += accs[w].stats.DistSum
+		total.DistCount += accs[w].stats.DistCount
+		total.SourcesScanned += accs[w].stats.SourcesScanned
+		if total.Skills != nil {
+			total.Skills.merge(accs[w].skills)
+		}
+	}
+	return total, nil
+}
+
+// rowProvider is the internal hook stats uses to stream rows without
+// touching the relation's cache.
+type rowProvider interface {
+	computeRow(u sgraph.NodeID) (row, error)
+}
+
+// SkillMatrix records which unordered skill pairs have at least one
+// compatible holder pair (including a single user holding both).
+type SkillMatrix struct {
+	n    int
+	bits []uint64
+}
+
+// NewSkillMatrix returns an empty matrix over n skills.
+func NewSkillMatrix(n int) *SkillMatrix {
+	return &SkillMatrix{n: n, bits: make([]uint64, (n*n+63)/64)}
+}
+
+func (m *SkillMatrix) idx(s1, s2 skills.SkillID) int { return int(s1)*m.n + int(s2) }
+
+func (m *SkillMatrix) set(s1, s2 skills.SkillID) {
+	i := m.idx(s1, s2)
+	m.bits[i>>6] |= 1 << uint(i&63)
+	j := m.idx(s2, s1)
+	m.bits[j>>6] |= 1 << uint(j&63)
+}
+
+// Compatible reports whether skill pair (s1, s2) has a compatible
+// holder pair.
+func (m *SkillMatrix) Compatible(s1, s2 skills.SkillID) bool {
+	i := m.idx(s1, s2)
+	return m.bits[i>>6]&(1<<uint(i&63)) != 0
+}
+
+func (m *SkillMatrix) markCross(a, b []skills.SkillID) {
+	for _, s1 := range a {
+		for _, s2 := range b {
+			m.set(s1, s2)
+		}
+	}
+}
+
+func (m *SkillMatrix) merge(o *SkillMatrix) {
+	for i, w := range o.bits {
+		m.bits[i] |= w
+	}
+}
+
+// Fraction returns the fraction of unordered distinct pairs of
+// held skills (both skills have ≥1 holder) that are compatible.
+func (m *SkillMatrix) Fraction(a *skills.Assignment) float64 {
+	held := a.SkillsWithHolders()
+	var compatible, total int64
+	for i, s1 := range held {
+		for _, s2 := range held[i+1:] {
+			total++
+			if m.Compatible(s1, s2) {
+				compatible++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(compatible) / float64(total)
+}
+
+// TaskFeasible reports the MAX upper-bound test of Figure 2(a): every
+// skill of the task has a holder and every pair of task skills is
+// compatible.
+func (m *SkillMatrix) TaskFeasible(a *skills.Assignment, t skills.Task) bool {
+	for _, s := range t {
+		if a.NumHolders(s) == 0 {
+			return false
+		}
+	}
+	for i, s1 := range t {
+		for _, s2 := range t[i+1:] {
+			if !m.Compatible(s1, s2) {
+				return false
+			}
+		}
+	}
+	return true
+}

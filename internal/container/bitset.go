@@ -1,0 +1,58 @@
+package container
+
+import "math/bits"
+
+// Bitset is a fixed-size set of small non-negative integers. It is used
+// to mark visited nodes in graph traversals where a []bool would double
+// the cache footprint.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns a bitset able to hold values in [0, n).
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		panic("container: NewBitset with negative size")
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity n the set was created with.
+func (b *Bitset) Len() int { return b.n }
+
+// Set marks i as a member.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// Contains reports whether i is a member.
+func (b *Bitset) Contains(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of members.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears every member while keeping the allocation.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// ForEach calls fn for every member in increasing order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(wi*64 + tz)
+			w &= w - 1
+		}
+	}
+}

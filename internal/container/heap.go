@@ -1,0 +1,111 @@
+package container
+
+// MinHeap is an indexed binary min-heap over (id, priority) pairs with
+// int32 ids and int priorities. It supports DecreaseKey, which the
+// Dijkstra-style searches in this repository need and which
+// container/heap makes awkward to express without an extra index map.
+type MinHeap struct {
+	ids  []int32
+	prio []int
+	pos  []int32 // pos[id] = index in ids, or -1 when absent
+}
+
+// NewMinHeap returns a heap able to hold ids in [0, n).
+func NewMinHeap(n int) *MinHeap {
+	h := &MinHeap{pos: make([]int32, n)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len reports the number of queued ids.
+func (h *MinHeap) Len() int { return len(h.ids) }
+
+// Contains reports whether id is currently queued.
+func (h *MinHeap) Contains(id int32) bool { return h.pos[id] >= 0 }
+
+// Priority returns the current priority of a queued id. The result is
+// unspecified for ids not in the heap.
+func (h *MinHeap) Priority(id int32) int { return h.prio[h.pos[id]] }
+
+// Push inserts id with the given priority, or lowers its priority when
+// already present and the new priority is smaller (DecreaseKey). A
+// higher priority for a present id is ignored.
+func (h *MinHeap) Push(id int32, priority int) {
+	if p := h.pos[id]; p >= 0 {
+		if priority < h.prio[p] {
+			h.prio[p] = priority
+			h.up(int(p))
+		}
+		return
+	}
+	h.ids = append(h.ids, id)
+	h.prio = append(h.prio, priority)
+	h.pos[id] = int32(len(h.ids) - 1)
+	h.up(len(h.ids) - 1)
+}
+
+// Pop removes and returns the id with the smallest priority. It panics
+// on an empty heap.
+func (h *MinHeap) Pop() (id int32, priority int) {
+	if len(h.ids) == 0 {
+		panic("container: Pop on empty MinHeap")
+	}
+	id, priority = h.ids[0], h.prio[0]
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.ids = h.ids[:last]
+	h.prio = h.prio[:last]
+	h.pos[id] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return id, priority
+}
+
+// Reset empties the heap while keeping allocations.
+func (h *MinHeap) Reset() {
+	for _, id := range h.ids {
+		h.pos[id] = -1
+	}
+	h.ids = h.ids[:0]
+	h.prio = h.prio[:0]
+}
+
+func (h *MinHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *MinHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= h.prio[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *MinHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.prio[l] < h.prio[smallest] {
+			smallest = l
+		}
+		if r < n && h.prio[r] < h.prio[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

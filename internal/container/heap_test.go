@@ -1,0 +1,112 @@
+package container
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestMinHeapOrdering(t *testing.T) {
+	h := NewMinHeap(10)
+	prios := []int{5, 3, 8, 1, 9, 2, 7, 0, 6, 4}
+	for id, p := range prios {
+		h.Push(int32(id), p)
+	}
+	for want := 0; want < 10; want++ {
+		id, p := h.Pop()
+		if p != want {
+			t.Fatalf("Pop priority = %d, want %d", p, want)
+		}
+		if prios[id] != p {
+			t.Fatalf("Pop id %d has priority %d, want %d", id, prios[id], p)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", h.Len())
+	}
+}
+
+func TestMinHeapDecreaseKey(t *testing.T) {
+	h := NewMinHeap(4)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.Push(2, 5)  // decrease
+	h.Push(1, 50) // ignored increase
+	if !h.Contains(2) || h.Priority(2) != 5 {
+		t.Fatalf("id 2 priority = %d, want 5", h.Priority(2))
+	}
+	if h.Priority(1) != 20 {
+		t.Fatalf("id 1 priority = %d, want 20 (increase must be ignored)", h.Priority(1))
+	}
+	id, p := h.Pop()
+	if id != 2 || p != 5 {
+		t.Fatalf("Pop = (%d,%d), want (2,5)", id, p)
+	}
+}
+
+func TestMinHeapPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty heap did not panic")
+		}
+	}()
+	NewMinHeap(1).Pop()
+}
+
+func TestMinHeapReset(t *testing.T) {
+	h := NewMinHeap(5)
+	for i := int32(0); i < 5; i++ {
+		h.Push(i, int(i))
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", h.Len())
+	}
+	for i := int32(0); i < 5; i++ {
+		if h.Contains(i) {
+			t.Fatalf("heap contains %d after Reset", i)
+		}
+	}
+	h.Push(3, 1)
+	if id, p := h.Pop(); id != 3 || p != 1 {
+		t.Fatalf("Pop after Reset = (%d,%d), want (3,1)", id, p)
+	}
+}
+
+// TestMinHeapRandomAgainstSort pushes random priorities (with random
+// decrease-keys) and checks the pop order equals the sorted final
+// priorities.
+func TestMinHeapRandomAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		const n = 300
+		h := NewMinHeap(n)
+		final := make(map[int32]int)
+		for i := 0; i < 2*n; i++ {
+			id := int32(rng.Intn(n))
+			p := rng.Intn(10000)
+			h.Push(id, p)
+			if old, ok := final[id]; !ok || p < old {
+				final[id] = p
+			}
+		}
+		var want []int
+		for _, p := range final {
+			want = append(want, p)
+		}
+		sort.Ints(want)
+		for i, w := range want {
+			id, p := h.Pop()
+			if p != w {
+				t.Fatalf("trial %d pop %d: priority %d, want %d", trial, i, p, w)
+			}
+			if final[id] != p {
+				t.Fatalf("trial %d pop %d: id %d priority %d, want %d", trial, i, id, p, final[id])
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("trial %d: heap not drained", trial)
+		}
+	}
+}

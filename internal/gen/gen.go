@@ -1,0 +1,187 @@
+// Package gen synthesises signed networks with controlled topology and
+// sign structure. The paper evaluates on three real signed networks
+// (Slashdot, Epinions, Wikipedia); this repository has no network
+// access, so gen provides calibrated stand-ins: topologies with the
+// right scale/degree shape, and a sign model — mostly-balanced
+// two-faction signs plus noise — reproducing the weak structural
+// balance observed in real signed social networks (Leskovec et al.,
+// CHI 2010). internal/datasets composes these into the named datasets.
+//
+// Topology and signs are generated separately: a Topology is a plain
+// edge skeleton, and the sign assigners decorate it. Everything is
+// driven by an explicit *rand.Rand so runs are reproducible.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/container"
+	"repro/internal/sgraph"
+)
+
+// Topology is an unsigned edge skeleton on n nodes.
+type Topology struct {
+	N     int
+	Edges [][2]sgraph.NodeID // distinct, canonical U < V
+}
+
+// edgeSet tracks which canonical edges exist during generation.
+type edgeSet map[[2]sgraph.NodeID]struct{}
+
+func (s edgeSet) add(u, v sgraph.NodeID) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]sgraph.NodeID{u, v}
+	if _, dup := s[key]; dup {
+		return false
+	}
+	s[key] = struct{}{}
+	return true
+}
+
+func (s edgeSet) topology(n int) *Topology {
+	t := &Topology{N: n, Edges: make([][2]sgraph.NodeID, 0, len(s))}
+	for key := range s {
+		t.Edges = append(t.Edges, key)
+	}
+	// Deterministic order for reproducibility across map iteration.
+	sort.Slice(t.Edges, func(i, j int) bool {
+		if t.Edges[i][0] != t.Edges[j][0] {
+			return t.Edges[i][0] < t.Edges[j][0]
+		}
+		return t.Edges[i][1] < t.Edges[j][1]
+	})
+	return t
+}
+
+// ErdosRenyi samples a G(n, m) topology: m distinct edges uniformly at
+// random.
+func ErdosRenyi(rng *rand.Rand, n, m int) (*Topology, error) {
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		return nil, fmt.Errorf("gen: %d edges exceed the %d possible on %d nodes", m, maxEdges, n)
+	}
+	set := make(edgeSet, m)
+	for len(set) < m {
+		u, v := sgraph.NodeID(rng.Intn(n)), sgraph.NodeID(rng.Intn(n))
+		set.add(u, v)
+	}
+	return set.topology(n), nil
+}
+
+// ChungLu samples a topology with a power-law expected degree
+// sequence: node i gets weight (i+i0)^(−1/(γ−1)), and m distinct
+// edges are drawn with endpoint probability proportional to weight.
+// γ (gamma) around 2.2–2.8 matches social networks; the paper's
+// datasets are heavy-tailed.
+func ChungLu(rng *rand.Rand, n, m int, gamma float64) (*Topology, error) {
+	if gamma <= 1 {
+		return nil, fmt.Errorf("gen: gamma = %g, want > 1", gamma)
+	}
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		return nil, fmt.Errorf("gen: %d edges exceed the %d possible on %d nodes", m, maxEdges, n)
+	}
+	// Cumulative weights for O(log n) sampling.
+	cum := make([]float64, n+1)
+	alpha := 1 / (gamma - 1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + math.Pow(float64(i+1), -alpha)
+	}
+	sample := func() sgraph.NodeID {
+		x := rng.Float64() * cum[n]
+		return sgraph.NodeID(sort.SearchFloat64s(cum[1:], x))
+	}
+	set := make(edgeSet, m)
+	attempts := 0
+	maxAttempts := 200*m + 1000
+	for len(set) < m {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("gen: ChungLu stalled after %d attempts at %d/%d edges (weights too skewed)", attempts, len(set), m)
+		}
+		set.add(sample(), sample())
+	}
+	return set.topology(n), nil
+}
+
+// WattsStrogatz samples a small-world topology: a ring lattice where
+// every node links to its k nearest neighbours (k even), with each
+// edge rewired to a random target with probability beta.
+func WattsStrogatz(rng *rand.Rand, n, k int, beta float64) (*Topology, error) {
+	if k < 2 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs even k in [2, n); got k=%d n=%d", k, n)
+	}
+	set := make(edgeSet, n*k/2)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			if rng.Float64() < beta {
+				// Rewire: keep u, pick a fresh target.
+				for tries := 0; tries < 32; tries++ {
+					w := sgraph.NodeID(rng.Intn(n))
+					if set.add(sgraph.NodeID(u), w) {
+						break
+					}
+				}
+			} else {
+				set.add(sgraph.NodeID(u), sgraph.NodeID(v))
+			}
+		}
+	}
+	return set.topology(n), nil
+}
+
+// Connect adds the minimum number of bridge edges so that the
+// topology is connected: each non-giant component gets one edge to a
+// random node of the giant. Bridges are returned so sign assigners can
+// label them (conventionally positive).
+func (t *Topology) Connect(rng *rand.Rand) [][2]sgraph.NodeID {
+	uf := container.NewUnionFind(t.N)
+	for _, e := range t.Edges {
+		uf.Union(e[0], e[1])
+	}
+	if t.N == 0 {
+		return nil
+	}
+	// Find the giant component's representatives.
+	sizes := make(map[int32]int)
+	for v := 0; v < t.N; v++ {
+		sizes[uf.Find(sgraph.NodeID(v))]++
+	}
+	giant := int32(0)
+	best := -1
+	for root, size := range sizes {
+		if size > best || (size == best && root < giant) {
+			giant, best = root, size
+		}
+	}
+	var members []sgraph.NodeID
+	for v := 0; v < t.N; v++ {
+		if uf.Find(sgraph.NodeID(v)) == giant {
+			members = append(members, sgraph.NodeID(v))
+		}
+	}
+	var bridges [][2]sgraph.NodeID
+	for v := 0; v < t.N; v++ {
+		if uf.Connected(sgraph.NodeID(v), members[0]) {
+			continue
+		}
+		anchor := members[rng.Intn(len(members))]
+		u, w := sgraph.NodeID(v), anchor
+		if u > w {
+			u, w = w, u
+		}
+		bridges = append(bridges, [2]sgraph.NodeID{u, w})
+		t.Edges = append(t.Edges, [2]sgraph.NodeID{u, w})
+		uf.Union(u, w)
+	}
+	return bridges
+}

@@ -1,0 +1,234 @@
+package matrix
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/datasets"
+	"repro/internal/sgraph"
+	"repro/internal/skills"
+	"repro/internal/team"
+)
+
+func buildTestGraph(t testing.TB, seed int64, n, m int) *sgraph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := sgraph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := sgraph.NodeID(rng.Intn(n)), sgraph.NodeID(rng.Intn(n))
+		if u == v || b.HasEdge(u, v) {
+			continue
+		}
+		s := sgraph.Positive
+		if rng.Intn(4) == 0 {
+			s = sgraph.Negative
+		}
+		b.AddEdge(u, v, s)
+	}
+	return b.MustBuild()
+}
+
+// TestMatrixMatchesLiveRelation: the materialised matrix must answer
+// every query exactly as the live relation does.
+func TestMatrixMatchesLiveRelation(t *testing.T) {
+	g := buildTestGraph(t, 1, 40, 160)
+	for _, k := range []compat.Kind{compat.DPE, compat.SPA, compat.SPM, compat.SPO, compat.SBPH, compat.NNE} {
+		live := compat.MustNew(k, g, compat.Options{CacheCap: 64})
+		m, err := Build(live, 4)
+		if err != nil {
+			t.Fatalf("%v: Build: %v", k, err)
+		}
+		if m.Kind() != k || m.NumNodes() != 40 || m.Graph() != g {
+			t.Fatalf("%v: metadata wrong", k)
+		}
+		for u := sgraph.NodeID(0); u < 40; u++ {
+			for v := sgraph.NodeID(0); v < 40; v++ {
+				wantOK, err := live.Compatible(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotOK, err := m.Compatible(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotOK != wantOK {
+					t.Fatalf("%v: Compatible(%d,%d) = %v, live %v", k, u, v, gotOK, wantOK)
+				}
+				wd, wdef, err := live.Distance(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gd, gdef, err := m.Distance(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gdef != wdef || (gdef && gd != wd) {
+					t.Fatalf("%v: Distance(%d,%d) = (%d,%v), live (%d,%v)", k, u, v, gd, gdef, wd, wdef)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixRangeChecks(t *testing.T) {
+	g := buildTestGraph(t, 2, 5, 8)
+	m, err := Build(compat.MustNew(compat.NNE, g, compat.Options{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Compatible(0, 5); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if _, _, err := m.Distance(-1, 0); err == nil {
+		t.Fatal("negative id accepted")
+	}
+}
+
+func TestMatrixSnapshotRoundTrip(t *testing.T) {
+	g := buildTestGraph(t, 3, 30, 120)
+	live := compat.MustNew(compat.SPM, g, compat.Options{})
+	m, err := Build(live, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := Read(&buf, g)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Kind() != compat.SPM || got.NumNodes() != 30 {
+		t.Fatal("metadata lost")
+	}
+	for u := sgraph.NodeID(0); u < 30; u++ {
+		for v := sgraph.NodeID(0); v < 30; v++ {
+			c1, _ := m.Compatible(u, v)
+			c2, _ := got.Compatible(u, v)
+			if c1 != c2 {
+				t.Fatalf("Compatible(%d,%d) changed through snapshot", u, v)
+			}
+			d1, ok1, _ := m.Distance(u, v)
+			d2, ok2, _ := got.Distance(u, v)
+			if ok1 != ok2 || d1 != d2 {
+				t.Fatalf("Distance(%d,%d) changed through snapshot", u, v)
+			}
+		}
+	}
+}
+
+func TestMatrixSnapshotWithoutGraph(t *testing.T) {
+	g := buildTestGraph(t, 4, 10, 20)
+	m, err := Build(compat.MustNew(compat.NNE, g, compat.Options{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph() != nil {
+		t.Fatal("graphless snapshot has a graph")
+	}
+	ok, err := got.Compatible(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := m.Compatible(0, 1)
+	if ok != want {
+		t.Fatal("graphless matrix answers differently")
+	}
+}
+
+func TestReadRejectsCorruptSnapshots(t *testing.T) {
+	g := buildTestGraph(t, 5, 8, 14)
+	m, err := Build(compat.MustNew(compat.NNE, g, compat.Options{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"magic":   func(b []byte) []byte { b = append([]byte(nil), b...); b[0] ^= 0xff; return b },
+		"version": func(b []byte) []byte { b = append([]byte(nil), b...); b[4] = 99; return b },
+		"kind":    func(b []byte) []byte { b = append([]byte(nil), b...); b[8] = 200; return b },
+		"hugeN": func(b []byte) []byte {
+			b = append([]byte(nil), b...)
+			b[12], b[13], b[14], b[15] = 0xff, 0xff, 0xff, 0x7f
+			return b
+		},
+		"truncated": func(b []byte) []byte { return append([]byte(nil), b[:len(b)/2]...) },
+		"empty":     func([]byte) []byte { return nil },
+	} {
+		if _, err := Read(bytes.NewReader(mutate(good)), nil); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", name)
+		}
+	}
+	// Wrong graph size.
+	other := buildTestGraph(t, 6, 9, 14)
+	if _, err := Read(bytes.NewReader(good), other); err == nil {
+		t.Error("snapshot with mismatched graph accepted")
+	}
+}
+
+// TestTeamFormationOnMatrix: the whole team formation stack runs on a
+// materialised matrix and produces the same teams as the live
+// relation.
+func TestTeamFormationOnMatrix(t *testing.T) {
+	d, err := datasets.EpinionsSim(7, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := compat.MustNew(compat.SPO, d.Graph, compat.Options{CacheCap: d.Graph.NumNodes() + 1})
+	m, err := Build(live, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5; i++ {
+		task, err := skills.RandomTask(rng, d.Assign, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := team.Options{Skill: team.LeastCompatibleFirst, User: team.MinDistance}
+		t1, err1 := team.Form(live, d.Assign, task, opts)
+		t2, err2 := team.Form(m, d.Assign, task, opts)
+		if errors.Is(err1, team.ErrNoTeam) != errors.Is(err2, team.ErrNoTeam) {
+			t.Fatalf("task %d: feasibility differs: %v vs %v", i, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if t1.Cost != t2.Cost || len(t1.Members) != len(t2.Members) {
+			t.Fatalf("task %d: teams differ: %+v vs %+v", i, t1, t2)
+		}
+		for j := range t1.Members {
+			if t1.Members[j] != t2.Members[j] {
+				t.Fatalf("task %d: members differ", i)
+			}
+		}
+	}
+}
+
+func TestBuildEmptyGraph(t *testing.T) {
+	g := sgraph.NewBuilder(0).MustBuild()
+	m, err := Build(compat.MustNew(compat.NNE, g, compat.Options{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 0 {
+		t.Fatal("empty matrix wrong")
+	}
+}

@@ -1,0 +1,219 @@
+// Package predict applies the paper's compatibility machinery to edge
+// sign prediction — the extension named in the paper's conclusions
+// ("we plan ... to exploit compatibility for other tasks, such as
+// link prediction") and studied in its related work (Leskovec et al.
+// 2010; Chiang et al. 2011).
+//
+// The protocol is the standard hold-out: a fraction of edges becomes
+// the test set, the remaining edges form the training graph, and each
+// test edge's sign is predicted from the training graph alone. Three
+// predictors are implemented, each derived from one of the paper's
+// compatibility notions, plus the majority-class baseline:
+//
+//	MajoritySP   — sign of the majority of shortest training paths
+//	               between the endpoints (the SPM view).
+//	BalancedPath — sign of the shortest structurally balanced path
+//	               found by the SBPH heuristic (the SBP view).
+//	Camps        — global two-faction split minimising frustration;
+//	               same camp ⇒ positive (the Harary/balance view).
+//	AlwaysPositive — majority-class baseline.
+//
+// A predictor may abstain (e.g. endpoints disconnected in training);
+// accuracy is reported over predicted pairs together with coverage.
+package predict
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/balance"
+	"repro/internal/sgraph"
+	"repro/internal/signedbfs"
+)
+
+// Method enumerates the sign predictors.
+type Method int
+
+// The predictors.
+const (
+	MajoritySP Method = iota
+	BalancedPath
+	Camps
+	AlwaysPositive
+)
+
+// Methods lists all predictors.
+func Methods() []Method { return []Method{MajoritySP, BalancedPath, Camps, AlwaysPositive} }
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MajoritySP:
+		return "MajoritySP"
+	case BalancedPath:
+		return "BalancedPath"
+	case Camps:
+		return "Camps"
+	case AlwaysPositive:
+		return "AlwaysPositive"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Predictor predicts edge signs on a fixed training graph.
+type Predictor struct {
+	g      *sgraph.Graph
+	method Method
+	beam   int
+	camps  []uint8
+}
+
+// NewPredictor prepares a predictor over the training graph. For the
+// Camps method the two-faction split is computed once, up front.
+func NewPredictor(g *sgraph.Graph, method Method) (*Predictor, error) {
+	p := &Predictor{g: g, method: method, beam: balance.DefaultBeamWidth}
+	switch method {
+	case MajoritySP, BalancedPath, AlwaysPositive:
+	case Camps:
+		p.camps, _ = balance.BestCamps(g)
+	default:
+		return nil, fmt.Errorf("predict: unknown method %d", int(method))
+	}
+	return p, nil
+}
+
+// Predict returns the predicted sign of the pair (u,v) and ok=false
+// when the method abstains.
+func (p *Predictor) Predict(u, v sgraph.NodeID) (sgraph.Sign, bool) {
+	switch p.method {
+	case AlwaysPositive:
+		return sgraph.Positive, true
+	case Camps:
+		if p.camps[u] == p.camps[v] {
+			return sgraph.Positive, true
+		}
+		return sgraph.Negative, true
+	case MajoritySP:
+		r := signedbfs.CountPaths(p.g, u)
+		if !r.Reachable(v) || (r.Pos[v] == 0 && r.Neg[v] == 0) {
+			return 0, false
+		}
+		if r.Pos[v] >= r.Neg[v] {
+			return sgraph.Positive, true
+		}
+		return sgraph.Negative, true
+	case BalancedPath:
+		d := balance.SBPH(p.g, u, p.beam)
+		pos, neg := d.PosDist[v], d.NegDist[v]
+		switch {
+		case pos == balance.NoPath && neg == balance.NoPath:
+			return 0, false
+		case neg == balance.NoPath || (pos != balance.NoPath && pos <= neg):
+			// Prefer the shorter certificate; ties go positive, as in
+			// the SPM majority convention.
+			return sgraph.Positive, true
+		default:
+			return sgraph.Negative, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+// Result aggregates a hold-out evaluation for one method.
+type Result struct {
+	Method    Method
+	Test      int // held-out edges
+	Predicted int // non-abstentions
+	Correct   int
+	// CorrectPos / CorrectNeg break down by true sign; PosTest /
+	// NegTest are the class sizes, so per-class accuracy is
+	// CorrectPos/PosTest etc.
+	CorrectPos, CorrectNeg int
+	PosTest, NegTest       int
+}
+
+// Accuracy is the fraction of predicted test edges whose sign was
+// right.
+func (r Result) Accuracy() float64 {
+	if r.Predicted == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Predicted)
+}
+
+// Coverage is the fraction of test edges the method predicted at all.
+func (r Result) Coverage() float64 {
+	if r.Test == 0 {
+		return 0
+	}
+	return float64(r.Predicted) / float64(r.Test)
+}
+
+// Evaluate holds out testFrac of g's edges, trains every method on
+// the remainder, and evaluates sign prediction on the held-out set.
+// The split keeps the training graph's edge list deterministic in
+// rng. testFrac must be in (0, 1); held-out edges whose endpoints
+// become disconnected simply count against coverage.
+func Evaluate(g *sgraph.Graph, rng *rand.Rand, testFrac float64, methods []Method) ([]Result, error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, fmt.Errorf("predict: testFrac = %g out of (0,1)", testFrac)
+	}
+	if len(methods) == 0 {
+		methods = Methods()
+	}
+	edges := g.Edges()
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("predict: graph has only %d edges", len(edges))
+	}
+	perm := rng.Perm(len(edges))
+	numTest := int(float64(len(edges)) * testFrac)
+	if numTest == 0 {
+		numTest = 1
+	}
+	test := make([]sgraph.Edge, 0, numTest)
+	train := make([]sgraph.Edge, 0, len(edges)-numTest)
+	for i, idx := range perm {
+		if i < numTest {
+			test = append(test, edges[idx])
+		} else {
+			train = append(train, edges[idx])
+		}
+	}
+	trainGraph, err := sgraph.FromEdges(g.NumNodes(), train)
+	if err != nil {
+		return nil, fmt.Errorf("predict: building training graph: %w", err)
+	}
+
+	results := make([]Result, 0, len(methods))
+	for _, m := range methods {
+		p, err := NewPredictor(trainGraph, m)
+		if err != nil {
+			return nil, err
+		}
+		res := Result{Method: m, Test: len(test)}
+		for _, e := range test {
+			if e.Sign == sgraph.Positive {
+				res.PosTest++
+			} else {
+				res.NegTest++
+			}
+			got, ok := p.Predict(e.U, e.V)
+			if !ok {
+				continue
+			}
+			res.Predicted++
+			if got == e.Sign {
+				res.Correct++
+				if e.Sign == sgraph.Positive {
+					res.CorrectPos++
+				} else {
+					res.CorrectNeg++
+				}
+			}
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

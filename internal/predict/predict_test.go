@@ -1,0 +1,182 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/sgraph"
+)
+
+func TestMethodString(t *testing.T) {
+	for _, m := range Methods() {
+		if m.String() == "" || m.String()[0] == 'M' && m != MajoritySP {
+			// Just exercise String; uniqueness checked below.
+		}
+	}
+	seen := map[string]bool{}
+	for _, m := range Methods() {
+		if seen[m.String()] {
+			t.Fatalf("duplicate method name %s", m)
+		}
+		seen[m.String()] = true
+	}
+	if Method(99).String() != "Method(99)" {
+		t.Fatal("unknown method String")
+	}
+}
+
+func TestNewPredictorUnknownMethod(t *testing.T) {
+	g := sgraph.MustFromEdges(2, []sgraph.Edge{{U: 0, V: 1, Sign: sgraph.Positive}})
+	if _, err := NewPredictor(g, Method(99)); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestPredictOnBalancedGraphIsPerfect(t *testing.T) {
+	// On a perfectly balanced connected graph, every predictor that
+	// uses balance structure recovers the sign of any held-out edge
+	// exactly: the sign is determined by the camps.
+	rng := rand.New(rand.NewSource(3))
+	topo, err := gen.ChungLu(rng, 200, 1200, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Connect(rng)
+	camps := gen.RandomCamps(rng, 200, 0.3)
+	// Pure faction signs: balanced by construction.
+	inter := 0
+	for _, e := range topo.Edges {
+		if camps[e[0]] != camps[e[1]] {
+			inter++
+		}
+	}
+	edges, err := gen.FactionSigns(rng, topo, camps, float64(inter)/float64(len(topo.Edges)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.Build(topo.N, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := Evaluate(g, rand.New(rand.NewSource(7)), 0.1, []Method{MajoritySP, BalancedPath, Camps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Predicted == 0 {
+			t.Fatalf("%v: no predictions", r.Method)
+		}
+		if r.Accuracy() != 1 {
+			t.Fatalf("%v: accuracy %.3f on a balanced graph, want 1.0 (predicted %d, correct %d)",
+				r.Method, r.Accuracy(), r.Predicted, r.Correct)
+		}
+	}
+}
+
+func TestPredictBeatsBaselineOnNoisyGraph(t *testing.T) {
+	d, err := datasets.EpinionsSim(5, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Evaluate(d.Graph, rand.New(rand.NewSource(11)), 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[Method]Result{}
+	for _, r := range results {
+		byMethod[r.Method] = r
+	}
+	base := byMethod[AlwaysPositive]
+	if base.Coverage() != 1 {
+		t.Fatal("baseline must always predict")
+	}
+	// The balance-aware methods must beat always-positive, which cannot
+	// get any negative edge right.
+	if base.CorrectNeg != 0 {
+		t.Fatal("always-positive got a negative edge right?")
+	}
+	for _, m := range []Method{Camps, MajoritySP, BalancedPath} {
+		r := byMethod[m]
+		if r.Accuracy() <= base.Accuracy() {
+			t.Fatalf("%v accuracy %.3f does not beat baseline %.3f", m, r.Accuracy(), base.Accuracy())
+		}
+		if r.CorrectNeg == 0 {
+			t.Fatalf("%v never predicts negative correctly", m)
+		}
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	g := sgraph.MustFromEdges(3, []sgraph.Edge{
+		{U: 0, V: 1, Sign: sgraph.Positive},
+		{U: 1, V: 2, Sign: sgraph.Negative},
+	})
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Evaluate(g, rng, 0, nil); err == nil {
+		t.Fatal("testFrac 0 accepted")
+	}
+	if _, err := Evaluate(g, rng, 1, nil); err == nil {
+		t.Fatal("testFrac 1 accepted")
+	}
+	tiny := sgraph.MustFromEdges(2, []sgraph.Edge{{U: 0, V: 1, Sign: sgraph.Positive}})
+	if _, err := Evaluate(tiny, rng, 0.5, nil); err == nil {
+		t.Fatal("single-edge graph accepted")
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	d, err := datasets.SlashdotSim(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Evaluate(d.Graph, rand.New(rand.NewSource(9)), 0.15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Evaluate(d.Graph, rand.New(rand.NewSource(9)), 0.15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("nondeterministic result %d: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestPredictorAbstains(t *testing.T) {
+	// Disconnected endpoints: path-based methods must abstain.
+	g := sgraph.MustFromEdges(4, []sgraph.Edge{
+		{U: 0, V: 1, Sign: sgraph.Positive},
+		{U: 2, V: 3, Sign: sgraph.Negative},
+	})
+	for _, m := range []Method{MajoritySP, BalancedPath} {
+		p, err := NewPredictor(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := p.Predict(0, 3); ok {
+			t.Fatalf("%v predicted across components", m)
+		}
+	}
+	// Camps and the baseline always answer.
+	for _, m := range []Method{Camps, AlwaysPositive} {
+		p, err := NewPredictor(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := p.Predict(0, 3); !ok {
+			t.Fatalf("%v abstained", m)
+		}
+	}
+}
+
+func TestResultAccessorsEmpty(t *testing.T) {
+	var r Result
+	if r.Accuracy() != 0 || r.Coverage() != 0 {
+		t.Fatal("zero Result accessors must be 0")
+	}
+}

@@ -1,0 +1,72 @@
+package sgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList hardens the SNAP-format parser: arbitrary input
+// must never panic, and accepted input must produce a graph that
+// round-trips through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1 1\n1 2 -1\n")
+	f.Add("# comment\n10\t20\t1\n")
+	f.Add("")
+	f.Add("0 0 1\n")
+	f.Add("0 1 1\n1 0 -1\n")
+	f.Add("x y z\n")
+	f.Add("0 1 2\n")
+	f.Add("9223372036854775807 1 1\n")
+	f.Add("-5 -6 -1\n")
+	f.Add(strings.Repeat("0 1 1\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		g, orig, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if g.NumNodes() != len(orig) {
+			t.Fatalf("node count %d != id count %d", g.NumNodes(), len(orig))
+		}
+		// Accepted graphs must round-trip.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g, orig); err != nil {
+			t.Fatalf("WriteEdgeList on accepted graph: %v", err)
+		}
+		g2, _, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() || g2.NumNegativeEdges() != g.NumNegativeEdges() {
+			t.Fatalf("round trip changed counts: %v vs %v", g2, g)
+		}
+	})
+}
+
+// FuzzBuilder hardens the builder against arbitrary edge sequences.
+func FuzzBuilder(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 1, 1, 2, 255})
+	f.Add(uint8(2), []byte{0, 0, 1})
+	f.Fuzz(func(t *testing.T, n uint8, data []byte) {
+		b := NewBuilder(int(n) % 64)
+		for i := 0; i+2 < len(data); i += 3 {
+			s := Positive
+			if data[i+2]%2 == 0 {
+				s = Negative
+			}
+			b.AddEdge(NodeID(data[i]), NodeID(data[i+1]), s)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return
+		}
+		// Whatever was accepted must be internally consistent.
+		sum := 0
+		for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+			sum += g.Degree(u)
+		}
+		if sum != 2*g.NumEdges() {
+			t.Fatalf("degree sum %d != 2×%d edges", sum, g.NumEdges())
+		}
+	})
+}

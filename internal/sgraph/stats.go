@@ -1,0 +1,92 @@
+package sgraph
+
+import "sort"
+
+// This file holds the topology statistics used to validate that the
+// synthetic dataset stand-ins have realistic shapes: degree
+// distributions (heavy tails) and the global clustering coefficient
+// (social networks cluster; random graphs of the same density do
+// not).
+
+// DegreeHistogram returns hist where hist[d] is the number of nodes
+// with degree d (hist has length maxDegree+1; empty graph → [ ]).
+func (g *Graph) DegreeHistogram() []int {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	maxDeg := 0
+	for u := NodeID(0); int(u) < n; u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	hist := make([]int, maxDeg+1)
+	for u := NodeID(0); int(u) < n; u++ {
+		hist[g.Degree(u)]++
+	}
+	return hist
+}
+
+// DegreePercentile returns the smallest degree d such that at least
+// p (in [0,1]) of the nodes have degree ≤ d.
+func (g *Graph) DegreePercentile(p float64) int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	degrees := make([]int, n)
+	for u := NodeID(0); int(u) < n; u++ {
+		degrees[u] = g.Degree(u)
+	}
+	sort.Ints(degrees)
+	idx := int(p*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return degrees[idx]
+}
+
+// GlobalClusteringCoefficient returns 3×triangles / wedges (the
+// transitivity), ignoring signs. 0 for graphs without wedges.
+func (g *Graph) GlobalClusteringCoefficient() float64 {
+	n := g.NumNodes()
+	var wedges int64
+	for u := NodeID(0); int(u) < n; u++ {
+		d := int64(g.Degree(u))
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	var triangles int64
+	// Ordered neighbour-merge, as in the triangle census.
+	for u := NodeID(0); int(u) < n; u++ {
+		uIDs := g.NeighborIDs(u)
+		for i, v := range uIDs {
+			if v <= u {
+				continue
+			}
+			vIDs := g.NeighborIDs(v)
+			a, b := i+1, 0
+			for a < len(uIDs) && b < len(vIDs) {
+				switch {
+				case uIDs[a] < vIDs[b]:
+					a++
+				case uIDs[a] > vIDs[b]:
+					b++
+				default:
+					if uIDs[a] > v {
+						triangles++
+					}
+					a++
+					b++
+				}
+			}
+		}
+	}
+	return 3 * float64(triangles) / float64(wedges)
+}

@@ -1,0 +1,107 @@
+package sgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDegreeHistogram(t *testing.T) {
+	// Star on 5 nodes: centre degree 4, leaves degree 1.
+	b := NewBuilder(5)
+	for v := NodeID(1); v < 5; v++ {
+		b.AddEdge(0, v, Positive)
+	}
+	hist := b.MustBuild().DegreeHistogram()
+	if len(hist) != 5 {
+		t.Fatalf("hist len = %d, want 5", len(hist))
+	}
+	if hist[1] != 4 || hist[4] != 1 || hist[0] != 0 {
+		t.Fatalf("hist = %v", hist)
+	}
+	if got := NewBuilder(0).MustBuild().DegreeHistogram(); got != nil {
+		t.Fatalf("empty graph hist = %v", got)
+	}
+}
+
+func TestDegreePercentile(t *testing.T) {
+	b := NewBuilder(5)
+	for v := NodeID(1); v < 5; v++ {
+		b.AddEdge(0, v, Positive)
+	}
+	g := b.MustBuild()
+	if got := g.DegreePercentile(0.5); got != 1 {
+		t.Fatalf("median degree = %d, want 1", got)
+	}
+	if got := g.DegreePercentile(1.0); got != 4 {
+		t.Fatalf("max degree = %d, want 4", got)
+	}
+	if got := g.DegreePercentile(0); got != 1 {
+		t.Fatalf("min percentile = %d, want 1", got)
+	}
+	if got := NewBuilder(0).MustBuild().DegreePercentile(0.5); got != 0 {
+		t.Fatalf("empty graph percentile = %d", got)
+	}
+}
+
+func TestGlobalClusteringCoefficient(t *testing.T) {
+	// Triangle: transitivity 1.
+	if got := triangle().GlobalClusteringCoefficient(); got != 1 {
+		t.Fatalf("triangle transitivity = %g, want 1", got)
+	}
+	// Path 0-1-2: one wedge, no triangle.
+	g := MustFromEdges(3, []Edge{{0, 1, Positive}, {1, 2, Positive}})
+	if got := g.GlobalClusteringCoefficient(); got != 0 {
+		t.Fatalf("path transitivity = %g, want 0", got)
+	}
+	// No wedges at all.
+	g = MustFromEdges(2, []Edge{{0, 1, Positive}})
+	if got := g.GlobalClusteringCoefficient(); got != 0 {
+		t.Fatalf("single edge transitivity = %g, want 0", got)
+	}
+}
+
+// bruteTransitivity counts via all triples.
+func bruteTransitivity(g *Graph) float64 {
+	n := g.NumNodes()
+	var wedges, closed int64
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			for w := v + 1; w < n; w++ {
+				if v == u || w == u {
+					continue
+				}
+				if g.HasEdge(NodeID(u), NodeID(v)) && g.HasEdge(NodeID(u), NodeID(w)) {
+					wedges++
+					if g.HasEdge(NodeID(v), NodeID(w)) {
+						closed++
+					}
+				}
+			}
+		}
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return float64(closed) / float64(wedges)
+}
+
+func TestGlobalClusteringMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(20)
+		b := NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			b.AddEdge(u, v, Positive)
+		}
+		g := b.MustBuild()
+		got := g.GlobalClusteringCoefficient()
+		want := bruteTransitivity(g)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: transitivity %g vs brute %g", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package sgraph
+
+// This file provides the unsigned projections used by the paper's
+// Table 3 comparison with classic (unsigned) team formation:
+//
+//   - IgnoreSigns: every edge becomes positive ("ignore the sign").
+//   - DeleteNegative: negative edges are removed ("delete negative"),
+//     which may disconnect the graph.
+//
+// Both return ordinary *Graph values (with all-positive edges) so the
+// rest of the stack — BFS, team formation — runs on them unchanged.
+
+// IgnoreSigns returns a copy of g with every edge relabelled Positive.
+func (g *Graph) IgnoreSigns() *Graph {
+	signs := make([]Sign, len(g.signs))
+	for i := range signs {
+		signs[i] = Positive
+	}
+	return &Graph{
+		offsets: g.offsets, // safe to share: immutable
+		neigh:   g.neigh,
+		signs:   signs,
+		numEdge: g.numEdge,
+		numNeg:  0,
+	}
+}
+
+// DeleteNegative returns a copy of g containing only the positive
+// edges. Node ids are preserved; isolated nodes may result.
+func (g *Graph) DeleteNegative() *Graph {
+	n := g.NumNodes()
+	offsets := make([]int32, n+1)
+	for u := NodeID(0); int(u) < n; u++ {
+		cnt := int32(0)
+		for i := g.offsets[u]; i < g.offsets[u+1]; i++ {
+			if g.signs[i] == Positive {
+				cnt++
+			}
+		}
+		offsets[u+1] = offsets[u] + cnt
+	}
+	neigh := make([]NodeID, offsets[n])
+	signs := make([]Sign, offsets[n])
+	pos := 0
+	for u := NodeID(0); int(u) < n; u++ {
+		for i := g.offsets[u]; i < g.offsets[u+1]; i++ {
+			if g.signs[i] == Positive {
+				neigh[pos] = g.neigh[i]
+				signs[pos] = Positive
+				pos++
+			}
+		}
+	}
+	return &Graph{
+		offsets: offsets,
+		neigh:   neigh,
+		signs:   signs,
+		numEdge: g.NumPositiveEdges(),
+		numNeg:  0,
+	}
+}
+
+// InducedSubgraph returns the subgraph induced by nodes (which must be
+// distinct and in range) together with the mapping from new ids to the
+// original ids: newToOld[i] is the original id of new node i.
+func (g *Graph) InducedSubgraph(nodes []NodeID) (*Graph, []NodeID) {
+	oldToNew := make(map[NodeID]NodeID, len(nodes))
+	newToOld := make([]NodeID, len(nodes))
+	for i, u := range nodes {
+		oldToNew[u] = NodeID(i)
+		newToOld[i] = u
+	}
+	b := NewBuilder(len(nodes))
+	for i, u := range nodes {
+		for j := g.offsets[u]; j < g.offsets[u+1]; j++ {
+			v := g.neigh[j]
+			nv, ok := oldToNew[v]
+			if !ok || NodeID(i) >= nv {
+				continue // keep each undirected edge once
+			}
+			b.AddEdge(NodeID(i), nv, g.signs[j])
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		// Unreachable: induced edges of a valid graph are valid.
+		panic("sgraph: InducedSubgraph: " + err.Error())
+	}
+	return sub, newToOld
+}
+
+// Components labels every node with a connected-component id (ignoring
+// signs) and returns the labels plus the number of components.
+func (g *Graph) Components() (labels []int32, count int) {
+	n := g.NumNodes()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []NodeID
+	for s := NodeID(0); int(s) < n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		labels[s] = int32(count)
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for i := g.offsets[u]; i < g.offsets[u+1]; i++ {
+				if v := g.neigh[i]; labels[v] == -1 {
+					labels[v] = int32(count)
+					stack = append(stack, v)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// LargestComponent returns the subgraph induced by the largest
+// connected component and the new→old id mapping. When g is connected
+// it still returns a copy, so callers may rely on the mapping being
+// present.
+func (g *Graph) LargestComponent() (*Graph, []NodeID) {
+	labels, count := g.Components()
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for c := 1; c < count; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	nodes := make([]NodeID, 0, sizes[best])
+	for u, l := range labels {
+		if int(l) == best {
+			nodes = append(nodes, NodeID(u))
+		}
+	}
+	return g.InducedSubgraph(nodes)
+}
+
+// IsConnected reports whether the graph is connected (ignoring signs).
+// The empty graph is considered connected.
+func (g *Graph) IsConnected() bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	_, count := g.Components()
+	return count == 1
+}

@@ -1,0 +1,170 @@
+package sgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIgnoreSigns(t *testing.T) {
+	g := triangle()
+	u := g.IgnoreSigns()
+	if u.NumEdges() != 3 || u.NumNegativeEdges() != 0 {
+		t.Fatalf("IgnoreSigns: %d edges %d negative, want 3/0", u.NumEdges(), u.NumNegativeEdges())
+	}
+	s, ok := u.EdgeSign(0, 2)
+	if !ok || s != Positive {
+		t.Fatalf("edge (0,2) = %v,%v, want +,true", s, ok)
+	}
+	// Original must be untouched.
+	s, _ = g.EdgeSign(0, 2)
+	if s != Negative {
+		t.Fatal("IgnoreSigns mutated the original graph")
+	}
+}
+
+func TestDeleteNegative(t *testing.T) {
+	g := triangle()
+	d := g.DeleteNegative()
+	if d.NumNodes() != 3 {
+		t.Fatalf("DeleteNegative changed node count to %d", d.NumNodes())
+	}
+	if d.NumEdges() != 2 || d.NumNegativeEdges() != 0 {
+		t.Fatalf("DeleteNegative: %d edges %d negative, want 2/0", d.NumEdges(), d.NumNegativeEdges())
+	}
+	if d.HasEdge(0, 2) {
+		t.Fatal("negative edge survived DeleteNegative")
+	}
+	if !d.HasEdge(0, 1) || !d.HasEdge(1, 2) {
+		t.Fatal("positive edge lost by DeleteNegative")
+	}
+}
+
+func TestDeleteNegativeCanDisconnect(t *testing.T) {
+	// 0 −(+) 1 −(−) 2: deleting the negative edge isolates 2.
+	g := MustFromEdges(3, []Edge{{0, 1, Positive}, {1, 2, Negative}})
+	d := g.DeleteNegative()
+	if d.Degree(2) != 0 {
+		t.Fatalf("node 2 degree = %d, want 0", d.Degree(2))
+	}
+	if d.IsConnected() {
+		t.Fatal("graph should be disconnected after DeleteNegative")
+	}
+	if _, count := d.Components(); count != 2 {
+		t.Fatalf("components = %d, want 2", count)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two triangles and an isolated node.
+	g := MustFromEdges(7, []Edge{
+		{0, 1, Positive}, {1, 2, Negative}, {0, 2, Positive},
+		{3, 4, Positive}, {4, 5, Positive}, {3, 5, Negative},
+	})
+	labels, count := g.Components()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("first triangle split across components")
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Fatal("second triangle split across components")
+	}
+	if labels[0] == labels[3] || labels[0] == labels[6] || labels[3] == labels[6] {
+		t.Fatal("distinct components share a label")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	// Component A: path of 4 nodes. Component B: edge. C: isolated.
+	g := MustFromEdges(7, []Edge{
+		{0, 1, Positive}, {1, 2, Negative}, {2, 3, Positive},
+		{4, 5, Negative},
+	})
+	sub, newToOld := g.LargestComponent()
+	if sub.NumNodes() != 4 || sub.NumEdges() != 3 {
+		t.Fatalf("largest component %d nodes %d edges, want 4/3", sub.NumNodes(), sub.NumEdges())
+	}
+	// Sign preservation through the induced mapping.
+	inv := map[NodeID]NodeID{}
+	for newID, oldID := range newToOld {
+		inv[oldID] = NodeID(newID)
+	}
+	s, ok := sub.EdgeSign(inv[1], inv[2])
+	if !ok || s != Negative {
+		t.Fatalf("edge (1,2) in component = %v,%v, want -,true", s, ok)
+	}
+	if !sub.IsConnected() {
+		t.Fatal("largest component must be connected")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := MustFromEdges(5, []Edge{
+		{0, 1, Positive}, {1, 2, Negative}, {2, 3, Positive}, {3, 4, Negative}, {0, 4, Positive},
+	})
+	sub, newToOld := g.InducedSubgraph([]NodeID{0, 1, 4})
+	if sub.NumNodes() != 3 {
+		t.Fatalf("induced nodes = %d, want 3", sub.NumNodes())
+	}
+	// Edges inside {0,1,4}: (0,1,+) and (0,4,+).
+	if sub.NumEdges() != 2 {
+		t.Fatalf("induced edges = %d, want 2", sub.NumEdges())
+	}
+	for i, want := range []NodeID{0, 1, 4} {
+		if newToOld[i] != want {
+			t.Fatalf("newToOld[%d] = %d, want %d", i, newToOld[i], want)
+		}
+	}
+}
+
+func TestIsConnectedEmptyAndSingle(t *testing.T) {
+	if g := NewBuilder(0).MustBuild(); !g.IsConnected() {
+		t.Fatal("empty graph should count as connected")
+	}
+	if g := NewBuilder(1).MustBuild(); !g.IsConnected() {
+		t.Fatal("single node should be connected")
+	}
+	if g := NewBuilder(2).MustBuild(); g.IsConnected() {
+		t.Fatal("two isolated nodes are not connected")
+	}
+}
+
+// TestViewsPreserveStructure: on random graphs, IgnoreSigns keeps the
+// exact adjacency structure and DeleteNegative keeps exactly the
+// positive edges.
+func TestViewsPreserveStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(40)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			s := Positive
+			if rng.Intn(2) == 0 {
+				s = Negative
+			}
+			b.AddEdge(u, v, s)
+		}
+		g := b.MustBuild()
+		ig := g.IgnoreSigns()
+		dn := g.DeleteNegative()
+		if ig.NumEdges() != g.NumEdges() {
+			t.Fatalf("IgnoreSigns edge count changed: %d vs %d", ig.NumEdges(), g.NumEdges())
+		}
+		if dn.NumEdges() != g.NumPositiveEdges() {
+			t.Fatalf("DeleteNegative edges = %d, want %d", dn.NumEdges(), g.NumPositiveEdges())
+		}
+		for _, e := range g.Edges() {
+			if !ig.HasEdge(e.U, e.V) {
+				t.Fatalf("IgnoreSigns lost edge %+v", e)
+			}
+			if (e.Sign == Positive) != dn.HasEdge(e.U, e.V) {
+				t.Fatalf("DeleteNegative wrong on edge %+v", e)
+			}
+		}
+	}
+}

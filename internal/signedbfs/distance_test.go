@@ -1,0 +1,183 @@
+package signedbfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sgraph"
+)
+
+func pathGraph(n int) *sgraph.Graph {
+	b := sgraph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(sgraph.NodeID(i), sgraph.NodeID(i+1), sgraph.Positive)
+	}
+	return b.MustBuild()
+}
+
+func randomGraph(rng *rand.Rand, n, m int, negFrac float64) *sgraph.Graph {
+	b := sgraph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := sgraph.NodeID(rng.Intn(n)), sgraph.NodeID(rng.Intn(n))
+		if u == v || b.HasEdge(u, v) {
+			continue
+		}
+		s := sgraph.Positive
+		if rng.Float64() < negFrac {
+			s = sgraph.Negative
+		}
+		b.AddEdge(u, v, s)
+	}
+	return b.MustBuild()
+}
+
+func TestDistancesPathGraph(t *testing.T) {
+	g := pathGraph(6)
+	dist := Distances(g, 0)
+	for i := 0; i < 6; i++ {
+		if dist[i] != int32(i) {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], i)
+		}
+	}
+	dist = Distances(g, 3)
+	want := []int32{3, 2, 1, 0, 1, 2}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestDistancesIgnoreSign(t *testing.T) {
+	// Signs must not affect plain distances.
+	g := sgraph.MustFromEdges(3, []sgraph.Edge{
+		{U: 0, V: 1, Sign: sgraph.Negative},
+		{U: 1, V: 2, Sign: sgraph.Negative},
+	})
+	dist := Distances(g, 0)
+	if dist[2] != 2 {
+		t.Fatalf("dist[2] = %d, want 2", dist[2])
+	}
+}
+
+// floydWarshall computes all-pairs distances for cross-checking.
+func floydWarshall(g *sgraph.Graph) [][]int32 {
+	n := g.NumNodes()
+	const inf = int32(1 << 29)
+	d := make([][]int32, n)
+	for i := range d {
+		d[i] = make([]int32, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = inf
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		d[e.U][e.V] = 1
+		d[e.V][e.U] = 1
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	return d
+}
+
+func TestDistancesMatchFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(rng, 4+rng.Intn(20), 30, 0.3)
+		fw := floydWarshall(g)
+		for s := 0; s < g.NumNodes(); s++ {
+			dist := Distances(g, sgraph.NodeID(s))
+			for v := 0; v < g.NumNodes(); v++ {
+				want := fw[s][v]
+				if want >= 1<<29 {
+					want = Unreachable
+				}
+				if dist[v] != want {
+					t.Fatalf("trial %d: dist(%d,%d) = %d, want %d", trial, s, v, dist[v], want)
+				}
+			}
+		}
+	}
+}
+
+func TestEccentricityAndDiameterPath(t *testing.T) {
+	g := pathGraph(10)
+	if e := Eccentricity(g, 0); e != 9 {
+		t.Fatalf("ecc(0) = %d, want 9", e)
+	}
+	if e := Eccentricity(g, 5); e != 5 {
+		t.Fatalf("ecc(5) = %d, want 5", e)
+	}
+	if d := Diameter(g); d != 9 {
+		t.Fatalf("diameter = %d, want 9", d)
+	}
+}
+
+func TestDiameterMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(rng, 5+rng.Intn(40), 80, 0.2)
+		fw := floydWarshall(g)
+		want := int32(0)
+		for i := range fw {
+			for j := range fw[i] {
+				if fw[i][j] < 1<<29 && fw[i][j] > want {
+					want = fw[i][j]
+				}
+			}
+		}
+		if got := Diameter(g); got != want {
+			t.Fatalf("trial %d: Diameter = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestDiameterEmptyAndSingle(t *testing.T) {
+	if d := Diameter(sgraph.NewBuilder(0).MustBuild()); d != 0 {
+		t.Fatalf("diameter of empty graph = %d", d)
+	}
+	if d := Diameter(sgraph.NewBuilder(1).MustBuild()); d != 0 {
+		t.Fatalf("diameter of single node = %d", d)
+	}
+}
+
+func TestApproxDiameterLowerBoundsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 30+rng.Intn(50), 150, 0.2)
+		exact := Diameter(g)
+		starts := []sgraph.NodeID{0, sgraph.NodeID(g.NumNodes() / 2)}
+		approx := ApproxDiameter(g, starts)
+		if approx > exact {
+			t.Fatalf("trial %d: approx %d exceeds exact %d", trial, approx, exact)
+		}
+		if approx < exact/2 {
+			t.Fatalf("trial %d: double sweep too loose: %d vs %d", trial, approx, exact)
+		}
+	}
+}
+
+func TestAverageDistancePath(t *testing.T) {
+	// Path 0-1-2: ordered pairs distances 1,2,1,1,2,1 → mean 8/6.
+	g := pathGraph(3)
+	got := AverageDistance(g)
+	want := 8.0 / 6.0
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("AverageDistance = %g, want %g", got, want)
+	}
+}
+
+func TestAverageDistanceNoPairs(t *testing.T) {
+	if got := AverageDistance(sgraph.NewBuilder(3).MustBuild()); got != 0 {
+		t.Fatalf("AverageDistance = %g, want 0", got)
+	}
+}

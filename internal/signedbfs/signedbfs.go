@@ -1,0 +1,174 @@
+// Package signedbfs implements Algorithm 1 of "Forming Compatible
+// Teams in Signed Networks" (EDBT 2020): a single-source BFS over a
+// signed graph that counts, for every reachable node, the number of
+// positive and of negative shortest paths from the source.
+//
+// The sign of a path is the product of its edge signs. Walking a
+// positive edge preserves every path's sign; walking a negative edge
+// flips it. The BFS therefore propagates the counter pair (N+, N−)
+// along shortest-path DAG edges, swapping the pair on negative edges.
+//
+// Shortest-path counts grow exponentially in the worst case, so the
+// production counters are saturating uint64s: an overflowing addition
+// sticks to MaxUint64 and the result records that saturation happened.
+// Zero/non-zero tests (all the SPA/SPO compatibility logic needs) are
+// always exact; the SPM majority comparison can be inexact only when
+// both counters of the same node saturate, which Result.Saturated
+// exposes. CountPathsBig is an exact math/big variant used by tests
+// and the path-counting ablation to cross-check.
+package signedbfs
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/container"
+	"repro/internal/sgraph"
+)
+
+// Unreachable is the distance reported for nodes with no path from the
+// source.
+const Unreachable = int32(-1)
+
+// Result holds the output of CountPaths for one source node.
+type Result struct {
+	Source sgraph.NodeID
+	// Dist[v] is the shortest-path length from Source to v, or
+	// Unreachable.
+	Dist []int32
+	// Pos[v] and Neg[v] are the numbers of positive and negative
+	// shortest paths from Source to v, saturating at MaxUint64.
+	Pos, Neg []uint64
+	// SaturatedAt is true when at least one counter addition
+	// saturated, meaning Pos/Neg values are lower bounds.
+	SaturatedAt bool
+}
+
+// HasPositive reports whether at least one shortest path from the
+// source to v is positive. Exact even under saturation.
+func (r *Result) HasPositive(v sgraph.NodeID) bool { return r.Pos[v] > 0 }
+
+// HasNegative reports whether at least one shortest path from the
+// source to v is negative. Exact even under saturation.
+func (r *Result) HasNegative(v sgraph.NodeID) bool { return r.Neg[v] > 0 }
+
+// AllPositive reports whether every shortest path from the source to v
+// is positive (and at least one path exists).
+func (r *Result) AllPositive(v sgraph.NodeID) bool {
+	return r.Pos[v] > 0 && r.Neg[v] == 0
+}
+
+// MajorityPositive reports whether positive shortest paths are at
+// least as many as negative ones (and v is reachable). Can be inexact
+// only when both counters saturated; see Result.SaturatedAt.
+func (r *Result) MajorityPositive(v sgraph.NodeID) bool {
+	return r.Dist[v] != Unreachable && r.Pos[v] >= r.Neg[v]
+}
+
+// Reachable reports whether v is reachable from the source.
+func (r *Result) Reachable(v sgraph.NodeID) bool { return r.Dist[v] != Unreachable }
+
+// CountPaths runs the signed path-counting BFS (Algorithm 1) from src.
+func CountPaths(g *sgraph.Graph, src sgraph.NodeID) *Result {
+	n := g.NumNodes()
+	res := &Result{
+		Source: src,
+		Dist:   make([]int32, n),
+		Pos:    make([]uint64, n),
+		Neg:    make([]uint64, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Unreachable
+	}
+	res.Dist[src] = 0
+	res.Pos[src] = 1
+
+	q := container.NewIntQueue(n)
+	q.Push(src)
+	for !q.Empty() {
+		u := q.Pop()
+		du := res.Dist[u]
+		ids := g.NeighborIDs(u)
+		signs := g.NeighborSigns(u)
+		for i, v := range ids {
+			if res.Dist[v] == Unreachable {
+				res.Dist[v] = du + 1
+				q.Push(v)
+			}
+			if res.Dist[v] == du+1 {
+				// v is reached via a shortest path through u: all of
+				// u's shortest paths extend to v, keeping their sign
+				// on a positive edge and flipping it on a negative.
+				if signs[i] == sgraph.Positive {
+					res.Pos[v] = res.satAdd(res.Pos[v], res.Pos[u])
+					res.Neg[v] = res.satAdd(res.Neg[v], res.Neg[u])
+				} else {
+					res.Neg[v] = res.satAdd(res.Neg[v], res.Pos[u])
+					res.Pos[v] = res.satAdd(res.Pos[v], res.Neg[u])
+				}
+			}
+		}
+	}
+	return res
+}
+
+func (r *Result) satAdd(a, b uint64) uint64 {
+	s := a + b
+	if s < a {
+		r.SaturatedAt = true
+		return math.MaxUint64
+	}
+	return s
+}
+
+// BigResult is the exact-arithmetic counterpart of Result.
+type BigResult struct {
+	Source   sgraph.NodeID
+	Dist     []int32
+	Pos, Neg []*big.Int
+}
+
+// CountPathsBig runs Algorithm 1 with exact big.Int counters. It is
+// an order of magnitude slower than CountPaths and exists to validate
+// the saturating implementation (see the path-counting ablation).
+func CountPathsBig(g *sgraph.Graph, src sgraph.NodeID) *BigResult {
+	n := g.NumNodes()
+	res := &BigResult{
+		Source: src,
+		Dist:   make([]int32, n),
+		Pos:    make([]*big.Int, n),
+		Neg:    make([]*big.Int, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Unreachable
+		res.Pos[i] = new(big.Int)
+		res.Neg[i] = new(big.Int)
+	}
+	res.Dist[src] = 0
+	res.Pos[src].SetInt64(1)
+
+	q := container.NewIntQueue(n)
+	q.Push(src)
+	for !q.Empty() {
+		u := q.Pop()
+		du := res.Dist[u]
+		ids := g.NeighborIDs(u)
+		signs := g.NeighborSigns(u)
+		for i, v := range ids {
+			if res.Dist[v] == Unreachable {
+				res.Dist[v] = du + 1
+				q.Push(v)
+			}
+			if res.Dist[v] == du+1 {
+				if signs[i] == sgraph.Positive {
+					res.Pos[v].Add(res.Pos[v], res.Pos[u])
+					res.Neg[v].Add(res.Neg[v], res.Neg[u])
+				} else {
+					res.Neg[v].Add(res.Neg[v], res.Pos[u])
+					res.Pos[v].Add(res.Pos[v], res.Neg[u])
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,86 @@
+package skills
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sgraph"
+)
+
+// ProductReviewConfig drives GenerateProductReviews, the generative
+// model behind the Epinions skill stand-in. The paper builds Epinions
+// skills by joining the signed network with the RED dataset: a user's
+// skills are the categories of the products they reviewed. Simulating
+// that two-level process (products have categories; users review
+// products) reproduces two properties a direct Zipf draw misses:
+// category frequencies inherit a heavy tail from both levels, and
+// users who review the same popular products share skills, so skills
+// are correlated across users.
+type ProductReviewConfig struct {
+	// NumProducts in the catalogue (required > 0).
+	NumProducts int
+	// NumCategories of products — the skill universe (required > 0).
+	NumCategories int
+	// MeanReviewsPerUser scales review volume; defaults to 8.
+	MeanReviewsPerUser float64
+	// CategoryExponent is the Zipf exponent assigning categories to
+	// products (> 1; defaults to 1.1).
+	CategoryExponent float64
+	// ProductExponent is the Zipf exponent of product review
+	// popularity (> 1; defaults to 1.05 — a long tail of niche
+	// products).
+	ProductExponent float64
+}
+
+// GenerateProductReviews synthesises a skill assignment through the
+// product-review process: each product gets a Zipf category, each
+// user reviews Zipf-popular products, and the user's skills are the
+// categories reviewed. Every user ends with at least one skill.
+func GenerateProductReviews(rng *rand.Rand, numUsers int, cfg ProductReviewConfig) (*Assignment, error) {
+	if numUsers <= 0 {
+		return nil, fmt.Errorf("skills: numUsers = %d, want > 0", numUsers)
+	}
+	if cfg.NumProducts <= 0 || cfg.NumCategories <= 0 {
+		return nil, fmt.Errorf("skills: products/categories = %d/%d, want > 0", cfg.NumProducts, cfg.NumCategories)
+	}
+	meanReviews := cfg.MeanReviewsPerUser
+	if meanReviews <= 0 {
+		meanReviews = 8
+	}
+	catExp := cfg.CategoryExponent
+	if catExp <= 1 {
+		catExp = 1.1
+	}
+	prodExp := cfg.ProductExponent
+	if prodExp <= 1 {
+		prodExp = 1.05
+	}
+
+	catZipf := rand.NewZipf(rng, catExp, 1, uint64(cfg.NumCategories-1))
+	prodZipf := rand.NewZipf(rng, prodExp, 1, uint64(cfg.NumProducts-1))
+	if catZipf == nil || prodZipf == nil {
+		return nil, fmt.Errorf("skills: invalid Zipf parameters (cat %g, prod %g)", catExp, prodExp)
+	}
+
+	// The catalogue: product → category.
+	categoryOf := make([]SkillID, cfg.NumProducts)
+	for p := range categoryOf {
+		categoryOf[p] = SkillID(catZipf.Uint64())
+	}
+
+	universe := GenerateUniverse(cfg.NumCategories)
+	a := NewAssignment(universe, numUsers)
+	totalReviews := int(meanReviews * float64(numUsers))
+	for i := 0; i < totalReviews; i++ {
+		u := sgraph.NodeID(rng.Intn(numUsers))
+		p := prodZipf.Uint64()
+		a.MustAdd(u, categoryOf[p])
+	}
+	// Every user reviews at least one product.
+	for u := 0; u < numUsers; u++ {
+		if len(a.ofUser[u]) == 0 {
+			a.MustAdd(sgraph.NodeID(u), categoryOf[prodZipf.Uint64()])
+		}
+	}
+	return a, nil
+}

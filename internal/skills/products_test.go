@@ -1,0 +1,120 @@
+package skills
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sgraph"
+)
+
+func TestGenerateProductReviewsBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, err := GenerateProductReviews(rng, 300, ProductReviewConfig{
+		NumProducts:        2000,
+		NumCategories:      50,
+		MeanReviewsPerUser: 10,
+	})
+	if err != nil {
+		t.Fatalf("GenerateProductReviews: %v", err)
+	}
+	if a.NumUsers() != 300 || a.Universe().Len() != 50 {
+		t.Fatal("wrong dimensions")
+	}
+	for u := 0; u < 300; u++ {
+		if len(a.UserSkills(sgraph.NodeID(u))) == 0 {
+			t.Fatalf("user %d has no skills", u)
+		}
+	}
+	// Held categories follow a heavy tail: top category far exceeds
+	// the median.
+	counts := make([]int, 50)
+	for s := 0; s < 50; s++ {
+		counts[s] = a.NumHolders(SkillID(s))
+	}
+	maxC, sum := 0, 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		sum += c
+	}
+	if maxC < sum/10 {
+		t.Fatalf("category distribution not heavy-tailed: max %d of total %d", maxC, sum)
+	}
+}
+
+func TestGenerateProductReviewsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := GenerateProductReviews(rng, 0, ProductReviewConfig{NumProducts: 5, NumCategories: 3}); err == nil {
+		t.Fatal("numUsers 0 accepted")
+	}
+	if _, err := GenerateProductReviews(rng, 5, ProductReviewConfig{NumProducts: 0, NumCategories: 3}); err == nil {
+		t.Fatal("NumProducts 0 accepted")
+	}
+	if _, err := GenerateProductReviews(rng, 5, ProductReviewConfig{NumProducts: 5, NumCategories: 0}); err == nil {
+		t.Fatal("NumCategories 0 accepted")
+	}
+}
+
+func TestGenerateProductReviewsDeterministic(t *testing.T) {
+	cfg := ProductReviewConfig{NumProducts: 100, NumCategories: 10, MeanReviewsPerUser: 4}
+	a1, err := GenerateProductReviews(rand.New(rand.NewSource(5)), 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := GenerateProductReviews(rand.New(rand.NewSource(5)), 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 60; u++ {
+		s1, s2 := a1.UserSkills(sgraph.NodeID(u)), a2.UserSkills(sgraph.NodeID(u))
+		if len(s1) != len(s2) {
+			t.Fatal("nondeterministic")
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatal("nondeterministic skills")
+			}
+		}
+	}
+}
+
+// TestProductModelCorrelatesSkills: compared to an independent Zipf
+// draw with the same volume, the product-mediated model concentrates
+// skills: the same popular products funnel many users into the same
+// few categories, so the top category's holder share is larger.
+func TestProductModelCorrelatesSkills(t *testing.T) {
+	const users = 400
+	prod, err := GenerateProductReviews(rand.New(rand.NewSource(7)), users, ProductReviewConfig{
+		NumProducts:        500,
+		NumCategories:      100,
+		MeanReviewsPerUser: 6,
+		ProductExponent:    1.3, // strongly popular products
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := GenerateZipf(rand.New(rand.NewSource(7)), users, ZipfConfig{
+		NumSkills:         100,
+		MeanSkillsPerUser: 6,
+		Exponent:          1.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topShare := func(a *Assignment) float64 {
+		maxC, total := 0, 0
+		for s := 0; s < a.Universe().Len(); s++ {
+			c := a.NumHolders(SkillID(s))
+			if c > maxC {
+				maxC = c
+			}
+			total += c
+		}
+		return float64(maxC) / float64(total)
+	}
+	if topShare(prod) <= topShare(flat) {
+		t.Fatalf("product model top share %.3f not above flat Zipf %.3f",
+			topShare(prod), topShare(flat))
+	}
+}

@@ -1,0 +1,112 @@
+package team
+
+import (
+	"fmt"
+
+	"repro/internal/sgraph"
+	"repro/internal/signedbfs"
+	"repro/internal/skills"
+)
+
+// RarestFirstUnsigned is the RarestFirst algorithm of Lappas et al.
+// (KDD 2009) for the diameter cost on an *unsigned* graph, the
+// comparator of the paper's Table 3. The paper runs it on two unsigned
+// projections of a signed network — sgraph.Graph.IgnoreSigns and
+// sgraph.Graph.DeleteNegative — and then checks how often its teams
+// are compatible under the signed relations.
+//
+// Algorithm: let s_rare be the task's rarest skill. For every holder u
+// of s_rare, pick for each remaining skill the holder closest to u;
+// the candidate team's radius is the largest such distance. Return the
+// candidate team minimising the radius, with the team's true diameter
+// as its cost.
+func RarestFirstUnsigned(g *sgraph.Graph, assign *skills.Assignment, task skills.Task) (*Team, error) {
+	if len(task) == 0 {
+		return &Team{}, nil
+	}
+	for _, s := range task {
+		if assign.NumHolders(s) == 0 {
+			return nil, fmt.Errorf("%w: skill %d has no holders", ErrNoTeam, s)
+		}
+	}
+	rare := task[0]
+	for _, s := range task[1:] {
+		if assign.NumHolders(s) < assign.NumHolders(rare) {
+			rare = s
+		}
+	}
+
+	var bestMembers []sgraph.NodeID
+	bestRadius := int32(-1)
+	for _, u := range assign.Holders(rare) {
+		dist := signedbfs.Distances(g, u)
+		members := []sgraph.NodeID{u}
+		radius := int32(0)
+		feasible := true
+		for _, s := range task {
+			if s == rare || assign.Has(u, s) {
+				continue
+			}
+			v := sgraph.NodeID(-1)
+			for _, h := range assign.Holders(s) {
+				if dist[h] == signedbfs.Unreachable {
+					continue
+				}
+				if v == -1 || dist[h] < dist[v] {
+					v = h
+				}
+			}
+			if v == -1 {
+				feasible = false
+				break
+			}
+			members = appendUnique(members, v)
+			if dist[v] > radius {
+				radius = dist[v]
+			}
+		}
+		if !feasible {
+			continue
+		}
+		if bestRadius == -1 || radius < bestRadius {
+			bestRadius = radius
+			bestMembers = members
+		}
+	}
+	if bestMembers == nil {
+		return nil, fmt.Errorf("%w: no connected cover for task %v", ErrNoTeam, task)
+	}
+	cost, err := unsignedDiameter(g, bestMembers)
+	if err != nil {
+		return nil, err
+	}
+	return &Team{Members: bestMembers, Cost: cost, SeedsTried: assign.NumHolders(rare), SeedsSucceeded: 1}, nil
+}
+
+func appendUnique(members []sgraph.NodeID, v sgraph.NodeID) []sgraph.NodeID {
+	for _, m := range members {
+		if m == v {
+			return members
+		}
+	}
+	return append(members, v)
+}
+
+// unsignedDiameter is the true max pairwise BFS distance among
+// members, the cost Lappas' RarestFirst reports.
+func unsignedDiameter(g *sgraph.Graph, members []sgraph.NodeID) (int32, error) {
+	var cost int32
+	for i, u := range members {
+		dist := signedbfs.Distances(g, u)
+		for _, v := range members[i+1:] {
+			d := dist[v]
+			if d == signedbfs.Unreachable {
+				return 0, fmt.Errorf("%w: members %d and %d disconnected", errUndefinedDistance, u, v)
+			}
+			if d > cost {
+				cost = d
+			}
+		}
+	}
+	return cost, nil
+}

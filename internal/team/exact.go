@@ -1,0 +1,146 @@
+package team
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/compat"
+	"repro/internal/sgraph"
+	"repro/internal/skills"
+)
+
+// ExactOptions bounds the exhaustive solver.
+type ExactOptions struct {
+	// MaxTeamSize caps team cardinality; 0 defaults to the task size
+	// (one member per skill always suffices when a team exists at all
+	// — any cover contains a sub-cover with ≤ |T| members, and
+	// compatibility is preserved under taking subsets).
+	MaxTeamSize int
+	// MaxNodes caps the number of search-tree nodes; 0 means
+	// DefaultExactMaxNodes. Exceeding it returns ErrSearchBudget.
+	MaxNodes int64
+}
+
+// DefaultExactMaxNodes bounds the exact search tree by default.
+const DefaultExactMaxNodes = int64(5_000_000)
+
+// ErrSearchBudget reports that the exhaustive search was cut off.
+var ErrSearchBudget = errors.New("team: exact search budget exceeded")
+
+// Exact finds a minimum-cost compatible team by exhaustive search:
+// skills are processed rarest-first, and every compatible holder is
+// branched on. It is exponential and exists as a ground-truth oracle
+// for the greedy algorithms on small instances (and to make the
+// NP-hardness of TFSNC tangible — see the tests).
+func Exact(rel compat.Relation, assign *skills.Assignment, task skills.Task, opts ExactOptions) (*Team, error) {
+	if len(task) == 0 {
+		return &Team{}, nil
+	}
+	for _, s := range task {
+		if assign.NumHolders(s) == 0 {
+			return nil, fmt.Errorf("%w: skill %d has no holders", ErrNoTeam, s)
+		}
+	}
+	maxSize := opts.MaxTeamSize
+	if maxSize <= 0 {
+		maxSize = len(task)
+	}
+	budget := opts.MaxNodes
+	if budget <= 0 {
+		budget = DefaultExactMaxNodes
+	}
+
+	// Rarest-first order shrinks the branching factor near the root.
+	order := append(skills.Task(nil), task...)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && assign.NumHolders(order[j]) < assign.NumHolders(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	var (
+		best      *Team
+		members   []sgraph.NodeID
+		nodes     int64
+		searchErr error
+	)
+	covered := make(map[skills.SkillID]bool, len(task))
+
+	var dfs func()
+	dfs = func() {
+		if searchErr != nil {
+			return
+		}
+		nodes++
+		if nodes > budget {
+			searchErr = fmt.Errorf("%w (%d nodes)", ErrSearchBudget, budget)
+			return
+		}
+		// Find the first uncovered skill in order.
+		var next skills.SkillID = -1
+		for _, s := range order {
+			if !covered[s] {
+				next = s
+				break
+			}
+		}
+		if next == -1 {
+			cost, err := Cost(rel, members)
+			if err != nil {
+				if errors.Is(err, errUndefinedDistance) {
+					return // unpriceable team: not a valid solution
+				}
+				searchErr = err
+				return
+			}
+			if best == nil || cost < best.Cost {
+				best = &Team{Members: append([]sgraph.NodeID(nil), members...), Cost: cost}
+			}
+			return
+		}
+		if len(members) >= maxSize {
+			return
+		}
+	holders:
+		for _, v := range assign.Holders(next) {
+			for _, m := range members {
+				if m == v {
+					continue holders // already on the team yet skill uncovered: impossible, but guard
+				}
+				ok, err := rel.Compatible(v, m)
+				if err != nil {
+					searchErr = err
+					return
+				}
+				if !ok {
+					continue holders
+				}
+			}
+			// Choose v.
+			members = append(members, v)
+			var newly []skills.SkillID
+			for _, s := range assign.UserSkills(v) {
+				if task.Contains(s) && !covered[s] {
+					covered[s] = true
+					newly = append(newly, s)
+				}
+			}
+			dfs()
+			for _, s := range newly {
+				delete(covered, s)
+			}
+			members = members[:len(members)-1]
+			if searchErr != nil {
+				return
+			}
+		}
+	}
+	dfs()
+	if searchErr != nil {
+		return nil, searchErr
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: exhaustive search found none for task %v", ErrNoTeam, task)
+	}
+	return best, nil
+}

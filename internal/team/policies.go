@@ -1,0 +1,244 @@
+package team
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/compat"
+	"repro/internal/sgraph"
+	"repro/internal/skills"
+)
+
+// skillRanker orders the task's skills once per task according to the
+// skill policy; next returns the best-ranked uncovered skill. Both
+// policies are static rankings, so precomputing the order makes the
+// per-step selection O(|T|).
+type skillRanker struct {
+	order []skills.SkillID // best first
+}
+
+func newSkillRanker(rel compat.Relation, assign *skills.Assignment, task skills.Task, policy SkillPolicy) (*skillRanker, error) {
+	type ranked struct {
+		s   skills.SkillID
+		key int64
+	}
+	rankedSkills := make([]ranked, len(task))
+	switch policy {
+	case RarestFirst:
+		for i, s := range task {
+			rankedSkills[i] = ranked{s: s, key: int64(assign.NumHolders(s))}
+		}
+	case LeastCompatibleFirst:
+		deg, err := SkillCompatDegrees(rel, assign, task)
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range task {
+			rankedSkills[i] = ranked{s: s, key: deg[s]}
+		}
+	default:
+		return nil, fmt.Errorf("team: unknown skill policy %d", int(policy))
+	}
+	sort.Slice(rankedSkills, func(i, j int) bool {
+		if rankedSkills[i].key != rankedSkills[j].key {
+			return rankedSkills[i].key < rankedSkills[j].key
+		}
+		return rankedSkills[i].s < rankedSkills[j].s
+	})
+	r := &skillRanker{order: make([]skills.SkillID, len(rankedSkills))}
+	for i, rs := range rankedSkills {
+		r.order[i] = rs.s
+	}
+	return r, nil
+}
+
+// next returns the best-ranked skill not yet covered. covered may be
+// nil (nothing covered).
+func (r *skillRanker) next(covered map[skills.SkillID]bool) skills.SkillID {
+	for _, s := range r.order {
+		if !covered[s] {
+			return s
+		}
+	}
+	// Callers only invoke next while uncovered skills remain.
+	panic("team: skillRanker.next called with all skills covered")
+}
+
+// SkillCompatDegrees computes the task-scoped compatibility degree
+// cd(s) = Σ_{s'∈task, s'≠s} cd(s,s') for every task skill, where
+// cd(s,s') counts compatible holder pairs (a single user holding both
+// skills counts, by reflexivity). The paper defines cd over the whole
+// universe; scoping to the task preserves the ranking the policy needs
+// while keeping the cost proportional to the task's holder sets.
+func SkillCompatDegrees(rel compat.Relation, assign *skills.Assignment, task skills.Task) (map[skills.SkillID]int64, error) {
+	deg := make(map[skills.SkillID]int64, len(task))
+	for i, s1 := range task {
+		for _, s2 := range task[i+1:] {
+			cd, err := skillPairDegree(rel, assign, s1, s2)
+			if err != nil {
+				return nil, err
+			}
+			deg[s1] += cd
+			deg[s2] += cd
+		}
+	}
+	return deg, nil
+}
+
+func skillPairDegree(rel compat.Relation, assign *skills.Assignment, s1, s2 skills.SkillID) (int64, error) {
+	var cd int64
+	for _, u := range assign.Holders(s1) {
+		for _, v := range assign.Holders(s2) {
+			ok, err := rel.Compatible(u, v)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				cd++
+			}
+		}
+	}
+	return cd, nil
+}
+
+// userPicker selects, for a skill, the compatible candidate to add to
+// a team, according to the user policy.
+type userPicker struct {
+	rel    compat.Relation
+	assign *skills.Assignment
+	policy UserPolicy
+	cost   CostKind
+	rng    *rand.Rand
+	// poolDegree, for MostCompatible: candidate → number of compatible
+	// users within the task's candidate pool.
+	poolDegree map[sgraph.NodeID]int
+}
+
+func newUserPicker(rel compat.Relation, assign *skills.Assignment, task skills.Task, opts Options) (*userPicker, error) {
+	p := &userPicker{rel: rel, assign: assign, policy: opts.User, cost: opts.Cost, rng: opts.Rng}
+	if opts.User == MostCompatible {
+		pool := taskPool(assign, task)
+		p.poolDegree = make(map[sgraph.NodeID]int, len(pool))
+		for _, u := range pool {
+			degree := 0
+			for _, v := range pool {
+				if u == v {
+					continue
+				}
+				ok, err := rel.Compatible(u, v)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					degree++
+				}
+			}
+			p.poolDegree[u] = degree
+		}
+	}
+	return p, nil
+}
+
+// taskPool returns the distinct holders of any task skill, sorted.
+func taskPool(assign *skills.Assignment, task skills.Task) []sgraph.NodeID {
+	seen := map[sgraph.NodeID]bool{}
+	var pool []sgraph.NodeID
+	for _, s := range task {
+		for _, u := range assign.Holders(s) {
+			if !seen[u] {
+				seen[u] = true
+				pool = append(pool, u)
+			}
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	return pool
+}
+
+// pick returns the chosen holder of skill s compatible with every
+// member, or ErrNoTeam when no such holder exists.
+func (p *userPicker) pick(s skills.SkillID, members []sgraph.NodeID) (sgraph.NodeID, error) {
+	candidates, err := p.compatibleCandidates(s, members)
+	if err != nil {
+		return 0, err
+	}
+	if len(candidates) == 0 {
+		return 0, fmt.Errorf("%w: no compatible holder of skill %d", ErrNoTeam, s)
+	}
+	switch p.policy {
+	case MinDistance:
+		return p.pickMinDistance(candidates, members)
+	case MostCompatible:
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if p.poolDegree[c] > p.poolDegree[best] {
+				best = c
+			}
+		}
+		return best, nil
+	case RandomUser:
+		return candidates[p.rng.Intn(len(candidates))], nil
+	default:
+		return 0, fmt.Errorf("team: unknown user policy %d", int(p.policy))
+	}
+}
+
+func (p *userPicker) compatibleCandidates(s skills.SkillID, members []sgraph.NodeID) ([]sgraph.NodeID, error) {
+	var out []sgraph.NodeID
+holders:
+	for _, v := range p.assign.Holders(s) {
+		for _, x := range members {
+			// Query with the team member first: relations cache rows
+			// per source, and the team side is small and stable.
+			ok, err := p.rel.Compatible(x, v)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue holders
+			}
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// pickMinDistance chooses the candidate with the cheapest
+// contribution to the configured cost — the smallest maximum distance
+// to the team for Diameter, the smallest total distance for
+// SumDistance. Candidates with an undefined distance to some member
+// are skipped.
+func (p *userPicker) pickMinDistance(candidates, members []sgraph.NodeID) (sgraph.NodeID, error) {
+	best := sgraph.NodeID(-1)
+	bestDist := int32(0)
+	for _, c := range candidates {
+		contribution := int32(0)
+		defined := true
+		for _, x := range members {
+			d, ok, err := p.rel.Distance(c, x)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				defined = false
+				break
+			}
+			if p.cost == SumDistance {
+				contribution += d
+			} else if d > contribution {
+				contribution = d
+			}
+		}
+		if !defined {
+			continue
+		}
+		if best == -1 || contribution < bestDist || (contribution == bestDist && c < best) {
+			best, bestDist = c, contribution
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("%w: all candidates at undefined distance", ErrNoTeam)
+	}
+	return best, nil
+}

@@ -1,0 +1,350 @@
+// Package team implements the team formation algorithms of "Forming
+// Compatible Teams in Signed Networks" (EDBT 2020): the generic greedy
+// Algorithm 2 with its pluggable skill- and user-selection policies,
+// the RANDOM baseline, the classic unsigned RarestFirst comparator of
+// Lappas et al. (KDD 2009) used by the paper's Table 3, and an
+// exhaustive exact solver used as a test oracle on small instances.
+//
+// A team for task T under compatibility relation Comp is a node set X
+// that covers T's skills, is pairwise Comp-compatible, and minimises
+// Cost(X) — the team diameter, i.e. the largest pairwise
+// relation-distance between members.
+package team
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/compat"
+	"repro/internal/sgraph"
+	"repro/internal/skills"
+)
+
+// ErrNoTeam reports that no compatible team covering the task exists
+// (or that the algorithm could not find one).
+var ErrNoTeam = errors.New("team: no compatible team found")
+
+// SkillPolicy selects which uncovered skill to satisfy next.
+type SkillPolicy int
+
+const (
+	// RarestFirst picks the uncovered skill with the fewest holders,
+	// as in Lappas et al.
+	RarestFirst SkillPolicy = iota
+	// LeastCompatibleFirst picks the uncovered skill with the lowest
+	// compatibility degree cd(s) — the hardest skill to place.
+	LeastCompatibleFirst
+)
+
+// String names the policy.
+func (p SkillPolicy) String() string {
+	switch p {
+	case RarestFirst:
+		return "RarestFirst"
+	case LeastCompatibleFirst:
+		return "LeastCompatible"
+	default:
+		return fmt.Sprintf("SkillPolicy(%d)", int(p))
+	}
+}
+
+// UserPolicy selects which compatible holder of the chosen skill joins
+// the team.
+type UserPolicy int
+
+const (
+	// MinDistance picks the candidate minimising the maximum
+	// relation-distance to the current team (the diameter objective).
+	MinDistance UserPolicy = iota
+	// MostCompatible picks the candidate compatible with the largest
+	// number of users in the task's candidate pool.
+	MostCompatible
+	// RandomUser picks a compatible candidate uniformly at random
+	// (the paper's RANDOM baseline).
+	RandomUser
+)
+
+// String names the policy.
+func (p UserPolicy) String() string {
+	switch p {
+	case MinDistance:
+		return "MinDistance"
+	case MostCompatible:
+		return "MostCompatible"
+	case RandomUser:
+		return "Random"
+	default:
+		return fmt.Sprintf("UserPolicy(%d)", int(p))
+	}
+}
+
+// CostKind selects the communication-cost objective. The paper uses
+// the team diameter; SumDistance is the extension suggested in its
+// conclusions ("investigate different ways to combine compatibility
+// and communication cost") — it penalises every far pair instead of
+// only the worst one.
+type CostKind int
+
+const (
+	// Diameter is the largest pairwise relation-distance (the paper's
+	// Cost).
+	Diameter CostKind = iota
+	// SumDistance is the sum of all pairwise relation-distances.
+	SumDistance
+)
+
+// String names the cost.
+func (c CostKind) String() string {
+	switch c {
+	case Diameter:
+		return "Diameter"
+	case SumDistance:
+		return "SumDistance"
+	default:
+		return fmt.Sprintf("CostKind(%d)", int(c))
+	}
+}
+
+// Options configures Form.
+type Options struct {
+	Skill SkillPolicy
+	User  UserPolicy
+	// Cost selects the objective (default: Diameter, as in the
+	// paper). It steers both the MinDistance policy and the choice
+	// among seed teams.
+	Cost CostKind
+	// Rng drives RandomUser; required for that policy, unused
+	// otherwise.
+	Rng *rand.Rand
+	// MaxSeeds caps how many holders of the first skill are tried as
+	// seeds; 0 tries all of them (Algorithm 2's outer loop).
+	MaxSeeds int
+}
+
+// Team is a solution: its members, the diameter cost, and search
+// telemetry.
+type Team struct {
+	Members []sgraph.NodeID
+	// Cost is the largest pairwise relation-distance (0 for teams of
+	// one member).
+	Cost int32
+	// SeedsTried and SeedsSucceeded count Algorithm 2's outer loop.
+	SeedsTried, SeedsSucceeded int
+}
+
+// Form runs Algorithm 2 of the paper: seed a candidate team with each
+// holder of the first selected skill, grow it greedily — always
+// remaining pairwise compatible — until the task is covered, and
+// return the cheapest grown team.
+func Form(rel compat.Relation, assign *skills.Assignment, task skills.Task, opts Options) (*Team, error) {
+	teams, tried, err := formAll(rel, assign, task, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(task) == 0 {
+		return &Team{Members: nil, Cost: 0}, nil
+	}
+	var best *Team
+	for _, tm := range teams {
+		if best == nil || tm.Cost < best.Cost {
+			best = tm
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: all %d seeds failed for task %v", ErrNoTeam, tried, task)
+	}
+	best.SeedsTried = tried
+	best.SeedsSucceeded = len(teams)
+	return best, nil
+}
+
+// FormTopK runs Algorithm 2 and returns up to k distinct teams in
+// increasing cost order (ties broken by member list) — the top-k
+// variant in the spirit of Kargar & An (CIKM 2011), which falls out
+// of Algorithm 2's candidate list L for free. It returns ErrNoTeam
+// when no seed produces a team.
+func FormTopK(rel compat.Relation, assign *skills.Assignment, task skills.Task, opts Options, k int) ([]*Team, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("team: FormTopK k = %d, want > 0", k)
+	}
+	teams, tried, err := formAll(rel, assign, task, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(task) == 0 {
+		return []*Team{{Members: nil, Cost: 0}}, nil
+	}
+	if len(teams) == 0 {
+		return nil, fmt.Errorf("%w: all %d seeds failed for task %v", ErrNoTeam, tried, task)
+	}
+	// Deduplicate by member set (several seeds can grow into the same
+	// team), then order by cost.
+	seen := map[string]bool{}
+	distinct := teams[:0]
+	for _, tm := range teams {
+		key := memberKey(tm.Members)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		distinct = append(distinct, tm)
+	}
+	sort.Slice(distinct, func(i, j int) bool {
+		if distinct[i].Cost != distinct[j].Cost {
+			return distinct[i].Cost < distinct[j].Cost
+		}
+		return memberKey(distinct[i].Members) < memberKey(distinct[j].Members)
+	})
+	if len(distinct) > k {
+		distinct = distinct[:k]
+	}
+	for _, tm := range distinct {
+		tm.SeedsTried = tried
+		tm.SeedsSucceeded = len(teams)
+	}
+	return distinct, nil
+}
+
+func memberKey(members []sgraph.NodeID) string {
+	sorted := append([]sgraph.NodeID(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b strings.Builder
+	for _, m := range sorted {
+		fmt.Fprintf(&b, "%d,", m)
+	}
+	return b.String()
+}
+
+// formAll is Algorithm 2's outer loop: one grown team per successful
+// seed (priced by the configured cost), plus the number of seeds
+// tried.
+func formAll(rel compat.Relation, assign *skills.Assignment, task skills.Task, opts Options) ([]*Team, int, error) {
+	if opts.User == RandomUser && opts.Rng == nil {
+		return nil, 0, errors.New("team: RandomUser policy requires Options.Rng")
+	}
+	if len(task) == 0 {
+		return nil, 0, nil
+	}
+	for _, s := range task {
+		if assign.NumHolders(s) == 0 {
+			return nil, 0, fmt.Errorf("%w: skill %d has no holders", ErrNoTeam, s)
+		}
+	}
+
+	ranker, err := newSkillRanker(rel, assign, task, opts.Skill)
+	if err != nil {
+		return nil, 0, err
+	}
+	picker, err := newUserPicker(rel, assign, task, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	first := ranker.next(nil)
+	seeds := assign.Holders(first)
+	if opts.MaxSeeds > 0 && len(seeds) > opts.MaxSeeds {
+		seeds = seeds[:opts.MaxSeeds]
+	}
+
+	var teams []*Team
+	tried := 0
+	for _, seed := range seeds {
+		tried++
+		members, err := growTeam(rel, assign, task, seed, ranker, picker)
+		if err != nil {
+			if errors.Is(err, ErrNoTeam) {
+				continue
+			}
+			return nil, tried, err
+		}
+		cost, err := CostWith(rel, members, opts.Cost)
+		if err != nil {
+			if errors.Is(err, errUndefinedDistance) {
+				continue // cannot price this team; treat the seed as failed
+			}
+			return nil, tried, err
+		}
+		teams = append(teams, &Team{Members: members, Cost: cost})
+	}
+	return teams, tried, nil
+}
+
+// growTeam implements the inner loop of Algorithm 2 for one seed.
+func growTeam(rel compat.Relation, assign *skills.Assignment, task skills.Task, seed sgraph.NodeID, ranker *skillRanker, picker *userPicker) ([]sgraph.NodeID, error) {
+	members := []sgraph.NodeID{seed}
+	covered := make(map[skills.SkillID]bool, len(task))
+	addCoverage(assign, task, seed, covered)
+	for len(covered) < len(task) {
+		s := ranker.next(covered)
+		v, err := picker.pick(s, members)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, v)
+		addCoverage(assign, task, v, covered)
+	}
+	return members, nil
+}
+
+func addCoverage(assign *skills.Assignment, task skills.Task, u sgraph.NodeID, covered map[skills.SkillID]bool) {
+	for _, s := range assign.UserSkills(u) {
+		if task.Contains(s) {
+			covered[s] = true
+		}
+	}
+}
+
+// errUndefinedDistance reports a member pair with no relation
+// distance (e.g. disconnected under the relation's path semantics).
+var errUndefinedDistance = errors.New("team: undefined distance inside team")
+
+// Cost returns the team diameter: the maximum pairwise
+// relation-distance between members. Teams of size ≤ 1 cost 0.
+func Cost(rel compat.Relation, members []sgraph.NodeID) (int32, error) {
+	return CostWith(rel, members, Diameter)
+}
+
+// CostWith prices a team under the chosen objective.
+func CostWith(rel compat.Relation, members []sgraph.NodeID, kind CostKind) (int32, error) {
+	var cost int32
+	for i, u := range members {
+		for _, v := range members[i+1:] {
+			d, ok, err := rel.Distance(u, v)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return 0, fmt.Errorf("%w: pair (%d,%d)", errUndefinedDistance, u, v)
+			}
+			switch kind {
+			case SumDistance:
+				cost += d
+			default: // Diameter
+				if d > cost {
+					cost = d
+				}
+			}
+		}
+	}
+	return cost, nil
+}
+
+// Compatible reports whether every pair of members is compatible
+// under rel — the Table 3 acceptance test for unsigned baselines.
+func Compatible(rel compat.Relation, members []sgraph.NodeID) (bool, error) {
+	for i, u := range members {
+		for _, v := range members[i+1:] {
+			ok, err := rel.Compatible(u, v)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,151 @@
+// Package signedteams is a Go implementation of "Forming Compatible
+// Teams in Signed Networks" (Kouvatis, Semertzidis, Zerva, Pitoura,
+// Tsaparas — EDBT 2020).
+//
+// Given a social network whose edges are signed (+1 friend / −1 foe),
+// the package answers two questions:
+//
+//  1. Compatibility — can two users work together? Seven relations of
+//     increasing permissiveness are provided, built on the theory of
+//     structural balance: DPE, SPA, SPM, SPO, SBPH, SBP and NNE (see
+//     RelationKind).
+//  2. Team formation — given a task (a set of required skills), find
+//     a team that covers the skills, is pairwise compatible, and has
+//     small communication cost (team diameter).
+//
+// # Quickstart
+//
+//	b := signedteams.NewBuilder(4)
+//	b.AddEdge(0, 1, signedteams.Positive)
+//	b.AddEdge(1, 2, signedteams.Positive)
+//	b.AddEdge(0, 3, signedteams.Negative)
+//	g := b.MustBuild()
+//
+//	rel := signedteams.MustNewRelation(signedteams.SPO, g, signedteams.RelationOptions{})
+//	ok, _ := rel.Compatible(0, 2) // true: the shortest path 0→2 is positive
+//
+// Team formation on top of a skill assignment:
+//
+//	univ, _ := signedteams.NewUniverse([]string{"go", "sql"})
+//	assign := signedteams.NewAssignment(univ, g.NumNodes())
+//	assign.MustAdd(0, 0)
+//	assign.MustAdd(2, 1)
+//	team, err := signedteams.FormTeam(rel, assign, signedteams.NewTask(0, 1), signedteams.FormOptions{})
+//
+// The subpackages used by the paper's evaluation — synthetic dataset
+// stand-ins, the experiment harness regenerating every table and
+// figure — are exposed through datasets.go in this package. Everything
+// is implemented on the Go standard library alone.
+package signedteams
+
+import (
+	"io"
+
+	"repro/internal/compat"
+	"repro/internal/sgraph"
+)
+
+// Core signed-graph types. These are aliases of the implementation
+// types, so values flow freely between the public API and the
+// internal algorithm packages.
+type (
+	// Graph is an immutable undirected signed graph in CSR form.
+	Graph = sgraph.Graph
+	// Builder accumulates signed edges and produces a Graph.
+	Builder = sgraph.Builder
+	// NodeID identifies a node: dense integers in [0, NumNodes).
+	NodeID = sgraph.NodeID
+	// Sign is an edge label: Positive or Negative.
+	Sign = sgraph.Sign
+	// Edge is an undirected signed edge.
+	Edge = sgraph.Edge
+)
+
+// Edge sign values.
+const (
+	Positive = sgraph.Positive
+	Negative = sgraph.Negative
+)
+
+// NewBuilder returns a builder for a signed graph with n nodes.
+func NewBuilder(n int) *Builder { return sgraph.NewBuilder(n) }
+
+// FromEdges builds a graph with n nodes from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) { return sgraph.FromEdges(n, edges) }
+
+// MustFromEdges is FromEdges that panics on error.
+func MustFromEdges(n int, edges []Edge) *Graph { return sgraph.MustFromEdges(n, edges) }
+
+// ReadEdgeList parses a SNAP-style signed edge list ("u v ±1" rows).
+// It returns the graph and the original node ids, remapped to [0, n).
+func ReadEdgeList(r io.Reader) (*Graph, []int64, error) { return sgraph.ReadEdgeList(r) }
+
+// WriteEdgeList writes g in the format ReadEdgeList parses.
+func WriteEdgeList(w io.Writer, g *Graph, origIDs []int64) error {
+	return sgraph.WriteEdgeList(w, g, origIDs)
+}
+
+// Compatibility relations.
+type (
+	// Relation answers Compatible(u,v) and Distance(u,v) queries on a
+	// fixed signed graph. Implementations are concurrency-safe.
+	Relation = compat.Relation
+	// RelationKind enumerates the seven compatibility relations.
+	RelationKind = compat.Kind
+	// RelationOptions tunes relation construction (SBPH beam width,
+	// exact-SBP budgets, row-cache capacity).
+	RelationOptions = compat.Options
+	// RelationStats aggregates compatible-pair fractions and average
+	// distances, as in the paper's Table 2.
+	RelationStats = compat.Stats
+	// StatsOptions controls ComputeRelationStats.
+	StatsOptions = compat.StatsOptions
+	// SkillMatrix records which skill pairs have compatible holders.
+	SkillMatrix = compat.SkillMatrix
+)
+
+// The compatibility relations, strictest to most relaxed
+// (Proposition 3.5 of the paper): direct positive edge; all shortest
+// paths positive; majority of shortest paths positive; one shortest
+// path positive; heuristic structurally-balanced-path; exact
+// structurally-balanced-path; no negative edge.
+const (
+	DPE  = compat.DPE
+	SPA  = compat.SPA
+	SPM  = compat.SPM
+	SPO  = compat.SPO
+	SBPH = compat.SBPH
+	SBP  = compat.SBP
+	NNE  = compat.NNE
+)
+
+// RelationKinds lists all relations in containment order.
+func RelationKinds() []RelationKind { return compat.Kinds() }
+
+// ParseRelationKind resolves a case-insensitive relation name
+// ("SPA", "nne", ...).
+func ParseRelationKind(name string) (RelationKind, error) { return compat.ParseKind(name) }
+
+// NewRelation constructs the relation of the given kind over g.
+func NewRelation(kind RelationKind, g *Graph, opts RelationOptions) (Relation, error) {
+	return compat.New(kind, g, opts)
+}
+
+// MustNewRelation is NewRelation that panics on error.
+func MustNewRelation(kind RelationKind, g *Graph, opts RelationOptions) Relation {
+	return compat.MustNew(kind, g, opts)
+}
+
+// ComputeRelationStats measures compatible-pair fractions, average
+// distances and (optionally) the skill-pair compatibility matrix for
+// one relation — the measurements behind the paper's Table 2.
+func ComputeRelationStats(rel Relation, opts StatsOptions) (*RelationStats, error) {
+	return compat.ComputeStats(rel, opts)
+}
+
+// PrecomputeRelation fills the relation's row cache for every node in
+// parallel; create the relation with RelationOptions.CacheCap ≥
+// NumNodes first. Useful before all-pairs or many-task workloads.
+func PrecomputeRelation(rel Relation, workers int) error {
+	return compat.Precompute(rel, workers)
+}

@@ -1,0 +1,111 @@
+package signedteams
+
+import (
+	"math/rand"
+
+	"repro/internal/skills"
+	"repro/internal/team"
+)
+
+// Skill-side types.
+type (
+	// SkillID identifies a skill within a Universe.
+	SkillID = skills.SkillID
+	// Universe is an immutable, ordered collection of skill names.
+	Universe = skills.Universe
+	// Assignment maps users to skill sets, with a skill→holders
+	// inverted index.
+	Assignment = skills.Assignment
+	// Task is the set of skills a job requires.
+	Task = skills.Task
+	// ZipfConfig controls the synthetic Zipf skill generator the
+	// paper uses for Wikipedia.
+	ZipfConfig = skills.ZipfConfig
+)
+
+// NewUniverse builds a skill universe from distinct names.
+func NewUniverse(names []string) (*Universe, error) { return skills.NewUniverse(names) }
+
+// GenerateUniverse returns a universe of n synthetic skill names.
+func GenerateUniverse(n int) *Universe { return skills.GenerateUniverse(n) }
+
+// NewAssignment returns an empty user→skills assignment.
+func NewAssignment(u *Universe, numUsers int) *Assignment { return skills.NewAssignment(u, numUsers) }
+
+// NewTask canonicalises a list of skill ids into a Task.
+func NewTask(ids ...SkillID) Task { return skills.NewTask(ids...) }
+
+// RandomTask samples a task of k distinct skills that have at least
+// one holder, as the paper's task generator does.
+func RandomTask(rng *rand.Rand, assign *Assignment, k int) (Task, error) {
+	return skills.RandomTask(rng, assign, k)
+}
+
+// Team formation types.
+type (
+	// Team is a formed team: members, diameter cost, seed telemetry.
+	Team = team.Team
+	// FormOptions selects Algorithm 2's skill and user policies.
+	FormOptions = team.Options
+	// SkillPolicy picks the next uncovered skill.
+	SkillPolicy = team.SkillPolicy
+	// UserPolicy picks the compatible holder to add.
+	UserPolicy = team.UserPolicy
+	// ExactOptions bounds the exhaustive optimal solver.
+	ExactOptions = team.ExactOptions
+)
+
+// Skill selection policies.
+const (
+	// RarestFirst satisfies the skill with the fewest holders first.
+	RarestFirst = team.RarestFirst
+	// LeastCompatibleFirst satisfies the skill with the lowest
+	// compatibility degree first (the paper's best policy).
+	LeastCompatibleFirst = team.LeastCompatibleFirst
+)
+
+// User selection policies.
+const (
+	// MinDistance adds the candidate closest to the team (LCMD).
+	MinDistance = team.MinDistance
+	// MostCompatible adds the candidate compatible with the most
+	// users in the task's pool (LCMC).
+	MostCompatible = team.MostCompatible
+	// RandomUser adds a compatible candidate uniformly at random
+	// (the RANDOM baseline; requires FormOptions.Rng).
+	RandomUser = team.RandomUser
+)
+
+// ErrNoTeam reports that no compatible covering team was found; test
+// with errors.Is.
+var ErrNoTeam = team.ErrNoTeam
+
+// FormTeam runs the paper's Algorithm 2: greedy team formation under
+// a compatibility relation.
+func FormTeam(rel Relation, assign *Assignment, task Task, opts FormOptions) (*Team, error) {
+	return team.Form(rel, assign, task, opts)
+}
+
+// ExactTeam finds a minimum-cost compatible team by exhaustive search
+// (exponential; small instances only).
+func ExactTeam(rel Relation, assign *Assignment, task Task, opts ExactOptions) (*Team, error) {
+	return team.Exact(rel, assign, task, opts)
+}
+
+// RarestFirstUnsigned is the unsigned team formation baseline of
+// Lappas et al. (KDD 2009), used by the paper's Table 3 on the
+// IgnoreSigns and DeleteNegative projections of a signed graph.
+func RarestFirstUnsigned(g *Graph, assign *Assignment, task Task) (*Team, error) {
+	return team.RarestFirstUnsigned(g, assign, task)
+}
+
+// TeamCompatible reports whether every member pair is compatible
+// under rel.
+func TeamCompatible(rel Relation, members []NodeID) (bool, error) {
+	return team.Compatible(rel, members)
+}
+
+// TeamCost returns the team diameter (max pairwise relation-distance).
+func TeamCost(rel Relation, members []NodeID) (int32, error) {
+	return team.Cost(rel, members)
+}
