@@ -388,6 +388,80 @@ func BenchmarkExactSolverScaling(b *testing.B) {
 
 // --- Core operation micro-benches ----------------------------------
 
+// BenchmarkCountPaths contrasts the allocating CountPaths entry point
+// with the zero-allocation engine: a warm (Result, Scratch) pair must
+// report 0 allocs/op (the CI smoke test watches this).
+func BenchmarkCountPaths(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Graph
+	n := sgraph.NodeID(g.NumNodes())
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			signedbfs.CountPaths(g, sgraph.NodeID(i)%n)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		var res signedbfs.Result
+		scratch := signedbfs.NewScratch(g.NumNodes())
+		signedbfs.CountPathsInto(g, 0, &res, scratch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			signedbfs.CountPathsInto(g, sgraph.NodeID(i)%n, &res, scratch)
+		}
+	})
+}
+
+// BenchmarkFormTeamEngines races the lazy row-cache relation against
+// the packed matrix backend on the same Algorithm 2 workload (LCMD on
+// bench-scale Epinions). Both engines get their all-pairs precompute
+// outside the timer, so the measured gap is pure query-path cost:
+// per-pair interface calls vs word-parallel bitset AND/popcount and
+// packed distance lookups.
+func BenchmarkFormTeamEngines(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var sampled []skills.Task
+	for i := 0; i < 16; i++ {
+		t, err := skills.RandomTask(rng, d.Assign, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampled = append(sampled, t)
+	}
+	run := func(b *testing.B, rel compat.Relation) {
+		for i := 0; i < b.N; i++ {
+			_, err := team.Form(rel, d.Assign, sampled[i%len(sampled)], team.Options{
+				Skill: team.LeastCompatibleFirst,
+				User:  team.MinDistance,
+			})
+			if err != nil && !errors.Is(err, team.ErrNoTeam) {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("lazy", func(b *testing.B) {
+		rel := compat.MustNew(compat.SPM, d.Graph, compat.Options{CacheCap: d.Graph.NumNodes() + 1})
+		if err := compat.Precompute(rel, 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, rel)
+	})
+	b.Run("matrix", func(b *testing.B) {
+		rel := compat.MustNewMatrix(compat.SPM, d.Graph, compat.MatrixOptions{})
+		b.ResetTimer()
+		run(b, rel)
+	})
+}
+
 func BenchmarkSignedBFSRow(b *testing.B) {
 	d, err := datasets.EpinionsSim(1, 0)
 	if err != nil {

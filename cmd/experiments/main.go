@@ -36,6 +36,7 @@ func main() {
 		sample   = flag.Int("sample", 0, "table 2: sample this many source nodes (0 = exact)")
 		maxSeeds = flag.Int("maxseeds", 0, "cap Algorithm 2 seeds (0 = all)")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		engine   = flag.String("engine", "lazy", "relation engine: lazy (cached rows, on demand) or matrix (packed all-pairs precompute)")
 		markdown = flag.Bool("markdown", false, "emit Markdown tables")
 		reps     = flag.Int("reps", 1, "repetitions with consecutive seeds for -figure 2a / -table 3 (mean ± std)")
 	)
@@ -50,6 +51,7 @@ func main() {
 		MaxSeeds:      *maxSeeds,
 		Workers:       *workers,
 		Dataset:       *dataset, // team formation experiments; empty = epinions
+		Engine:        *engine,
 	}
 	var names []string
 	if *dataset != "" {

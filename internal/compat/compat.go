@@ -26,10 +26,15 @@
 // balanced positive path (the heuristic's, for SBPH); NNE uses
 // shortest-path length ignoring signs.
 //
-// Relations answer point queries from lazily computed per-source rows
-// held in a bounded cache, so they are cheap to use inside the greedy
-// team formation loop; the bulk statistics in stats.go bypass the
-// cache and stream rows instead.
+// Two engines implement the Relation interface. The lazy engine
+// (relations.go) answers point queries from lazily computed per-source
+// rows held in a bounded cache, so it is cheap inside the greedy team
+// formation loop and scales to large graphs; the bulk statistics in
+// stats.go bypass the cache and stream rows out of per-worker scratch
+// instead. The matrix engine (matrix.go) precomputes the whole
+// relation into packed bitset rows plus a packed distance matrix, so
+// all-pairs and batch-query workloads run on word-level operations;
+// see CompatMatrix for the memory trade-off.
 package compat
 
 import (
@@ -149,10 +154,12 @@ func New(k Kind, g *sgraph.Graph, opts Options) (Relation, error) {
 	case DPE, NNE:
 		r := &edgeRelation{baseRelation: base}
 		r.cache = newRowCache(cap, r.computeRow)
+		r.cache.computeScratch = r.computeRowFresh
 		return r, nil
 	case SPA, SPM, SPO:
 		r := &spRelation{baseRelation: base}
 		r.cache = newRowCache(cap, r.computeRow)
+		r.cache.computeScratch = r.computeRowFresh
 		return r, nil
 	case SBPH:
 		beam := opts.BeamWidth

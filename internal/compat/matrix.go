@@ -1,0 +1,421 @@
+// The packed all-pairs engine. The lazy relations in relations.go
+// answer point queries from a bounded row cache; CompatMatrix instead
+// materialises the whole relation up front — one bit per ordered node
+// pair plus a packed distance matrix — so that the all-pairs workloads
+// (Table 2 statistics, batch team formation, the Figure 2 sweeps) run
+// on word-level operations with no per-query interface dispatch. The
+// team package recognises matrix-backed relations and switches its
+// candidate filtering and pool-degree counting to bitset AND/popcount
+// over matrix rows.
+//
+// Memory is 1 bit per ordered pair for compatibility plus 1 byte per
+// ordered pair for distances (n²/8 + n² bytes); distances are uint8
+// with a sentinel and promote to int32 (4n² bytes) only on graphs
+// whose relation distances exceed 254. The engine therefore targets
+// moderate node counts — for full-scale sparse graphs the lazy engine
+// remains the right backend.
+
+package compat
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/balance"
+	"repro/internal/sgraph"
+	"repro/internal/signedbfs"
+)
+
+// Distance-matrix packing: distances are stored as uint8 with noDist8
+// meaning "undefined"; any value above maxDist8 forces the int32
+// fallback, where noDist32 marks undefined entries.
+const (
+	noDist8  = 0xFF
+	maxDist8 = 0xFE
+	noDist32 = int32(-1)
+)
+
+// errDistOverflow aborts a uint8 build when a relation distance
+// exceeds maxDist8; NewMatrix retries with int32 storage.
+var errDistOverflow = errors.New("compat: distance exceeds uint8 packing")
+
+// MatrixOptions tunes CompatMatrix construction.
+type MatrixOptions struct {
+	// Options carries the relation parameters (SBPH beam width, exact
+	// SBP budgets); the row-cache capacity is ignored.
+	Options
+	// Workers bounds the build parallelism; ≤0 uses GOMAXPROCS.
+	Workers int
+}
+
+// CompatMatrix is a fully precomputed compatibility relation: row u is
+// a bitset over all nodes (bit v set ⇔ Compatible(u,v)) and the
+// distance matrix packs the relation-distance of every ordered pair.
+// It implements Relation, so every consumer of the lazy engine works
+// unchanged, and point queries never error.
+//
+// Rows agree with the lazy relation of the same kind on every pair,
+// including SBPH's canonicalised symmetry (entry (u,v) is the
+// heuristic search from min(u,v) to max(u,v)). The diagonal is always
+// compatible at distance 0, mirroring Relation's reflexivity.
+//
+// The only intentional divergence is ComputeStats on an SBPH matrix:
+// the lazy engine streams the *directed* heuristic rows, while matrix
+// rows are already symmetrised, so directed-asymmetric pairs can count
+// differently. All other kinds have symmetric rows and agree exactly.
+type CompatMatrix struct {
+	g      *sgraph.Graph
+	kind   Kind
+	n      int
+	stride int      // uint64 words per bit row
+	bits   []uint64 // n rows × stride words
+	dist8  []uint8  // n×n packed distances; nil when dist32 is active
+	dist32 []int32  // exact distances; non-nil only after uint8 overflow
+
+	beam  int // SBPH beam width
+	exact balance.ExactOptions
+}
+
+// NewMatrix precomputes the full compatibility matrix of kind k over
+// g, in parallel with one BFS scratch per worker. Construction cost is
+// one relation row per node (a signed BFS for the SP family, a plain
+// BFS for DPE/NNE, a beam search for SBPH, the budgeted enumeration
+// for SBP); the first row error aborts the build.
+func NewMatrix(k Kind, g *sgraph.Graph, opts MatrixOptions) (*CompatMatrix, error) {
+	if k < 0 || k >= numKinds {
+		return nil, fmt.Errorf("compat: unknown relation kind %d", int(k))
+	}
+	n := g.NumNodes()
+	m := &CompatMatrix{
+		g:      g,
+		kind:   k,
+		n:      n,
+		stride: (n + 63) / 64,
+		beam:   opts.BeamWidth,
+		exact:  opts.Exact,
+	}
+	if m.beam <= 0 {
+		m.beam = balance.DefaultBeamWidth
+	}
+	m.bits = make([]uint64, n*m.stride)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	err := m.build(workers, false)
+	if errors.Is(err, errDistOverflow) {
+		// A distance beyond uint8 packing exists (graph with relation
+		// diameter > 254): rebuild with exact int32 storage.
+		err = m.build(workers, true)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustNewMatrix is NewMatrix that panics on error, for tests and
+// benchmarks with known-good arguments.
+func MustNewMatrix(k Kind, g *sgraph.Graph, opts MatrixOptions) *CompatMatrix {
+	m, err := NewMatrix(k, g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Kind returns the relation kind the matrix materialises.
+func (m *CompatMatrix) Kind() Kind { return m.kind }
+
+// Graph returns the underlying signed graph.
+func (m *CompatMatrix) Graph() *sgraph.Graph { return m.g }
+
+// Compatible reports whether u and v are compatible. It never errors.
+func (m *CompatMatrix) Compatible(u, v sgraph.NodeID) (bool, error) {
+	return m.bitAt(u, v), nil
+}
+
+// Distance returns the relation distance of (u,v) and whether it is
+// defined. It never errors.
+func (m *CompatMatrix) Distance(u, v sgraph.NodeID) (int32, bool, error) {
+	d, ok := m.PairDistance(u, v)
+	return d, ok, nil
+}
+
+// PairDistance is Distance without the (always-nil) error, for hot
+// loops that have already recognised the matrix backend.
+func (m *CompatMatrix) PairDistance(u, v sgraph.NodeID) (int32, bool) {
+	i := int(u)*m.n + int(v)
+	if m.dist32 != nil {
+		d := m.dist32[i]
+		return d, d != noDist32
+	}
+	d := m.dist8[i]
+	return int32(d), d != noDist8
+}
+
+// NumNodes returns the node count of the underlying graph.
+func (m *CompatMatrix) NumNodes() int { return m.n }
+
+// WordsPerRow returns the uint64 word length of each bit row —
+// (NumNodes+63)/64, the same layout container.NewBitset(NumNodes)
+// uses, so rows and bitsets compose in word-parallel operations.
+func (m *CompatMatrix) WordsPerRow() int { return m.stride }
+
+// RowWords returns u's compatibility row as a packed word slice (bit v
+// set ⇔ Compatible(u,v); bits ≥ NumNodes are zero). The caller must
+// not modify it.
+func (m *CompatMatrix) RowWords(u sgraph.NodeID) []uint64 {
+	return m.bits[int(u)*m.stride : (int(u)+1)*m.stride]
+}
+
+func (m *CompatMatrix) bitAt(u, v sgraph.NodeID) bool {
+	return m.bits[int(u)*m.stride+int(v)>>6]&(1<<uint(int(v)&63)) != 0
+}
+
+// computeRow lets ComputeStats stream matrix rows like any other
+// relation's. Matrix rows are views, so "computing" one is free.
+func (m *CompatMatrix) computeRow(u sgraph.NodeID) (row, error) {
+	return matrixRow{m: m, u: u}, nil
+}
+
+type matrixRow struct {
+	m *CompatMatrix
+	u sgraph.NodeID
+}
+
+func (r matrixRow) compatible(v sgraph.NodeID) bool        { return r.m.bitAt(r.u, v) }
+func (r matrixRow) distance(v sgraph.NodeID) (int32, bool) { return r.m.PairDistance(r.u, v) }
+
+// ---------------------------------------------------------------------------
+// Construction.
+
+// build fills the bit and distance matrices. wide selects int32
+// distance storage; a uint8 build returns errDistOverflow when it
+// meets a distance above maxDist8 (rows already written are fully
+// rewritten on retry, so no cleanup is needed).
+func (m *CompatMatrix) build(workers int, wide bool) error {
+	n := m.n
+	if n == 0 {
+		return nil
+	}
+	if wide {
+		m.dist8 = nil
+		m.dist32 = make([]int32, n*n)
+		for i := range m.dist32 {
+			m.dist32[i] = noDist32
+		}
+	} else {
+		m.dist32 = nil
+		m.dist8 = make([]uint8, n*n)
+		for i := range m.dist8 {
+			m.dist8[i] = noDist8
+		}
+	}
+
+	fill := m.rowFiller(wide)
+	scratches, workers := newWorkerScratches(workers, n)
+	err := parallelSweep(n, workers, func(w, i int) error {
+		return fill(sgraph.NodeID(i), scratches[w])
+	})
+	if err != nil {
+		return err
+	}
+	if m.kind == SBPH {
+		return m.symmetrise(workers, wide)
+	}
+	return nil
+}
+
+// rowFiller returns the per-source row computation for the matrix's
+// kind. Every filler overwrites its row completely (bits and defined
+// distances), sets the diagonal, and keeps tail bits (≥ n) zero so
+// row popcounts are exact.
+func (m *CompatMatrix) rowFiller(wide bool) func(u sgraph.NodeID, s *rowScratch) error {
+	n := m.n
+	// setDist packs one defined distance; undefined entries keep the
+	// sentinel written by build's prefill.
+	setDist := func(u sgraph.NodeID, v sgraph.NodeID, d int32) error {
+		if wide {
+			m.dist32[int(u)*n+int(v)] = d
+			return nil
+		}
+		if d > maxDist8 {
+			return errDistOverflow
+		}
+		m.dist8[int(u)*n+int(v)] = uint8(d)
+		return nil
+	}
+	distRow := func(u sgraph.NodeID, dist []int32) error {
+		for v, d := range dist {
+			if d != signedbfs.Unreachable {
+				if err := setDist(u, sgraph.NodeID(v), d); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	switch m.kind {
+	case DPE, NNE:
+		return func(u sgraph.NodeID, s *rowScratch) error {
+			row := m.RowWords(u)
+			if m.kind == DPE {
+				zeroWords(row)
+				ids := m.g.NeighborIDs(u)
+				signs := m.g.NeighborSigns(u)
+				for i, v := range ids {
+					if signs[i] == sgraph.Positive {
+						setWordBit(row, v)
+					}
+				}
+			} else {
+				// NNE: everyone is compatible except negative
+				// neighbours — including unreachable nodes.
+				fillWords(row, n)
+				ids := m.g.NeighborIDs(u)
+				signs := m.g.NeighborSigns(u)
+				for i, v := range ids {
+					if signs[i] == sgraph.Negative {
+						clearWordBit(row, v)
+					}
+				}
+			}
+			setWordBit(row, u) // reflexivity
+			s.dist = signedbfs.DistancesInto(m.g, u, s.dist, s.bfs)
+			return distRow(u, s.dist)
+		}
+	case SPA, SPM, SPO:
+		kind := m.kind
+		return func(u sgraph.NodeID, s *rowScratch) error {
+			signedbfs.CountPathsInto(m.g, u, &s.res, s.bfs)
+			row := m.RowWords(u)
+			zeroWords(row)
+			for v := 0; v < n; v++ {
+				var ok bool
+				switch kind {
+				case SPA:
+					ok = s.res.Pos[v] > 0 && s.res.Neg[v] == 0
+				case SPM:
+					ok = s.res.Dist[v] != signedbfs.Unreachable && s.res.Pos[v] >= s.res.Neg[v]
+				default: // SPO
+					ok = s.res.Pos[v] > 0
+				}
+				if ok {
+					setWordBit(row, sgraph.NodeID(v))
+				}
+			}
+			setWordBit(row, u)
+			return distRow(u, s.res.Dist)
+		}
+	case SBPH, SBP:
+		return func(u sgraph.NodeID, s *rowScratch) error {
+			var pd *balance.PathDists
+			var err error
+			if m.kind == SBPH {
+				pd = balance.SBPH(m.g, u, m.beam)
+			} else {
+				pd, err = balance.ExactSBP(m.g, u, m.exact)
+				if err != nil {
+					return err
+				}
+			}
+			row := m.RowWords(u)
+			zeroWords(row)
+			for v, d := range pd.PosDist {
+				if d != balance.NoPath {
+					setWordBit(row, sgraph.NodeID(v))
+					if err := setDist(u, sgraph.NodeID(v), d); err != nil {
+						return err
+					}
+				}
+			}
+			setWordBit(row, u)
+			return setDist(u, u, 0)
+		}
+	default:
+		return func(sgraph.NodeID, *rowScratch) error {
+			return fmt.Errorf("compat: unhandled matrix kind %v", m.kind)
+		}
+	}
+}
+
+// symmetrise rewrites the lower triangle from the upper one, turning
+// the directed SBPH rows into the canonicalised relation the lazy
+// engine exposes: entry (u,v) becomes row min(u,v)'s view of
+// max(u,v). The bit rows are read from an immutable snapshot because
+// one word mixes lower- and upper-triangle bits, so concurrent row
+// rewrites would race; the distance matrices need no copy — writes
+// touch only lower-triangle elements and reads only upper-triangle
+// ones, which are disjoint.
+func (m *CompatMatrix) symmetrise(workers int, wide bool) error {
+	n := m.n
+	rawBits := append([]uint64(nil), m.bits...)
+	rawBitAt := func(u, v int) bool {
+		return rawBits[u*m.stride+v>>6]&(1<<uint(v&63)) != 0
+	}
+	return parallelSweep(n, workers, func(_, i int) error {
+		u := i
+		row := m.RowWords(sgraph.NodeID(u))
+		for v := 0; v < u; v++ {
+			if rawBitAt(v, u) {
+				setWordBit(row, sgraph.NodeID(v))
+			} else {
+				clearWordBit(row, sgraph.NodeID(v))
+			}
+			if wide {
+				m.dist32[u*n+v] = m.dist32[v*n+u]
+			} else {
+				m.dist8[u*n+v] = m.dist8[v*n+u]
+			}
+		}
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Word-slice bit helpers (rows are raw []uint64, not container.Bitset,
+// to keep the n-row matrix a single allocation).
+
+func setWordBit(words []uint64, i sgraph.NodeID)   { words[int(i)>>6] |= 1 << uint(int(i)&63) }
+func clearWordBit(words []uint64, i sgraph.NodeID) { words[int(i)>>6] &^= 1 << uint(int(i)&63) }
+
+func zeroWords(words []uint64) {
+	for i := range words {
+		words[i] = 0
+	}
+}
+
+// fillWords sets bits [0, n) and keeps the tail zero.
+func fillWords(words []uint64, n int) {
+	for i := range words {
+		words[i] = ^uint64(0)
+	}
+	if tail := n & 63; tail != 0 {
+		words[len(words)-1] = (1 << uint(tail)) - 1
+	}
+}
+
+// PackedRelation is the optional capability a fully materialised
+// relation backend offers on top of Relation: word-packed
+// compatibility rows and error-free distance lookups. Consumers (the
+// team package's pickers and cost functions) detect it with a type
+// assertion and switch to bitset AND/popcount fast paths, so any
+// future packed backend (e.g. a sharded or spilling matrix) inherits
+// them by implementing this interface. A PackedRelation is precomputed
+// by construction; Precompute on one is a no-op.
+type PackedRelation interface {
+	Relation
+	NumNodes() int
+	WordsPerRow() int
+	RowWords(u sgraph.NodeID) []uint64
+	PairDistance(u, v sgraph.NodeID) (int32, bool)
+}
+
+// Compile-time interface checks.
+var (
+	_ Relation       = (*CompatMatrix)(nil)
+	_ PackedRelation = (*CompatMatrix)(nil)
+)

@@ -1,0 +1,194 @@
+package compat
+
+import (
+	"errors"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/sgraph"
+)
+
+// rowCount is a popcount over a packed row.
+func rowCount(words []uint64) int {
+	c := 0
+	for _, w := range words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// TestMatrixAgreesWithLazy: on random signed graphs, the packed matrix
+// must answer every Compatible and Distance query exactly as the lazy
+// relation of the same kind — including SBPH's canonicalised symmetry.
+func TestMatrixAgreesWithLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	// Cap the exact SBP enumeration (identically on both engines, so
+	// they must still agree) to keep the test fast.
+	opts := Options{Exact: balance.ExactOptions{MaxLen: 7}}
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + rng.Intn(14)
+		g := randomSignedGraph(rng, n, n+rng.Intn(4*n), 0.3)
+		for _, k := range Kinds() {
+			lazy := MustNew(k, g, opts)
+			m, err := NewMatrix(k, g, MatrixOptions{Options: opts})
+			if err != nil {
+				t.Fatalf("trial %d %v: NewMatrix: %v", trial, k, err)
+			}
+			for u := sgraph.NodeID(0); int(u) < n; u++ {
+				for v := sgraph.NodeID(0); int(v) < n; v++ {
+					wantOK, err := lazy.Compatible(u, v)
+					if err != nil {
+						t.Fatalf("trial %d %v: lazy Compatible: %v", trial, k, err)
+					}
+					gotOK, _ := m.Compatible(u, v)
+					if gotOK != wantOK {
+						t.Fatalf("trial %d %v: Compatible(%d,%d) matrix=%v lazy=%v",
+							trial, k, u, v, gotOK, wantOK)
+					}
+					wantD, wantDef, err := lazy.Distance(u, v)
+					if err != nil {
+						t.Fatalf("trial %d %v: lazy Distance: %v", trial, k, err)
+					}
+					gotD, gotDef, _ := m.Distance(u, v)
+					if gotDef != wantDef || (gotDef && gotD != wantD) {
+						t.Fatalf("trial %d %v: Distance(%d,%d) matrix=(%d,%v) lazy=(%d,%v)",
+							trial, k, u, v, gotD, gotDef, wantD, wantDef)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixRowInvariants: every row has its diagonal bit set, zero
+// tail bits past NumNodes (so popcounts over rows are exact), and a
+// popcount equal to the number of compatible partners.
+func TestMatrixRowInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	g := randomSignedGraph(rng, 70, 260, 0.3) // 70 nodes: 6 tail bits in the second word
+	for _, k := range Kinds() {
+		// Cap the exact SBP enumeration: the invariants are internal to
+		// the matrix, so a truncated relation is as good as the full one.
+		m := MustNewMatrix(k, g, MatrixOptions{Options: Options{Exact: balance.ExactOptions{MaxLen: 5}}})
+		if m.WordsPerRow() != (g.NumNodes()+63)/64 {
+			t.Fatalf("%v: WordsPerRow = %d", k, m.WordsPerRow())
+		}
+		for u := sgraph.NodeID(0); int(u) < g.NumNodes(); u++ {
+			row := m.RowWords(u)
+			if !m.bitAt(u, u) {
+				t.Fatalf("%v: diagonal bit %d unset", k, u)
+			}
+			want := 0
+			for v := sgraph.NodeID(0); int(v) < g.NumNodes(); v++ {
+				if ok, _ := m.Compatible(u, v); ok {
+					want++
+				}
+			}
+			if got := rowCount(row); got != want {
+				t.Fatalf("%v: row %d popcount %d, want %d (tail bits leaked?)", k, u, got, want)
+			}
+		}
+	}
+}
+
+// TestMatrixDistanceOverflowFallback: a path graph longer than the
+// uint8 packing limit must transparently promote the distance matrix
+// to int32 and stay exact.
+func TestMatrixDistanceOverflowFallback(t *testing.T) {
+	const n = 300 // diameter 299 > 254
+	b := sgraph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(sgraph.NodeID(i), sgraph.NodeID(i+1), sgraph.Positive)
+	}
+	g := b.MustBuild()
+	for _, k := range []Kind{SPA, NNE} {
+		m := MustNewMatrix(k, g, MatrixOptions{})
+		if m.dist32 == nil {
+			t.Fatalf("%v: expected int32 distance fallback", k)
+		}
+		d, ok, _ := m.Distance(0, n-1)
+		if !ok || d != n-1 {
+			t.Fatalf("%v: Distance(0,%d) = (%d,%v), want (%d,true)", k, n-1, d, ok, n-1)
+		}
+		lazy := MustNew(k, g, Options{})
+		for _, v := range []sgraph.NodeID{1, 100, 254, 255, 299} {
+			wantD, wantOK, err := lazy.Distance(0, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotD, gotOK, _ := m.Distance(0, v)
+			if gotOK != wantOK || gotD != wantD {
+				t.Fatalf("%v: Distance(0,%d) matrix=(%d,%v) lazy=(%d,%v)", k, v, gotD, gotOK, wantD, wantOK)
+			}
+		}
+	}
+}
+
+// TestMatrixBuildPropagatesErrors: an exhausted exact-SBP budget must
+// abort the build with the balance error, exactly as Precompute on the
+// lazy relation does.
+func TestMatrixBuildPropagatesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	g := randomSignedGraph(rng, 24, 120, 0.3)
+	_, err := NewMatrix(SBP, g, MatrixOptions{
+		Options: Options{Exact: balance.ExactOptions{MaxExpanded: 1}},
+	})
+	if !errors.Is(err, balance.ErrBudgetExceeded) {
+		t.Fatalf("NewMatrix(SBP, budget=1) err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestMatrixPrecomputeNoOp: Precompute on an already-materialised
+// matrix succeeds immediately.
+func TestMatrixPrecomputeNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	g := randomSignedGraph(rng, 12, 40, 0.3)
+	m := MustNewMatrix(SPO, g, MatrixOptions{})
+	if err := Precompute(m, 4); err != nil {
+		t.Fatalf("Precompute on matrix: %v", err)
+	}
+}
+
+// TestMatrixStatsMatchLazy: ComputeStats streamed over matrix rows
+// must agree with the lazy engine for the row-symmetric relations
+// (SBPH is excluded: lazy stats measure the directed heuristic while
+// matrix rows are symmetrised; see the CompatMatrix doc).
+func TestMatrixStatsMatchLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	g := randomSignedGraph(rng, 30, 140, 0.3)
+	opts := Options{Exact: balance.ExactOptions{MaxLen: 6}} // cap SBP identically on both engines
+	for _, k := range []Kind{DPE, SPA, SPM, SPO, SBP, NNE} {
+		lazyStats, err := ComputeStats(MustNew(k, g, opts), StatsOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("%v: lazy stats: %v", k, err)
+		}
+		matStats, err := ComputeStats(MustNewMatrix(k, g, MatrixOptions{Options: opts}), StatsOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("%v: matrix stats: %v", k, err)
+		}
+		if lazyStats.Pairs != matStats.Pairs ||
+			lazyStats.CompatiblePairs != matStats.CompatiblePairs ||
+			lazyStats.DistSum != matStats.DistSum ||
+			lazyStats.DistCount != matStats.DistCount {
+			t.Fatalf("%v: stats diverge: lazy %+v matrix %+v", k, lazyStats, matStats)
+		}
+	}
+}
+
+// TestMatrixEmptyGraph: degenerate sizes must not panic.
+func TestMatrixEmptyGraph(t *testing.T) {
+	g := sgraph.NewBuilder(0).MustBuild()
+	if _, err := NewMatrix(SPM, g, MatrixOptions{}); err != nil {
+		t.Fatalf("empty graph: %v", err)
+	}
+	g1 := sgraph.NewBuilder(1).MustBuild()
+	m := MustNewMatrix(SPM, g1, MatrixOptions{})
+	if ok, _ := m.Compatible(0, 0); !ok {
+		t.Fatal("single node must be self-compatible")
+	}
+	if d, ok, _ := m.Distance(0, 0); !ok || d != 0 {
+		t.Fatalf("self distance = (%d,%v), want (0,true)", d, ok)
+	}
+}

@@ -17,22 +17,74 @@ import (
 //
 // workers ≤ 0 uses GOMAXPROCS. The first row-computation error aborts
 // the sweep.
+//
+// Matrix-backed relations (CompatMatrix) are fully materialised at
+// construction, so precomputing them is an immediate no-op.
 func Precompute(rel Relation, workers int) error {
+	if _, ok := rel.(PackedRelation); ok {
+		return nil
+	}
 	b, ok := rel.(interface {
-		row(u sgraph.NodeID) (row, error)
+		rowWith(u sgraph.NodeID, s *rowScratch) (row, error)
 	})
 	if !ok {
 		return fmt.Errorf("compat: relation %v does not support precomputation", rel.Kind())
 	}
 	n := rel.Graph().NumNodes()
+	if n == 0 {
+		return nil
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	// Only relations with scratch-assisted row computation can use the
+	// per-worker BFS scratches; for the others (SBPH, SBP) allocating
+	// them would be pure dead weight.
+	var scratches []*rowScratch
+	if sr, ok := rel.(interface{ supportsRowScratch() bool }); ok && sr.supportsRowScratch() {
+		scratches, workers = newWorkerScratches(workers, n)
 	}
-	if n == 0 {
-		return nil
+	return parallelSweep(n, workers, func(w, i int) error {
+		var s *rowScratch
+		if scratches != nil {
+			s = scratches[w]
+		}
+		_, err := b.rowWith(sgraph.NodeID(i), s)
+		return err
+	})
+}
+
+// newWorkerScratches resolves the worker count (≤0 → GOMAXPROCS,
+// clamped to [1, count]) and allocates one rowScratch per worker,
+// returning both so callers pass the same count to parallelSweep.
+func newWorkerScratches(workers, count int) ([]*rowScratch, int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > count {
+		workers = count
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	scratches := make([]*rowScratch, workers)
+	for i := range scratches {
+		scratches[i] = newRowScratch(count)
+	}
+	return scratches, workers
+}
+
+// parallelSweep runs fn(worker, i) for every i in [0, count) across
+// the given number of workers, handing out indices from a shared
+// atomic counter; the first error aborts the sweep and is returned.
+// It is the one worker-pool implementation behind Precompute,
+// ComputeStats and the CompatMatrix build.
+func parallelSweep(count, workers int, fn func(w, i int) error) error {
+	if workers > count {
+		workers = count
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	var next int64 = -1
 	var firstErr error
@@ -41,23 +93,23 @@ func Precompute(rel Relation, workers int) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				if failed.Load() {
 					return
 				}
 				i := atomic.AddInt64(&next, 1)
-				if i >= int64(n) {
+				if i >= int64(count) {
 					return
 				}
-				if _, err := b.row(sgraph.NodeID(i)); err != nil {
+				if err := fn(w, int(i)); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr

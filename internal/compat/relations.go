@@ -24,6 +24,11 @@ type rowCache struct {
 	rows    map[sgraph.NodeID]row
 	cap     int
 	compute func(u sgraph.NodeID) (row, error)
+	// computeScratch, when set, computes a persistent row using the
+	// caller-owned scratch for transient BFS state (queue, epoch
+	// stamps). Precompute's workers use it to avoid per-row transient
+	// allocations.
+	computeScratch func(u sgraph.NodeID, s *rowScratch) (row, error)
 }
 
 func newRowCache(cap int, compute func(u sgraph.NodeID) (row, error)) *rowCache {
@@ -34,7 +39,11 @@ func newRowCache(cap int, compute func(u sgraph.NodeID) (row, error)) *rowCache 
 	}
 }
 
-func (c *rowCache) get(u sgraph.NodeID) (row, error) {
+func (c *rowCache) get(u sgraph.NodeID) (row, error) { return c.getWith(u, nil) }
+
+// getWith is get with an optional per-worker scratch, used when the
+// relation supports scratch-assisted row computation.
+func (c *rowCache) getWith(u sgraph.NodeID, s *rowScratch) (row, error) {
 	c.mu.Lock()
 	if r, ok := c.rows[u]; ok {
 		c.mu.Unlock()
@@ -44,7 +53,13 @@ func (c *rowCache) get(u sgraph.NodeID) (row, error) {
 	// Compute outside the lock: rows can be expensive and concurrent
 	// callers should not serialise on one BFS. A racing duplicate
 	// computation is harmless (identical immutable rows).
-	r, err := c.compute(u)
+	var r row
+	var err error
+	if s != nil && c.computeScratch != nil {
+		r, err = c.computeScratch(u, s)
+	} else {
+		r, err = c.compute(u)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -58,6 +73,22 @@ func (c *rowCache) get(u sgraph.NodeID) (row, error) {
 	c.rows[u] = r
 	c.mu.Unlock()
 	return r, nil
+}
+
+// rowScratch bundles the reusable per-worker buffers of the all-pairs
+// sweeps (Precompute, ComputeStats, CompatMatrix construction): the
+// BFS scratch plus result/row storage that streaming consumers reuse
+// between sources.
+type rowScratch struct {
+	bfs     *signedbfs.Scratch
+	res     signedbfs.Result
+	dist    []int32
+	edgeRow edgeRow
+	spRow   spRow
+}
+
+func newRowScratch(n int) *rowScratch {
+	return &rowScratch{bfs: signedbfs.NewScratch(n)}
 }
 
 // baseRelation carries the pieces common to all relations.
@@ -79,6 +110,18 @@ type baseRelation struct {
 func (b *baseRelation) Kind() Kind                       { return b.kind }
 func (b *baseRelation) Graph() *sgraph.Graph             { return b.g }
 func (b *baseRelation) row(u sgraph.NodeID) (row, error) { return b.cache.get(u) }
+
+// rowWith is row with a per-worker scratch for the transient BFS state;
+// relations without scratch support fall back to the plain computation.
+func (b *baseRelation) rowWith(u sgraph.NodeID, s *rowScratch) (row, error) {
+	return b.cache.getWith(u, s)
+}
+
+// supportsRowScratch reports whether rowWith actually uses a scratch,
+// so Precompute only allocates per-worker scratches that will be read.
+func (b *baseRelation) supportsRowScratch() bool {
+	return b.cache.computeScratch != nil
+}
 
 func (b *baseRelation) Compatible(u, v sgraph.NodeID) (bool, error) {
 	if u == v {
@@ -130,6 +173,22 @@ func (r *edgeRelation) computeRow(u sgraph.NodeID) (row, error) {
 	return &edgeRow{g: r.g, u: u, kind: r.kind, dist: signedbfs.Distances(r.g, u)}, nil
 }
 
+// computeRowFresh builds a persistent (cacheable) row while borrowing
+// the worker's BFS scratch for transient state.
+func (r *edgeRelation) computeRowFresh(u sgraph.NodeID, s *rowScratch) (row, error) {
+	return &edgeRow{g: r.g, u: u, kind: r.kind, dist: signedbfs.DistancesInto(r.g, u, nil, s.bfs)}, nil
+}
+
+// computeRowInto builds a transient row entirely backed by the worker's
+// scratch; the row is only valid until the worker's next call. The
+// streaming statistics sweep uses it so a full Table 2 scan performs no
+// per-source allocations for this relation family.
+func (r *edgeRelation) computeRowInto(u sgraph.NodeID, s *rowScratch) (row, error) {
+	s.dist = signedbfs.DistancesInto(r.g, u, s.dist, s.bfs)
+	s.edgeRow = edgeRow{g: r.g, u: u, kind: r.kind, dist: s.dist}
+	return &s.edgeRow, nil
+}
+
 func (r *edgeRow) compatible(v sgraph.NodeID) bool {
 	s, ok := r.g.EdgeSign(r.u, v)
 	if r.kind == DPE {
@@ -157,6 +216,20 @@ type spRow struct {
 
 func (r *spRelation) computeRow(u sgraph.NodeID) (row, error) {
 	return &spRow{kind: r.kind, res: signedbfs.CountPaths(r.g, u)}, nil
+}
+
+// computeRowFresh builds a persistent row, reusing only the worker's
+// transient BFS scratch (queue + epoch stamps).
+func (r *spRelation) computeRowFresh(u sgraph.NodeID, s *rowScratch) (row, error) {
+	return &spRow{kind: r.kind, res: signedbfs.CountPathsInto(r.g, u, &signedbfs.Result{}, s.bfs)}, nil
+}
+
+// computeRowInto builds a transient scratch-backed row; see the
+// edgeRelation counterpart.
+func (r *spRelation) computeRowInto(u sgraph.NodeID, s *rowScratch) (row, error) {
+	signedbfs.CountPathsInto(r.g, u, &s.res, s.bfs)
+	s.spRow = spRow{kind: r.kind, res: &s.res}
+	return &s.spRow, nil
 }
 
 func (r *spRow) compatible(v sgraph.NodeID) bool {

@@ -3,8 +3,6 @@ package compat
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/sgraph"
 	"repro/internal/skills"
@@ -18,10 +16,13 @@ import (
 //
 // Pairs are ordered (source u, target v≠u). On the full source set
 // the ordered fraction equals the unordered one because the scanned
-// relations are row-symmetric; for SBPH the stats measure the
-// *directed* heuristic (search from u reaches v), which is what the
-// paper's algorithm emits — the Relation interface's symmetrised
-// SBPH agrees with it on canonical (min→max) queries.
+// relations are row-symmetric; for the lazy SBPH relation the stats
+// measure the *directed* heuristic (search from u reaches v), which
+// is what the paper's algorithm emits — the Relation interface's
+// symmetrised SBPH agrees with it on canonical (min→max) queries. A
+// matrix-backed SBPH relation streams its already-symmetrised rows
+// instead, so its directed-asymmetric pairs can count differently
+// (see CompatMatrix).
 type Stats struct {
 	Kind            Kind
 	Pairs           int64 // ordered pairs scanned
@@ -97,70 +98,70 @@ func ComputeStats(rel Relation, opts StatsOptions) (*Stats, error) {
 		numSkills = opts.Assign.Universe().Len()
 	}
 
+	// Scratch-capable relations (the BFS-backed families) stream rows
+	// out of per-worker reusable buffers instead of allocating one row
+	// per source.
+	srp, scratchOK := rel.(scratchRowProvider)
+
 	type acc struct {
 		stats  Stats
 		skills *SkillMatrix
 	}
 	accs := make([]acc, workers)
-	var next int64 = -1
-	var firstErr error
-	var errOnce sync.Once
-	var failed atomic.Bool
-	var wg sync.WaitGroup
+	var scratches []*rowScratch
+	if scratchOK {
+		scratches = make([]*rowScratch, workers)
+	}
 	for w := 0; w < workers; w++ {
 		if numSkills > 0 {
 			accs[w].skills = NewSkillMatrix(numSkills)
 		}
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			a := &accs[w]
-			for {
-				if failed.Load() {
-					return
-				}
-				i := atomic.AddInt64(&next, 1)
-				if i >= int64(len(sources)) {
-					return
-				}
-				u := sources[i]
-				r, err := rp.computeRow(u)
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					failed.Store(true)
-					return
-				}
-				a.stats.SourcesScanned++
-				var uSkills []skills.SkillID
-				if a.skills != nil {
-					uSkills = opts.Assign.UserSkills(u)
-					// Reflexive self-compatibility: one user holding
-					// two skills makes that skill pair compatible.
-					a.skills.markCross(uSkills, uSkills)
-				}
-				for v := sgraph.NodeID(0); int(v) < n; v++ {
-					if v == u {
-						continue
-					}
-					a.stats.Pairs++
-					if !r.compatible(v) {
-						continue
-					}
-					a.stats.CompatiblePairs++
-					if d, ok := r.distance(v); ok {
-						a.stats.DistSum += int64(d)
-						a.stats.DistCount++
-					}
-					if a.skills != nil {
-						a.skills.markCross(uSkills, opts.Assign.UserSkills(v))
-					}
-				}
-			}
-		}(w)
+		if scratchOK {
+			scratches[w] = newRowScratch(n)
+		}
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err := parallelSweep(len(sources), workers, func(w, i int) error {
+		a := &accs[w]
+		u := sources[i]
+		var r row
+		var err error
+		if scratchOK {
+			r, err = srp.computeRowInto(u, scratches[w])
+		} else {
+			r, err = rp.computeRow(u)
+		}
+		if err != nil {
+			return err
+		}
+		a.stats.SourcesScanned++
+		var uSkills []skills.SkillID
+		if a.skills != nil {
+			uSkills = opts.Assign.UserSkills(u)
+			// Reflexive self-compatibility: one user holding
+			// two skills makes that skill pair compatible.
+			a.skills.markCross(uSkills, uSkills)
+		}
+		for v := sgraph.NodeID(0); int(v) < n; v++ {
+			if v == u {
+				continue
+			}
+			a.stats.Pairs++
+			if !r.compatible(v) {
+				continue
+			}
+			a.stats.CompatiblePairs++
+			if d, ok := r.distance(v); ok {
+				a.stats.DistSum += int64(d)
+				a.stats.DistCount++
+			}
+			if a.skills != nil {
+				a.skills.markCross(uSkills, opts.Assign.UserSkills(v))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	total := &Stats{Kind: rel.Kind(), TotalSources: n}
@@ -184,6 +185,13 @@ func ComputeStats(rel Relation, opts StatsOptions) (*Stats, error) {
 // touching the relation's cache.
 type rowProvider interface {
 	computeRow(u sgraph.NodeID) (row, error)
+}
+
+// scratchRowProvider marks relations whose rows can be streamed out of
+// a per-worker scratch: the returned row aliases the scratch buffers
+// and is only valid until the worker's next computeRowInto call.
+type scratchRowProvider interface {
+	computeRowInto(u sgraph.NodeID, s *rowScratch) (row, error)
 }
 
 // SkillMatrix records which unordered skill pairs have at least one

@@ -46,6 +46,46 @@ func (b *Bitset) Reset() {
 	}
 }
 
+// Words exposes the backing word slice (bit i of word i/64 is member
+// 64*(i/64)+i%64). Callers may read it for word-parallel operations but
+// must not resize it; bits at positions ≥ Len are always zero.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// CopyFrom overwrites the set with the given words, which must have
+// the set's word length (as produced by another Bitset or a packed
+// matrix row of the same universe size).
+func (b *Bitset) CopyFrom(words []uint64) {
+	if len(words) != len(b.words) {
+		panic("container: Bitset.CopyFrom word-length mismatch")
+	}
+	copy(b.words, words)
+}
+
+// And intersects the set in place with the given words (same length
+// contract as CopyFrom).
+func (b *Bitset) And(words []uint64) {
+	if len(words) != len(b.words) {
+		panic("container: Bitset.And word-length mismatch")
+	}
+	for i, w := range words {
+		b.words[i] &= w
+	}
+}
+
+// AndCount returns the size of the intersection of two word slices —
+// popcount(a AND b) — without materialising it. Slices must have equal
+// length.
+func AndCount(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic("container: AndCount word-length mismatch")
+	}
+	c := 0
+	for i, w := range a {
+		c += bits.OnesCount64(w & b[i])
+	}
+	return c
+}
+
 // ForEach calls fn for every member in increasing order.
 func (b *Bitset) ForEach(fn func(i int)) {
 	for wi, w := range b.words {

@@ -1,0 +1,55 @@
+package container
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBitsetWordOps: CopyFrom/And/AndCount must agree with the
+// element-wise reference on random sets.
+func TestBitsetWordOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 200
+	a, b := NewBitset(n), NewBitset(n)
+	inA, inB := make([]bool, n), make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			a.Set(i)
+			inA[i] = true
+		}
+		if rng.Intn(2) == 0 {
+			b.Set(i)
+			inB[i] = true
+		}
+	}
+	wantBoth := 0
+	for i := 0; i < n; i++ {
+		if inA[i] && inB[i] {
+			wantBoth++
+		}
+	}
+	if got := AndCount(a.Words(), b.Words()); got != wantBoth {
+		t.Fatalf("AndCount = %d, want %d", got, wantBoth)
+	}
+
+	c := NewBitset(n)
+	c.CopyFrom(a.Words())
+	c.And(b.Words())
+	if c.Count() != wantBoth {
+		t.Fatalf("And count = %d, want %d", c.Count(), wantBoth)
+	}
+	for i := 0; i < n; i++ {
+		if c.Contains(i) != (inA[i] && inB[i]) {
+			t.Fatalf("And member %d = %v", i, c.Contains(i))
+		}
+	}
+}
+
+func TestBitsetWordOpsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on word-length mismatch")
+		}
+	}()
+	NewBitset(64).And(NewBitset(128).Words())
+}

@@ -66,6 +66,15 @@ type Config struct {
 	// as in the paper; the paper notes results are similar on the
 	// other networks, which this knob lets the harness verify.
 	Dataset string
+	// Engine selects the relation backend: "lazy" (the default —
+	// bounded row cache, rows computed on demand) or "matrix" (packed
+	// all-pairs precompute; every row is materialised up front, so
+	// combine with moderate scales, and note that SampleSources no
+	// longer saves row computations). Exact SBP always stays on the
+	// lazy engine: its per-source enumeration is budgeted and
+	// exponential, so an all-pairs build would abort where sampling
+	// succeeds.
+	Engine string
 }
 
 // WithDefaults fills the zero fields with the paper's parameters.
@@ -87,6 +96,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Dataset == "" {
 		c.Dataset = "epinions"
+	}
+	if c.Engine == "" {
+		c.Engine = "lazy"
 	}
 	return c
 }
@@ -126,7 +138,27 @@ func newRelation(cfg Config, k compat.Kind, g *sgraph.Graph) (compat.Relation, e
 		}
 		opts.Exact.MaxExpanded = cfg.SBPBudget
 	}
-	return compat.New(k, g, opts)
+	switch cfg.Engine {
+	case "", "lazy":
+		return compat.New(k, g, opts)
+	case "matrix":
+		if k == compat.SBP {
+			// Exact SBP is budgeted and exponential per source; an
+			// all-pairs matrix build would run it from every node and
+			// abort on the first budget error, where the sampled lazy
+			// path (Table 2 -sample, the beam ablation) succeeds. Keep
+			// SBP on the lazy engine regardless of the flag.
+			return compat.New(k, g, opts)
+		}
+		m, err := compat.NewMatrix(k, g, compat.MatrixOptions{Options: opts, Workers: cfg.Workers})
+		if err != nil {
+			// A true nil interface, not a typed-nil *CompatMatrix.
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown engine %q (want lazy or matrix)", cfg.Engine)
+	}
 }
 
 // sampleSources picks cfg.SampleSources distinct nodes, or nil (all)

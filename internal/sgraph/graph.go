@@ -98,10 +98,27 @@ func (g *Graph) NeighborSigns(u NodeID) []Sign {
 	return g.signs[g.offsets[u]:g.offsets[u+1]]
 }
 
+// smallDegreeScan is the degree below which EdgeSign scans the sorted
+// adjacency list linearly: for a handful of neighbours the scan beats
+// sort.Search's closure-call overhead.
+const smallDegreeScan = 8
+
 // EdgeSign returns the sign of edge (u,v) and whether that edge
-// exists. It runs in O(log degree(u)).
+// exists. It runs in O(log degree(u)), with a linear scan on
+// small-degree nodes.
 func (g *Graph) EdgeSign(u, v NodeID) (Sign, bool) {
 	lo, hi := int(g.offsets[u]), int(g.offsets[u+1])
+	if hi-lo <= smallDegreeScan {
+		for i := lo; i < hi; i++ {
+			switch w := g.neigh[i]; {
+			case w == v:
+				return g.signs[i], true
+			case w > v: // sorted adjacency: v cannot appear later
+				return 0, false
+			}
+		}
+		return 0, false
+	}
 	i := lo + sort.Search(hi-lo, func(i int) bool { return g.neigh[lo+i] >= v })
 	if i < hi && g.neigh[i] == v {
 		return g.signs[i], true

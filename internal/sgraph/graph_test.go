@@ -264,3 +264,46 @@ func TestDegreeSumEqualsTwiceEdges(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEdgeSignSmallAndLargeDegree: the linear-scan fast path for
+// small-degree nodes and the binary search for high-degree nodes must
+// agree with a reference walk of the adjacency list, on both sides of
+// the smallDegreeScan threshold.
+func TestEdgeSignSmallAndLargeDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// A star whose hub exceeds the scan threshold while every leaf sits
+	// below it, plus random extra edges among the leaves.
+	const n = 3 * smallDegreeScan
+	b := NewBuilder(n)
+	for v := NodeID(1); int(v) < n; v++ {
+		s := Positive
+		if v%3 == 0 {
+			s = Negative
+		}
+		b.AddEdge(0, v, s)
+	}
+	for i := 0; i < n; i++ {
+		u, v := NodeID(1+rng.Intn(n-1)), NodeID(1+rng.Intn(n-1))
+		if u != v && !b.HasEdge(u, v) {
+			b.AddEdge(u, v, Positive)
+		}
+	}
+	g := b.MustBuild()
+	if g.Degree(0) <= smallDegreeScan {
+		t.Fatalf("hub degree %d does not exercise the search path", g.Degree(0))
+	}
+	for u := NodeID(0); int(u) < n; u++ {
+		want := map[NodeID]Sign{}
+		g.Neighbors(u, func(v NodeID, s Sign) bool {
+			want[v] = s
+			return true
+		})
+		for v := NodeID(0); int(v) < n; v++ {
+			s, ok := g.EdgeSign(u, v)
+			ws, wok := want[v]
+			if ok != wok || (ok && s != ws) {
+				t.Fatalf("EdgeSign(%d,%d) = (%v,%v), want (%v,%v)", u, v, s, ok, ws, wok)
+			}
+		}
+	}
+}

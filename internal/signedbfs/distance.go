@@ -4,32 +4,14 @@ import (
 	"runtime"
 	"sync"
 
-	"repro/internal/container"
 	"repro/internal/sgraph"
 )
 
 // Distances returns the single-source shortest-path lengths from src,
-// ignoring edge signs. Unreachable nodes get Unreachable.
+// ignoring edge signs. Unreachable nodes get Unreachable. It wraps
+// DistancesInto with a fresh slice and Scratch.
 func Distances(g *sgraph.Graph, src sgraph.NodeID) []int32 {
-	n := g.NumNodes()
-	dist := make([]int32, n)
-	for i := range dist {
-		dist[i] = Unreachable
-	}
-	dist[src] = 0
-	q := container.NewIntQueue(n)
-	q.Push(src)
-	for !q.Empty() {
-		u := q.Pop()
-		du := dist[u]
-		for _, v := range g.NeighborIDs(u) {
-			if dist[v] == Unreachable {
-				dist[v] = du + 1
-				q.Push(v)
-			}
-		}
-	}
-	return dist
+	return DistancesInto(g, src, nil, NewScratch(g.NumNodes()))
 }
 
 // Eccentricity returns the largest finite distance from src, i.e. the
@@ -74,13 +56,18 @@ func Diameter(g *sgraph.Graph) int32 {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			scratch := NewScratch(n)
+			var dist []int32
 			for {
 				s := nextSource()
 				if s < 0 {
 					return
 				}
-				if e := Eccentricity(g, s); e > results[w] {
-					results[w] = e
+				dist = DistancesInto(g, s, dist, scratch)
+				for _, d := range dist {
+					if d > results[w] {
+						results[w] = d
+					}
 				}
 			}
 		}(w)
@@ -124,8 +111,11 @@ func ApproxDiameter(g *sgraph.Graph, starts []sgraph.NodeID) int32 {
 func AverageDistance(g *sgraph.Graph) float64 {
 	n := g.NumNodes()
 	var sum, cnt int64
+	scratch := NewScratch(n)
+	var dist []int32
 	for s := sgraph.NodeID(0); int(s) < n; s++ {
-		for v, d := range Distances(g, s) {
+		dist = DistancesInto(g, s, dist, scratch)
+		for v, d := range dist {
 			if d > 0 && sgraph.NodeID(v) != s {
 				sum += int64(d)
 				cnt++

@@ -69,47 +69,11 @@ func (r *Result) MajorityPositive(v sgraph.NodeID) bool {
 func (r *Result) Reachable(v sgraph.NodeID) bool { return r.Dist[v] != Unreachable }
 
 // CountPaths runs the signed path-counting BFS (Algorithm 1) from src.
+// It is a convenience wrapper over CountPathsInto with a fresh Result
+// and Scratch; all-pairs sweeps should hold one Scratch per worker and
+// call CountPathsInto directly to avoid the per-source allocations.
 func CountPaths(g *sgraph.Graph, src sgraph.NodeID) *Result {
-	n := g.NumNodes()
-	res := &Result{
-		Source: src,
-		Dist:   make([]int32, n),
-		Pos:    make([]uint64, n),
-		Neg:    make([]uint64, n),
-	}
-	for i := range res.Dist {
-		res.Dist[i] = Unreachable
-	}
-	res.Dist[src] = 0
-	res.Pos[src] = 1
-
-	q := container.NewIntQueue(n)
-	q.Push(src)
-	for !q.Empty() {
-		u := q.Pop()
-		du := res.Dist[u]
-		ids := g.NeighborIDs(u)
-		signs := g.NeighborSigns(u)
-		for i, v := range ids {
-			if res.Dist[v] == Unreachable {
-				res.Dist[v] = du + 1
-				q.Push(v)
-			}
-			if res.Dist[v] == du+1 {
-				// v is reached via a shortest path through u: all of
-				// u's shortest paths extend to v, keeping their sign
-				// on a positive edge and flipping it on a negative.
-				if signs[i] == sgraph.Positive {
-					res.Pos[v] = res.satAdd(res.Pos[v], res.Pos[u])
-					res.Neg[v] = res.satAdd(res.Neg[v], res.Neg[u])
-				} else {
-					res.Neg[v] = res.satAdd(res.Neg[v], res.Pos[u])
-					res.Pos[v] = res.satAdd(res.Pos[v], res.Neg[u])
-				}
-			}
-		}
-	}
-	return res
+	return CountPathsInto(g, src, &Result{}, NewScratch(g.NumNodes()))
 }
 
 func (r *Result) satAdd(a, b uint64) uint64 {

@@ -38,8 +38,10 @@ func RarestFirstUnsigned(g *sgraph.Graph, assign *skills.Assignment, task skills
 
 	var bestMembers []sgraph.NodeID
 	bestRadius := int32(-1)
+	scratch := signedbfs.NewScratch(g.NumNodes())
+	var dist []int32
 	for _, u := range assign.Holders(rare) {
-		dist := signedbfs.Distances(g, u)
+		dist = signedbfs.DistancesInto(g, u, dist, scratch)
 		members := []sgraph.NodeID{u}
 		radius := int32(0)
 		feasible := true
@@ -96,8 +98,10 @@ func appendUnique(members []sgraph.NodeID, v sgraph.NodeID) []sgraph.NodeID {
 // members, the cost Lappas' RarestFirst reports.
 func unsignedDiameter(g *sgraph.Graph, members []sgraph.NodeID) (int32, error) {
 	var cost int32
+	scratch := signedbfs.NewScratch(g.NumNodes())
+	var dist []int32
 	for i, u := range members {
-		dist := signedbfs.Distances(g, u)
+		dist = signedbfs.DistancesInto(g, u, dist, scratch)
 		for _, v := range members[i+1:] {
 			d := dist[v]
 			if d == signedbfs.Unreachable {

@@ -1,0 +1,98 @@
+package team
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/sgraph"
+	"repro/internal/skills"
+)
+
+// TestFormMatrixMatchesLazy: the word-parallel matrix fast paths in
+// the pickers and in CostWith must produce exactly the teams the lazy
+// engine produces, for every deterministic policy combination and
+// relation kind, on random graphs with random skill assignments.
+func TestFormMatrixMatchesLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		n := 12 + rng.Intn(20)
+		g := randomTeamGraph(rng, n, 4*n, 0.25)
+		assign := randomAssignment(t, rng, n, 6)
+		task, err := skills.RandomTask(rng, assign, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []compat.Kind{compat.SPA, compat.SPM, compat.SPO, compat.SBPH, compat.NNE} {
+			lazy := compat.MustNew(k, g, compat.Options{})
+			matrix := compat.MustNewMatrix(k, g, compat.MatrixOptions{})
+			for _, sp := range []SkillPolicy{RarestFirst, LeastCompatibleFirst} {
+				for _, up := range []UserPolicy{MinDistance, MostCompatible} {
+					for _, ck := range []CostKind{Diameter, SumDistance} {
+						opts := Options{Skill: sp, User: up, Cost: ck}
+						want, wantErr := Form(lazy, assign, task, opts)
+						got, gotErr := Form(matrix, assign, task, opts)
+						if (wantErr == nil) != (gotErr == nil) {
+							t.Fatalf("trial %d %v %v/%v/%v: lazy err=%v matrix err=%v",
+								trial, k, sp, up, ck, wantErr, gotErr)
+						}
+						if wantErr != nil {
+							if !errors.Is(wantErr, ErrNoTeam) || !errors.Is(gotErr, ErrNoTeam) {
+								t.Fatalf("trial %d %v: unexpected errors %v / %v", trial, k, wantErr, gotErr)
+							}
+							continue
+						}
+						if want.Cost != got.Cost || len(want.Members) != len(got.Members) {
+							t.Fatalf("trial %d %v %v/%v/%v: lazy team %v cost %d, matrix team %v cost %d",
+								trial, k, sp, up, ck, want.Members, want.Cost, got.Members, got.Cost)
+						}
+						for i := range want.Members {
+							if want.Members[i] != got.Members[i] {
+								t.Fatalf("trial %d %v %v/%v/%v: members %v vs %v",
+									trial, k, sp, up, ck, want.Members, got.Members)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func randomTeamGraph(rng *rand.Rand, n, m int, negFrac float64) *sgraph.Graph {
+	b := sgraph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := sgraph.NodeID(rng.Intn(n)), sgraph.NodeID(rng.Intn(n))
+		if u == v || b.HasEdge(u, v) {
+			continue
+		}
+		s := sgraph.Positive
+		if rng.Float64() < negFrac {
+			s = sgraph.Negative
+		}
+		b.AddEdge(u, v, s)
+	}
+	return b.MustBuild()
+}
+
+func randomAssignment(t *testing.T, rng *rand.Rand, n, numSkills int) *skills.Assignment {
+	t.Helper()
+	names := make([]string, numSkills)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	u, err := skills.NewUniverse(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := skills.NewAssignment(u, n)
+	for v := 0; v < n; v++ {
+		for s := 0; s < numSkills; s++ {
+			if rng.Float64() < 0.3 {
+				a.MustAdd(sgraph.NodeID(v), skills.SkillID(s))
+			}
+		}
+	}
+	return a
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/compat"
+	"repro/internal/container"
 	"repro/internal/sgraph"
 	"repro/internal/skills"
 )
@@ -73,6 +74,35 @@ func (r *skillRanker) next(covered map[skills.SkillID]bool) skills.SkillID {
 // while keeping the cost proportional to the task's holder sets.
 func SkillCompatDegrees(rel compat.Relation, assign *skills.Assignment, task skills.Task) (map[skills.SkillID]int64, error) {
 	deg := make(map[skills.SkillID]int64, len(task))
+	if len(task) == 0 {
+		return deg, nil
+	}
+	if m, ok := rel.(compat.PackedRelation); ok {
+		// Word-parallel: one holder bitset per task skill, built once,
+		// then one AND/popcount of u's row against the s2 holder set
+		// replaces |holders(s2)| interface calls per source. Diagonal
+		// bits are set, so a dual holder counts, as in the slow path.
+		// Only skills looked up as s2 (task[1:]) need a holder set.
+		holderSets := make(map[skills.SkillID]*container.Bitset, len(task))
+		for _, s := range task[1:] {
+			set := container.NewBitset(m.NumNodes())
+			for _, v := range assign.Holders(s) {
+				set.Set(int(v))
+			}
+			holderSets[s] = set
+		}
+		for i, s1 := range task {
+			for _, s2 := range task[i+1:] {
+				var cd int64
+				for _, u := range assign.Holders(s1) {
+					cd += int64(container.AndCount(m.RowWords(u), holderSets[s2].Words()))
+				}
+				deg[s1] += cd
+				deg[s2] += cd
+			}
+		}
+		return deg, nil
+	}
 	for i, s1 := range task {
 		for _, s2 := range task[i+1:] {
 			cd, err := skillPairDegree(rel, assign, s1, s2)
@@ -113,13 +143,36 @@ type userPicker struct {
 	// poolDegree, for MostCompatible: candidate → number of compatible
 	// users within the task's candidate pool.
 	poolDegree map[sgraph.NodeID]int
+	// matrix and mask are the word-parallel fast path: when the
+	// relation is matrix-backed, candidate filtering intersects row
+	// bitsets instead of issuing per-pair interface calls.
+	matrix compat.PackedRelation
+	mask   *container.Bitset
 }
 
 func newUserPicker(rel compat.Relation, assign *skills.Assignment, task skills.Task, opts Options) (*userPicker, error) {
 	p := &userPicker{rel: rel, assign: assign, policy: opts.User, cost: opts.Cost, rng: opts.Rng}
+	if m, ok := rel.(compat.PackedRelation); ok {
+		p.matrix = m
+		p.mask = container.NewBitset(m.NumNodes())
+	}
 	if opts.User == MostCompatible {
 		pool := taskPool(assign, task)
 		p.poolDegree = make(map[sgraph.NodeID]int, len(pool))
+		if p.matrix != nil {
+			// One AND/popcount per pool member over the packed rows.
+			// Every row has its own bit set (reflexivity) and u is in
+			// the pool, so subtract the self hit to match the lazy
+			// v≠u count.
+			poolSet := container.NewBitset(p.matrix.NumNodes())
+			for _, u := range pool {
+				poolSet.Set(int(u))
+			}
+			for _, u := range pool {
+				p.poolDegree[u] = container.AndCount(p.matrix.RowWords(u), poolSet.Words()) - 1
+			}
+			return p, nil
+		}
 		for _, u := range pool {
 			degree := 0
 			for _, v := range pool {
@@ -186,6 +239,20 @@ func (p *userPicker) pick(s skills.SkillID, members []sgraph.NodeID) (sgraph.Nod
 
 func (p *userPicker) compatibleCandidates(s skills.SkillID, members []sgraph.NodeID) ([]sgraph.NodeID, error) {
 	var out []sgraph.NodeID
+	if p.matrix != nil && len(members) > 0 {
+		// Word-parallel: AND the members' rows into one mask, then a
+		// bit test per holder replaces |members| interface calls.
+		p.mask.CopyFrom(p.matrix.RowWords(members[0]))
+		for _, x := range members[1:] {
+			p.mask.And(p.matrix.RowWords(x))
+		}
+		for _, v := range p.assign.Holders(s) {
+			if p.mask.Contains(int(v)) {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	}
 holders:
 	for _, v := range p.assign.Holders(s) {
 		for _, x := range members {
@@ -216,9 +283,16 @@ func (p *userPicker) pickMinDistance(candidates, members []sgraph.NodeID) (sgrap
 		contribution := int32(0)
 		defined := true
 		for _, x := range members {
-			d, ok, err := p.rel.Distance(c, x)
-			if err != nil {
-				return 0, err
+			var d int32
+			var ok bool
+			if p.matrix != nil {
+				d, ok = p.matrix.PairDistance(c, x)
+			} else {
+				var err error
+				d, ok, err = p.rel.Distance(c, x)
+				if err != nil {
+					return 0, err
+				}
 			}
 			if !ok {
 				defined = false

@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"strings"
+	"strconv"
 
 	"repro/internal/compat"
 	"repro/internal/sgraph"
@@ -211,11 +211,12 @@ func FormTopK(rel compat.Relation, assign *skills.Assignment, task skills.Task, 
 func memberKey(members []sgraph.NodeID) string {
 	sorted := append([]sgraph.NodeID(nil), members...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var b strings.Builder
+	buf := make([]byte, 0, 8*len(sorted))
 	for _, m := range sorted {
-		fmt.Fprintf(&b, "%d,", m)
+		buf = strconv.AppendInt(buf, int64(m), 10)
+		buf = append(buf, ',')
 	}
-	return b.String()
+	return string(buf)
 }
 
 // formAll is Algorithm 2's outer loop: one grown team per successful
@@ -307,14 +308,23 @@ func Cost(rel compat.Relation, members []sgraph.NodeID) (int32, error) {
 	return CostWith(rel, members, Diameter)
 }
 
-// CostWith prices a team under the chosen objective.
+// CostWith prices a team under the chosen objective. Matrix-backed
+// relations are priced with direct packed-distance lookups.
 func CostWith(rel compat.Relation, members []sgraph.NodeID, kind CostKind) (int32, error) {
+	matrix, _ := rel.(compat.PackedRelation)
 	var cost int32
 	for i, u := range members {
 		for _, v := range members[i+1:] {
-			d, ok, err := rel.Distance(u, v)
-			if err != nil {
-				return 0, err
+			var d int32
+			var ok bool
+			if matrix != nil {
+				d, ok = matrix.PairDistance(u, v)
+			} else {
+				var err error
+				d, ok, err = rel.Distance(u, v)
+				if err != nil {
+					return 0, err
+				}
 			}
 			if !ok {
 				return 0, fmt.Errorf("%w: pair (%d,%d)", errUndefinedDistance, u, v)

@@ -136,6 +136,26 @@ func MustNewRelation(kind RelationKind, g *Graph, opts RelationOptions) Relation
 	return compat.MustNew(kind, g, opts)
 }
 
+// MatrixRelationOptions tunes NewMatrixRelation (relation parameters
+// plus build parallelism).
+type MatrixRelationOptions = compat.MatrixOptions
+
+// NewMatrixRelation precomputes the packed all-pairs engine for the
+// given relation kind: one bit per node pair plus a packed distance
+// matrix, built in parallel. The result implements Relation, answers
+// point queries without ever erroring, and makes batch team formation
+// and all-pairs statistics run on word-level operations. Memory is
+// Θ(n²) bits + bytes, so prefer the lazy NewRelation on very large
+// graphs.
+func NewMatrixRelation(kind RelationKind, g *Graph, opts MatrixRelationOptions) (Relation, error) {
+	m, err := compat.NewMatrix(kind, g, opts)
+	if err != nil {
+		// Return a true nil interface, not a typed-nil *CompatMatrix.
+		return nil, err
+	}
+	return m, nil
+}
+
 // ComputeRelationStats measures compatible-pair fractions, average
 // distances and (optionally) the skill-pair compatibility matrix for
 // one relation — the measurements behind the paper's Table 2.
