@@ -49,6 +49,55 @@ func ExampleFormTeam() {
 	// Output: [0 2] 2
 }
 
+// ExampleNewMatrixRelation precomputes the packed all-pairs engine:
+// the same answers as the lazy relation, served from bitset rows.
+func ExampleNewMatrixRelation() {
+	g := signedteams.MustFromEdges(5, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Positive},
+		{U: 1, V: 2, Sign: signedteams.Positive},
+		{U: 2, V: 3, Sign: signedteams.Positive},
+		{U: 0, V: 4, Sign: signedteams.Negative},
+	})
+	rel, err := signedteams.NewMatrixRelation(signedteams.SPO, g, signedteams.MatrixRelationOptions{})
+	if err != nil {
+		panic(err)
+	}
+	chain, _ := rel.Compatible(0, 3) // all-positive path 0-1-2-3
+	foes, _ := rel.Compatible(0, 4)  // direct negative edge
+	d, ok, _ := rel.Distance(0, 3)
+	fmt.Println(chain, foes, d, ok)
+	// Output: true false 3 true
+}
+
+// ExampleNewShardedRelation builds the packed engine in row shards
+// with a residency bound of two, so one of the three shards always
+// lives in the spill file and is read back on demand.
+func ExampleNewShardedRelation() {
+	g := signedteams.MustFromEdges(6, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Positive},
+		{U: 1, V: 2, Sign: signedteams.Positive},
+		{U: 2, V: 3, Sign: signedteams.Positive},
+		{U: 3, V: 4, Sign: signedteams.Positive},
+		{U: 0, V: 5, Sign: signedteams.Negative},
+	})
+	rel, err := signedteams.NewShardedRelation(signedteams.SPO, g, signedteams.ShardedRelationOptions{
+		ShardRows:         2, // 6 nodes → 3 shards
+		MaxResidentShards: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer rel.Close()
+
+	chain, _ := rel.Compatible(0, 4) // all-positive path across shards
+	foes, _ := rel.Compatible(0, 5)  // direct negative edge
+	fmt.Println(chain, foes)
+	fmt.Println(rel.NumShards(), rel.ResidentShards() <= 2, rel.SpillLoads() > 0)
+	// Output:
+	// true false
+	// 3 true true
+}
+
 // ExampleIsBalanced demonstrates Harary's balance test.
 func ExampleIsBalanced() {
 	// "The enemy of my enemy is my friend": two negative edges and a

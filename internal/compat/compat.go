@@ -1,40 +1,6 @@
-// Package compat implements the user-compatibility relations of
-// "Forming Compatible Teams in Signed Networks" (EDBT 2020), the core
-// of the paper: given a signed graph, when can two users work
-// together?
-//
-// Seven relations are provided, ordered from strictest to most
-// relaxed (Proposition 3.5 of the paper):
-//
-//	DPE  — direct positive edge
-//	SPA  — all shortest paths positive
-//	SPM  — at least as many positive as negative shortest paths
-//	SPO  — at least one positive shortest path
-//	SBPH — heuristic structurally-balanced-path compatibility
-//	SBP  — exact structurally-balanced-path compatibility
-//	NNE  — no direct negative edge
-//
-// with Comp_DPE ⊆ Comp_SPA ⊆ Comp_SPM ⊆ Comp_SPO ⊆ Comp_SBP ⊆
-// Comp_NNE and Comp_SBPH ⊆ Comp_SBP. All relations are reflexive and
-// symmetric, satisfy positive-edge compatibility (a +1 edge implies
-// compatible) and negative-edge incompatibility (a −1 edge implies
-// incompatible).
-//
-// Every relation also defines the pairwise distance the team
-// formation cost uses: the SP family and DPE use shortest-path
-// length; SBP/SBPH use the length of the shortest structurally
-// balanced positive path (the heuristic's, for SBPH); NNE uses
-// shortest-path length ignoring signs.
-//
-// Two engines implement the Relation interface. The lazy engine
-// (relations.go) answers point queries from lazily computed per-source
-// rows held in a bounded cache, so it is cheap inside the greedy team
-// formation loop and scales to large graphs; the bulk statistics in
-// stats.go bypass the cache and stream rows out of per-worker scratch
-// instead. The matrix engine (matrix.go) precomputes the whole
-// relation into packed bitset rows plus a packed distance matrix, so
-// all-pairs and batch-query workloads run on word-level operations;
-// see CompatMatrix for the memory trade-off.
+// Relation kinds, the Relation interface and the lazy-engine
+// constructor. Package documentation lives in doc.go.
+
 package compat
 
 import (

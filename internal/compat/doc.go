@@ -1,0 +1,67 @@
+// Package compat implements the user-compatibility relations of
+// "Forming Compatible Teams in Signed Networks" (EDBT 2020), the core
+// of the paper: given a signed graph, when can two users work
+// together?
+//
+// # Relations
+//
+// Seven relations are provided, ordered from strictest to most
+// relaxed (Proposition 3.5 of the paper):
+//
+//	DPE  — direct positive edge
+//	SPA  — all shortest paths positive
+//	SPM  — at least as many positive as negative shortest paths
+//	SPO  — at least one positive shortest path
+//	SBPH — heuristic structurally-balanced-path compatibility
+//	SBP  — exact structurally-balanced-path compatibility
+//	NNE  — no direct negative edge
+//
+// with Comp_DPE ⊆ Comp_SPA ⊆ Comp_SPM ⊆ Comp_SPO ⊆ Comp_SBP ⊆
+// Comp_NNE and Comp_SBPH ⊆ Comp_SBP. All relations are reflexive and
+// symmetric, satisfy positive-edge compatibility (a +1 edge implies
+// compatible) and negative-edge incompatibility (a −1 edge implies
+// incompatible).
+//
+// Every relation also defines the pairwise distance the team
+// formation cost uses: the SP family and DPE use shortest-path
+// length; SBP/SBPH use the length of the shortest structurally
+// balanced positive path (the heuristic's, for SBPH); NNE uses
+// shortest-path length ignoring signs.
+//
+// # Engines
+//
+// Three engines implement the Relation interface and agree answer for
+// answer; they differ in how rows are computed and stored:
+//
+//   - The lazy engine (relations.go, New) answers point queries from
+//     lazily computed per-source rows held in a bounded cache, so it
+//     is cheap inside the greedy team formation loop and scales to
+//     large graphs; the bulk statistics in stats.go bypass the cache
+//     and stream rows out of per-worker scratch instead.
+//   - The matrix engine (matrix.go, NewMatrix) precomputes the whole
+//     relation into packed bitset rows plus a packed distance matrix,
+//     so all-pairs and batch-query workloads run on word-level
+//     operations; see CompatMatrix for the Θ(n²) memory trade-off.
+//   - The sharded engine (sharded.go, NewSharded) keeps the packed
+//     row layout but partitions it into row shards with bounded
+//     residency: cold shards spill to a compact temporary file and
+//     are read back on demand, so packed-row speed survives graphs
+//     whose full matrix does not fit; see ShardedMatrix.
+//
+// The packed engines expose their rows through the PackedRelation
+// capability, which the team package's pickers and cost functions
+// detect to switch to word-parallel AND/popcount fast paths.
+//
+// # The SBPH statistics caveat
+//
+// The SBPH heuristic is directional: its search from u may reach v
+// while the search from v misses u. The Relation interface restores
+// the symmetry the Comp relation requires by canonicalising queries
+// (entry (u,v) is the search from min(u,v) to max(u,v)), and the
+// packed engines materialise exactly that symmetrised relation. The
+// lazy engine's ComputeStats, however, streams the *directed*
+// heuristic rows — what the paper's algorithm emits — so SBPH
+// statistics can differ between the lazy and the packed engines on
+// directed-asymmetric pairs. All other kinds have symmetric rows and
+// agree exactly across engines. See Stats and CompatMatrix.
+package compat

@@ -1,0 +1,121 @@
+package compat
+
+import (
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/sgraph"
+	"repro/internal/signedbfs"
+)
+
+// rowSink is where a packed-relation build lands one source row: the
+// bit words of the row (owned by the backend — full matrix slab or
+// shard slab) and the packed distance writer. setDist returns
+// errDistOverflow when a distance does not fit the active packing, so
+// the caller can retry the build with wide storage.
+type rowSink struct {
+	row     func(u sgraph.NodeID) []uint64
+	setDist func(u, v sgraph.NodeID, d int32) error
+}
+
+// relationRowFiller returns the per-source row computation for one
+// relation kind, shared by every packed backend (CompatMatrix fills a
+// single slab, ShardedMatrix fills the owning shard). Every filler
+// overwrites its row completely (bits and defined distances), sets the
+// diagonal, and keeps tail bits (≥ n) zero so row popcounts are exact.
+// Undefined distances keep whatever sentinel the sink prefilled.
+func relationRowFiller(g *sgraph.Graph, kind Kind, beam int, exact balance.ExactOptions, sink rowSink) func(u sgraph.NodeID, s *rowScratch) error {
+	n := g.NumNodes()
+	distRow := func(u sgraph.NodeID, dist []int32) error {
+		for v, d := range dist {
+			if d != signedbfs.Unreachable {
+				if err := sink.setDist(u, sgraph.NodeID(v), d); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	switch kind {
+	case DPE, NNE:
+		return func(u sgraph.NodeID, s *rowScratch) error {
+			row := sink.row(u)
+			if kind == DPE {
+				zeroWords(row)
+				ids := g.NeighborIDs(u)
+				signs := g.NeighborSigns(u)
+				for i, v := range ids {
+					if signs[i] == sgraph.Positive {
+						setWordBit(row, v)
+					}
+				}
+			} else {
+				// NNE: everyone is compatible except negative
+				// neighbours — including unreachable nodes.
+				fillWords(row, n)
+				ids := g.NeighborIDs(u)
+				signs := g.NeighborSigns(u)
+				for i, v := range ids {
+					if signs[i] == sgraph.Negative {
+						clearWordBit(row, v)
+					}
+				}
+			}
+			setWordBit(row, u) // reflexivity
+			s.dist = signedbfs.DistancesInto(g, u, s.dist, s.bfs)
+			return distRow(u, s.dist)
+		}
+	case SPA, SPM, SPO:
+		return func(u sgraph.NodeID, s *rowScratch) error {
+			signedbfs.CountPathsInto(g, u, &s.res, s.bfs)
+			row := sink.row(u)
+			zeroWords(row)
+			for v := 0; v < n; v++ {
+				var ok bool
+				switch kind {
+				case SPA:
+					ok = s.res.Pos[v] > 0 && s.res.Neg[v] == 0
+				case SPM:
+					ok = s.res.Dist[v] != signedbfs.Unreachable && s.res.Pos[v] >= s.res.Neg[v]
+				default: // SPO
+					ok = s.res.Pos[v] > 0
+				}
+				if ok {
+					setWordBit(row, sgraph.NodeID(v))
+				}
+			}
+			setWordBit(row, u)
+			return distRow(u, s.res.Dist)
+		}
+	case SBPH, SBP:
+		return func(u sgraph.NodeID, s *rowScratch) error {
+			var pd *balance.PathDists
+			var err error
+			if kind == SBPH {
+				pd = balance.SBPH(g, u, beam)
+			} else {
+				pd, err = balance.ExactSBP(g, u, exact)
+				if err != nil {
+					return err
+				}
+			}
+			row := sink.row(u)
+			zeroWords(row)
+			for v, d := range pd.PosDist {
+				if d != balance.NoPath {
+					setWordBit(row, sgraph.NodeID(v))
+					if err := sink.setDist(u, sgraph.NodeID(v), d); err != nil {
+						return err
+					}
+				}
+			}
+			setWordBit(row, u)
+			return sink.setDist(u, u, 0)
+		}
+	default:
+		return func(sgraph.NodeID, *rowScratch) error {
+			return fmt.Errorf("compat: unhandled packed relation kind %v", kind)
+		}
+	}
+}

@@ -24,7 +24,6 @@ import (
 
 	"repro/internal/balance"
 	"repro/internal/sgraph"
-	"repro/internal/signedbfs"
 )
 
 // Distance-matrix packing: distances are stored as uint8 with noDist8
@@ -229,117 +228,26 @@ func (m *CompatMatrix) build(workers int, wide bool) error {
 }
 
 // rowFiller returns the per-source row computation for the matrix's
-// kind. Every filler overwrites its row completely (bits and defined
-// distances), sets the diagonal, and keeps tail bits (≥ n) zero so
-// row popcounts are exact.
+// kind, built on the shared relationRowFiller with the full-slab sink:
+// rows are views into m.bits and distances pack into the flat n×n
+// matrix. Undefined entries keep the sentinel written by build's
+// prefill.
 func (m *CompatMatrix) rowFiller(wide bool) func(u sgraph.NodeID, s *rowScratch) error {
 	n := m.n
-	// setDist packs one defined distance; undefined entries keep the
-	// sentinel written by build's prefill.
-	setDist := func(u sgraph.NodeID, v sgraph.NodeID, d int32) error {
-		if wide {
-			m.dist32[int(u)*n+int(v)] = d
+	return relationRowFiller(m.g, m.kind, m.beam, m.exact, rowSink{
+		row: m.RowWords,
+		setDist: func(u, v sgraph.NodeID, d int32) error {
+			if wide {
+				m.dist32[int(u)*n+int(v)] = d
+				return nil
+			}
+			if d > maxDist8 {
+				return errDistOverflow
+			}
+			m.dist8[int(u)*n+int(v)] = uint8(d)
 			return nil
-		}
-		if d > maxDist8 {
-			return errDistOverflow
-		}
-		m.dist8[int(u)*n+int(v)] = uint8(d)
-		return nil
-	}
-	distRow := func(u sgraph.NodeID, dist []int32) error {
-		for v, d := range dist {
-			if d != signedbfs.Unreachable {
-				if err := setDist(u, sgraph.NodeID(v), d); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-
-	switch m.kind {
-	case DPE, NNE:
-		return func(u sgraph.NodeID, s *rowScratch) error {
-			row := m.RowWords(u)
-			if m.kind == DPE {
-				zeroWords(row)
-				ids := m.g.NeighborIDs(u)
-				signs := m.g.NeighborSigns(u)
-				for i, v := range ids {
-					if signs[i] == sgraph.Positive {
-						setWordBit(row, v)
-					}
-				}
-			} else {
-				// NNE: everyone is compatible except negative
-				// neighbours — including unreachable nodes.
-				fillWords(row, n)
-				ids := m.g.NeighborIDs(u)
-				signs := m.g.NeighborSigns(u)
-				for i, v := range ids {
-					if signs[i] == sgraph.Negative {
-						clearWordBit(row, v)
-					}
-				}
-			}
-			setWordBit(row, u) // reflexivity
-			s.dist = signedbfs.DistancesInto(m.g, u, s.dist, s.bfs)
-			return distRow(u, s.dist)
-		}
-	case SPA, SPM, SPO:
-		kind := m.kind
-		return func(u sgraph.NodeID, s *rowScratch) error {
-			signedbfs.CountPathsInto(m.g, u, &s.res, s.bfs)
-			row := m.RowWords(u)
-			zeroWords(row)
-			for v := 0; v < n; v++ {
-				var ok bool
-				switch kind {
-				case SPA:
-					ok = s.res.Pos[v] > 0 && s.res.Neg[v] == 0
-				case SPM:
-					ok = s.res.Dist[v] != signedbfs.Unreachable && s.res.Pos[v] >= s.res.Neg[v]
-				default: // SPO
-					ok = s.res.Pos[v] > 0
-				}
-				if ok {
-					setWordBit(row, sgraph.NodeID(v))
-				}
-			}
-			setWordBit(row, u)
-			return distRow(u, s.res.Dist)
-		}
-	case SBPH, SBP:
-		return func(u sgraph.NodeID, s *rowScratch) error {
-			var pd *balance.PathDists
-			var err error
-			if m.kind == SBPH {
-				pd = balance.SBPH(m.g, u, m.beam)
-			} else {
-				pd, err = balance.ExactSBP(m.g, u, m.exact)
-				if err != nil {
-					return err
-				}
-			}
-			row := m.RowWords(u)
-			zeroWords(row)
-			for v, d := range pd.PosDist {
-				if d != balance.NoPath {
-					setWordBit(row, sgraph.NodeID(v))
-					if err := setDist(u, sgraph.NodeID(v), d); err != nil {
-						return err
-					}
-				}
-			}
-			setWordBit(row, u)
-			return setDist(u, u, 0)
-		}
-	default:
-		return func(sgraph.NodeID, *rowScratch) error {
-			return fmt.Errorf("compat: unhandled matrix kind %v", m.kind)
-		}
-	}
+		},
+	})
 }
 
 // symmetrise rewrites the lower triangle from the upper one, turning

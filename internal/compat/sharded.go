@@ -1,0 +1,683 @@
+// The sharded packed engine. CompatMatrix (matrix.go) materialises the
+// whole relation into one Θ(n²) slab, which stops scaling long before
+// full-size Epinions/Wikipedia. ShardedMatrix keeps the same packed row
+// layout but partitions it into fixed-height row shards: each shard is
+// built independently by the shared worker-pool sweep (one
+// signedbfs.Scratch per worker, reused across shards), at most
+// MaxResidentShards shards stay in memory behind an LRU, and cold
+// shards spill to a compact temporary file that is read back on demand.
+// It implements Relation and PackedRelation, so the team pickers,
+// CostWith, Precompute and ComputeStats all run on it unchanged.
+//
+// The SBPH symmetrisation that CompatMatrix performs with a full
+// transient copy of the bit matrix (n²/8 bytes) is replaced here by a
+// blocked two-pass scheme over shard-pair tiles: only the diagonal tile
+// needs a snapshot, and only of its own shard, so the peak transient
+// memory during symmetrise is bounded by a single shard's bit slab on
+// top of the two resident shards the tile pass holds.
+
+package compat
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/balance"
+	"repro/internal/container"
+	"repro/internal/sgraph"
+)
+
+// DefaultShardRows is the default shard height of a ShardedMatrix.
+const DefaultShardRows = 512
+
+// ShardedOptions tunes ShardedMatrix construction.
+type ShardedOptions struct {
+	// Options carries the relation parameters (SBPH beam width, exact
+	// SBP budgets); the row-cache capacity is ignored.
+	Options
+	// Workers bounds the build parallelism; ≤0 uses GOMAXPROCS.
+	Workers int
+	// ShardRows is the number of relation rows per shard; ≤0 selects
+	// DefaultShardRows. Values ≥ NumNodes degenerate to a single
+	// shard (a CompatMatrix layout without the monolithic slab).
+	ShardRows int
+	// MaxResidentShards bounds how many shards stay in memory; ≤0 (or
+	// a value ≥ the shard count) keeps everything resident and never
+	// spills. Spilling clamps the bound to at least 2: the blocked
+	// symmetrise pass and tile operations need a shard pair resident.
+	MaxResidentShards int
+	// SpillDir is where the cold-shard file is created; "" uses the
+	// system temporary directory.
+	SpillDir string
+}
+
+// ShardedMatrix is the packed all-pairs compatibility relation split
+// into row shards with bounded residency: the same bitset rows and
+// packed distances as CompatMatrix, but only MaxResidentShards shards
+// held in memory while the rest live in a compact spill file. Point
+// queries transparently reload cold shards (counting each reload in
+// SpillLoads), so it serves graphs whose full Θ(n²) matrix does not
+// fit while keeping the word-parallel fast paths of PackedRelation.
+//
+// Rows agree with CompatMatrix and the lazy relation of the same kind
+// on every pair, including SBPH's canonicalised symmetry; ComputeStats
+// on an SBPH ShardedMatrix measures the symmetrised relation, exactly
+// like CompatMatrix and unlike the lazy engine (see Stats).
+//
+// Concurrency: all shard bookkeeping is guarded by one mutex, so the
+// type is safe for concurrent use; row slices returned by RowWords
+// remain valid after eviction (buffers are immutable once built and
+// reloads allocate fresh ones). Spill I/O failures after construction
+// are reported as errors from Compatible/Distance and as panics from
+// the error-free PackedRelation fast paths (RowWords, PairDistance).
+// Call Close to release the spill file; Close is a no-op when nothing
+// ever spilled.
+type ShardedMatrix struct {
+	g         *sgraph.Graph
+	kind      Kind
+	n         int
+	stride    int // uint64 words per bit row
+	shardRows int
+	numShards int
+	maxRes    int // resident-shard bound; numShards when not spilling
+	wide      bool
+
+	beam  int
+	exact balance.ExactOptions
+
+	mu       sync.Mutex
+	shards   []shardState
+	lru      *container.IndexLRU // evictable (resident, unpinned) shards
+	resident int
+	spill    *shardSpill
+	spillDir string
+	closed   bool
+
+	// Observability and test hooks.
+	spillLoads      int64
+	peakResident    int
+	symSnapshotPeak int // bytes of the largest symmetrise snapshot
+}
+
+// shardState is one row shard: rows [index*shardRows, …) of the packed
+// matrix. bits == nil means the shard is spilled.
+type shardState struct {
+	rows   int
+	bits   []uint64
+	dist8  []uint8
+	dist32 []int32
+	dirty  bool // resident content newer than the spilled copy
+	pins   int  // build/tile passes holding the shard in place
+}
+
+// NewSharded builds the sharded packed relation of kind k over g. The
+// build sweeps one shard at a time with the shared worker pool (one
+// BFS scratch per worker, reused across shards) and spills finished
+// shards as the residency bound fills; the first row error aborts the
+// build. Like NewMatrix, a relation distance beyond uint8 packing
+// transparently rebuilds with int32 distance storage.
+func NewSharded(k Kind, g *sgraph.Graph, opts ShardedOptions) (*ShardedMatrix, error) {
+	if k < 0 || k >= numKinds {
+		return nil, fmt.Errorf("compat: unknown relation kind %d", int(k))
+	}
+	n := g.NumNodes()
+	shardRows := opts.ShardRows
+	if shardRows <= 0 {
+		shardRows = DefaultShardRows
+	}
+	if shardRows > n && n > 0 {
+		shardRows = n
+	}
+	numShards := 0
+	if n > 0 {
+		numShards = (n + shardRows - 1) / shardRows
+	}
+	maxRes := opts.MaxResidentShards
+	if maxRes <= 0 || maxRes >= numShards {
+		maxRes = numShards // fully resident, no spill
+	} else if maxRes < 2 {
+		maxRes = 2 // tile passes need a resident shard pair
+	}
+	m := &ShardedMatrix{
+		g:         g,
+		kind:      k,
+		n:         n,
+		stride:    (n + 63) / 64,
+		shardRows: shardRows,
+		numShards: numShards,
+		maxRes:    maxRes,
+		beam:      opts.BeamWidth,
+		exact:     opts.Exact,
+		spillDir:  opts.SpillDir,
+	}
+	if m.beam <= 0 {
+		m.beam = balance.DefaultBeamWidth
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	err := m.build(workers, false)
+	if errors.Is(err, errDistOverflow) {
+		// A distance beyond uint8 packing exists: rebuild every shard
+		// with exact int32 storage (fresh spill file, fresh slabs).
+		err = m.build(workers, true)
+	}
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustNewSharded is NewSharded that panics on error, for tests and
+// benchmarks with known-good arguments.
+func MustNewSharded(k Kind, g *sgraph.Graph, opts ShardedOptions) *ShardedMatrix {
+	m, err := NewSharded(k, g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Kind returns the relation kind the matrix materialises.
+func (m *ShardedMatrix) Kind() Kind { return m.kind }
+
+// Graph returns the underlying signed graph.
+func (m *ShardedMatrix) Graph() *sgraph.Graph { return m.g }
+
+// NumNodes returns the node count of the underlying graph.
+func (m *ShardedMatrix) NumNodes() int { return m.n }
+
+// WordsPerRow returns the uint64 word length of each bit row, the
+// container.NewBitset(NumNodes) layout, like CompatMatrix.
+func (m *ShardedMatrix) WordsPerRow() int { return m.stride }
+
+// NumShards returns the number of row shards.
+func (m *ShardedMatrix) NumShards() int { return m.numShards }
+
+// ShardRows returns the shard height (the last shard may be shorter).
+func (m *ShardedMatrix) ShardRows() int { return m.shardRows }
+
+// MaxResidentShards returns the effective residency bound.
+func (m *ShardedMatrix) MaxResidentShards() int { return m.maxRes }
+
+// ResidentShards returns how many shards are currently in memory.
+func (m *ShardedMatrix) ResidentShards() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resident
+}
+
+// SpillLoads returns how many shard reloads the matrix has performed —
+// zero when everything stayed resident.
+func (m *ShardedMatrix) SpillLoads() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.spillLoads
+}
+
+// Close releases the spill file. Resident shards stay queryable, but
+// a query touching a spilled shard after Close errors (or panics on
+// the PackedRelation fast paths). Close is idempotent.
+func (m *ShardedMatrix) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.spill == nil {
+		m.closed = true
+		return nil
+	}
+	m.closed = true
+	err := m.spill.close()
+	m.spill = nil
+	return err
+}
+
+// Compatible reports whether u and v are compatible. It errors only
+// when a spilled shard cannot be reloaded.
+func (m *ShardedMatrix) Compatible(u, v sgraph.NodeID) (bool, error) {
+	words, _, _, err := m.rowView(u)
+	if err != nil {
+		return false, err
+	}
+	return words[int(v)>>6]&(1<<uint(int(v)&63)) != 0, nil
+}
+
+// Distance returns the relation distance of (u,v) and whether it is
+// defined. It errors only when a spilled shard cannot be reloaded.
+func (m *ShardedMatrix) Distance(u, v sgraph.NodeID) (int32, bool, error) {
+	_, d8, d32, err := m.rowView(u)
+	if err != nil {
+		return 0, false, err
+	}
+	if d32 != nil {
+		d := d32[v]
+		return d, d != noDist32, nil
+	}
+	d := d8[v]
+	return int32(d), d != noDist8, nil
+}
+
+// PairDistance is Distance without the error, for hot loops that have
+// already recognised the packed backend; it panics if a spilled shard
+// cannot be reloaded.
+func (m *ShardedMatrix) PairDistance(u, v sgraph.NodeID) (int32, bool) {
+	_, d8, d32, err := m.rowView(u)
+	if err != nil {
+		panic(err)
+	}
+	if d32 != nil {
+		d := d32[v]
+		return d, d != noDist32
+	}
+	d := d8[v]
+	return int32(d), d != noDist8
+}
+
+// RowWords returns u's packed compatibility row (bit v set ⇔
+// Compatible(u,v); bits ≥ NumNodes are zero). The slice is immutable
+// and stays valid even after the owning shard is evicted; it panics if
+// a spilled shard cannot be reloaded. The caller must not modify it.
+func (m *ShardedMatrix) RowWords(u sgraph.NodeID) []uint64 {
+	words, _, _, err := m.rowView(u)
+	if err != nil {
+		panic(err)
+	}
+	return words
+}
+
+// computeRow lets ComputeStats stream sharded rows like any other
+// relation's: one shard touch per source row, then lock-free scans
+// over the returned views.
+func (m *ShardedMatrix) computeRow(u sgraph.NodeID) (row, error) {
+	words, d8, d32, err := m.rowView(u)
+	if err != nil {
+		return nil, err
+	}
+	return shardedRowView{words: words, dist8: d8, dist32: d32}, nil
+}
+
+// shardedRowView is one source row detached from shard bookkeeping:
+// plain slices, no locking per query.
+type shardedRowView struct {
+	words  []uint64
+	dist8  []uint8
+	dist32 []int32
+}
+
+func (r shardedRowView) compatible(v sgraph.NodeID) bool {
+	return r.words[int(v)>>6]&(1<<uint(int(v)&63)) != 0
+}
+
+func (r shardedRowView) distance(v sgraph.NodeID) (int32, bool) {
+	if r.dist32 != nil {
+		d := r.dist32[v]
+		return d, d != noDist32
+	}
+	d := r.dist8[v]
+	return int32(d), d != noDist8
+}
+
+// rowView resolves row u to its bit words and packed distance row,
+// reloading the owning shard if it is cold.
+func (m *ShardedMatrix) rowView(u sgraph.NodeID) ([]uint64, []uint8, []int32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := int(u) / m.shardRows
+	sh, err := m.residentLocked(s)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r := int(u) - s*m.shardRows
+	words := sh.bits[r*m.stride : (r+1)*m.stride]
+	if m.wide {
+		return words, nil, sh.dist32[r*m.n : (r+1)*m.n], nil
+	}
+	return words, sh.dist8[r*m.n : (r+1)*m.n], nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Residency bookkeeping. All helpers below require m.mu held.
+
+// residentLocked returns shard s, reloading it from the spill file if
+// it is cold. Room is made before the load, so residency never
+// exceeds the bound (pinned shards excepted).
+func (m *ShardedMatrix) residentLocked(s int) (*shardState, error) {
+	sh := &m.shards[s]
+	if sh.bits == nil {
+		if m.spill == nil {
+			return nil, fmt.Errorf("compat: shard %d is spilled but the spill file is closed", s)
+		}
+		if err := m.makeRoomLocked(); err != nil {
+			return nil, err
+		}
+		m.allocShard(sh)
+		if err := m.spill.read(s, sh.bits, sh.dist8, sh.dist32); err != nil {
+			sh.bits, sh.dist8, sh.dist32 = nil, nil, nil
+			return nil, err
+		}
+		m.spillLoads++
+		m.admitLocked()
+	}
+	if sh.pins == 0 {
+		m.lru.Touch(s)
+	}
+	return sh, nil
+}
+
+// admitLocked counts one freshly materialised shard.
+func (m *ShardedMatrix) admitLocked() {
+	m.resident++
+	if m.resident > m.peakResident {
+		m.peakResident = m.resident
+	}
+}
+
+// pinLocked makes shard s resident and exempts it from eviction.
+func (m *ShardedMatrix) pinLocked(s int) (*shardState, error) {
+	sh, err := m.residentLocked(s)
+	if err != nil {
+		return nil, err
+	}
+	sh.pins++
+	m.lru.Remove(s)
+	return sh, nil
+}
+
+// unpinLocked releases a pin, making the shard evictable again.
+func (m *ShardedMatrix) unpinLocked(s int) {
+	sh := &m.shards[s]
+	sh.pins--
+	if sh.pins == 0 {
+		m.lru.Touch(s)
+	}
+}
+
+// makeRoomLocked evicts least-recently-used unpinned shards until one
+// more shard fits within the residency bound. Dirty victims are
+// written to the spill file (created lazily on the first eviction)
+// before their buffers are released; when every resident shard is
+// pinned it returns without evicting (the bound then transiently
+// stretches, which only the ≤2-pin tile passes can cause).
+func (m *ShardedMatrix) makeRoomLocked() error {
+	for m.resident >= m.maxRes {
+		victim := m.lru.PopBack()
+		if victim < 0 {
+			return nil // everything resident is pinned
+		}
+		sh := &m.shards[victim]
+		if sh.dirty {
+			if err := m.ensureSpillLocked(); err != nil {
+				return err
+			}
+			if err := m.spill.write(victim, sh.bits, sh.dist8, sh.dist32); err != nil {
+				return err
+			}
+			sh.dirty = false
+		}
+		sh.bits, sh.dist8, sh.dist32 = nil, nil, nil
+		m.resident--
+	}
+	return nil
+}
+
+// ensureSpillLocked lazily creates the spill file on first eviction.
+func (m *ShardedMatrix) ensureSpillLocked() error {
+	if m.spill != nil {
+		return nil
+	}
+	sizes := make([]int64, m.numShards)
+	for i := range sizes {
+		sizes[i] = m.shardBytes(m.shardLen(i))
+	}
+	sp, err := newShardSpill(m.spillDir, sizes)
+	if err != nil {
+		return err
+	}
+	m.spill = sp
+	return nil
+}
+
+// allocShard allocates the resident buffers for one shard (contents
+// overwritten by the build filler or the spill read).
+func (m *ShardedMatrix) allocShard(sh *shardState) {
+	sh.bits = make([]uint64, sh.rows*m.stride)
+	if m.wide {
+		sh.dist32 = make([]int32, sh.rows*m.n)
+	} else {
+		sh.dist8 = make([]uint8, sh.rows*m.n)
+	}
+}
+
+// shardLen returns the row count of shard s (the last may be short).
+func (m *ShardedMatrix) shardLen(s int) int {
+	rows := m.shardRows
+	if base := s * m.shardRows; base+rows > m.n {
+		rows = m.n - base
+	}
+	return rows
+}
+
+// shardBytes returns the spill-slot size of a shard with the given
+// row count under the active distance packing.
+func (m *ShardedMatrix) shardBytes(rows int) int64 {
+	distBytes := int64(rows) * int64(m.n)
+	if m.wide {
+		distBytes *= 4
+	}
+	return int64(rows)*int64(m.stride)*8 + distBytes
+}
+
+// ---------------------------------------------------------------------------
+// Construction.
+
+// build fills every shard, spilling as the residency bound fills, then
+// runs the blocked symmetrise pass for SBPH. wide selects int32
+// distance storage; a uint8 build returns errDistOverflow on the first
+// too-large distance and NewSharded retries wide.
+func (m *ShardedMatrix) build(workers int, wide bool) error {
+	m.mu.Lock()
+	// Reset any previous attempt (the uint8 → int32 retry).
+	if m.spill != nil {
+		m.spill.close()
+		m.spill = nil
+	}
+	m.wide = wide
+	m.shards = make([]shardState, m.numShards)
+	for s := range m.shards {
+		m.shards[s].rows = m.shardLen(s)
+	}
+	m.lru = container.NewIndexLRU(m.numShards)
+	m.resident = 0
+	m.spillLoads = 0
+	m.peakResident = 0
+	m.symSnapshotPeak = 0
+	m.mu.Unlock()
+	if m.n == 0 {
+		return nil
+	}
+
+	// One scratch per worker, shared across every shard sweep: the
+	// BFS state is sized for the whole graph, not the shard.
+	scratches, workers := newWorkerScratches(workers, m.n)
+	for s := 0; s < m.numShards; s++ {
+		if err := m.buildShard(s, workers, scratches); err != nil {
+			return err
+		}
+	}
+	if m.kind == SBPH {
+		return m.symmetrise(workers)
+	}
+	return nil
+}
+
+// buildShard computes shard s's directed rows with the worker pool.
+// The shard is materialised fresh (it has no spilled copy yet) and
+// pinned for the duration of the sweep.
+func (m *ShardedMatrix) buildShard(s int, workers int, scratches []*rowScratch) error {
+	m.mu.Lock()
+	sh := &m.shards[s]
+	if err := m.makeRoomLocked(); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.allocShard(sh)
+	m.admitLocked()
+	sh.pins++
+	m.mu.Unlock()
+
+	base := s * m.shardRows
+	if !m.wide {
+		for i := range sh.dist8 {
+			sh.dist8[i] = noDist8
+		}
+	} else {
+		for i := range sh.dist32 {
+			sh.dist32[i] = noDist32
+		}
+	}
+	fill := relationRowFiller(m.g, m.kind, m.beam, m.exact, m.shardSink(sh, base))
+	err := parallelSweep(sh.rows, workers, func(w, i int) error {
+		return fill(sgraph.NodeID(base+i), scratches[w])
+	})
+
+	m.mu.Lock()
+	sh.dirty = true
+	m.unpinLocked(s)
+	m.mu.Unlock()
+	return err
+}
+
+// shardSink adapts the shared relation filler to one shard's slabs.
+// Row indices arrive as global node ids and are rebased onto the
+// shard; the caller guarantees they fall inside it.
+func (m *ShardedMatrix) shardSink(sh *shardState, base int) rowSink {
+	return rowSink{
+		row: func(u sgraph.NodeID) []uint64 {
+			r := int(u) - base
+			return sh.bits[r*m.stride : (r+1)*m.stride]
+		},
+		setDist: func(u, v sgraph.NodeID, d int32) error {
+			r := int(u) - base
+			if m.wide {
+				sh.dist32[r*m.n+int(v)] = d
+				return nil
+			}
+			if d > maxDist8 {
+				return errDistOverflow
+			}
+			sh.dist8[r*m.n+int(v)] = uint8(d)
+			return nil
+		},
+	}
+}
+
+// symmetrise rewrites the lower triangle from the upper one in
+// shard-pair tiles, turning the directed SBPH rows into the
+// canonicalised relation (entry (u,v) becomes row min(u,v)'s view of
+// max(u,v)) exactly as CompatMatrix.symmetrise does — but without the
+// full-matrix snapshot. For an off-diagonal tile (a < b) the writes
+// touch only shard b and the reads only shard a's upper-triangle
+// entries, which no tile ever modifies, so no copy is needed at all;
+// the diagonal tile snapshots its own shard's bit slab (one word can
+// mix lower- and upper-triangle bits of two rows being processed in
+// parallel). Peak transient memory is therefore one shard bit slab on
+// top of the two pinned shards.
+func (m *ShardedMatrix) symmetrise(workers int) error {
+	var snapshot []uint64 // diagonal-tile scratch, reused across shards
+	for b := 0; b < m.numShards; b++ {
+		m.mu.Lock()
+		shB, err := m.pinLocked(b)
+		m.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		bBase := b * m.shardRows
+		for a := 0; a <= b; a++ {
+			if a == b {
+				if cap(snapshot) < len(shB.bits) {
+					snapshot = make([]uint64, len(shB.bits))
+					if bytes := len(snapshot) * 8; bytes > m.symSnapshotPeak {
+						m.symSnapshotPeak = bytes
+					}
+				}
+				snap := snapshot[:len(shB.bits)]
+				copy(snap, shB.bits)
+				err = m.symmetriseTile(workers, shB, bBase, shardTile{
+					bits: snap, dist8: shB.dist8, dist32: shB.dist32, base: bBase,
+					rows: shB.rows,
+				})
+			} else {
+				m.mu.Lock()
+				shA, pinErr := m.pinLocked(a)
+				m.mu.Unlock()
+				if pinErr != nil {
+					return pinErr
+				}
+				err = m.symmetriseTile(workers, shB, bBase, shardTile{
+					bits: shA.bits, dist8: shA.dist8, dist32: shA.dist32,
+					base: a * m.shardRows, rows: shA.rows,
+				})
+				m.mu.Lock()
+				m.unpinLocked(a)
+				m.mu.Unlock()
+			}
+			if err != nil {
+				return err
+			}
+		}
+		m.mu.Lock()
+		shB.dirty = true
+		m.unpinLocked(b)
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// shardTile is the read side of one symmetrise tile: the source
+// shard's slabs (or the diagonal snapshot) with its global row base.
+type shardTile struct {
+	bits   []uint64
+	dist8  []uint8
+	dist32 []int32
+	base   int
+	rows   int
+}
+
+// symmetriseTile rewrites, for every row u of shard dst, the columns
+// falling in src's row range with v < u: bit (u,v) := src bit (v,u)
+// and dist (u,v) := src dist (v,u). Writes land only in dst and reads
+// only in src's upper-triangle entries, so rows proceed in parallel.
+func (m *ShardedMatrix) symmetriseTile(workers int, dst *shardState, dstBase int, src shardTile) error {
+	stride, n := m.stride, m.n
+	return parallelSweep(dst.rows, workers, func(_, i int) error {
+		u := dstBase + i
+		row := dst.bits[i*stride : (i+1)*stride]
+		vEnd := src.base + src.rows
+		if vEnd > u {
+			vEnd = u // strictly lower triangle
+		}
+		for v := src.base; v < vEnd; v++ {
+			sr := v - src.base
+			if src.bits[sr*stride+u>>6]&(1<<uint(u&63)) != 0 {
+				setWordBit(row, sgraph.NodeID(v))
+			} else {
+				clearWordBit(row, sgraph.NodeID(v))
+			}
+			if m.wide {
+				dst.dist32[i*n+v] = src.dist32[sr*n+u]
+			} else {
+				dst.dist8[i*n+v] = src.dist8[sr*n+u]
+			}
+		}
+		return nil
+	})
+}
+
+// Compile-time interface checks.
+var (
+	_ Relation       = (*ShardedMatrix)(nil)
+	_ PackedRelation = (*ShardedMatrix)(nil)
+)

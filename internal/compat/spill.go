@@ -1,0 +1,107 @@
+package compat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// shardSpill is the cold store of a ShardedMatrix: one temporary file
+// holding every shard in a compact fixed-layout slot — the row bit
+// words little-endian, then the packed distance entries (raw bytes for
+// uint8 storage, little-endian for the int32 fallback). Slots are
+// written with WriteAt and read back with ReadAt, so concurrent-free
+// single-owner access needs no seeking state.
+//
+// The file is unlinked immediately after creation when the platform
+// allows it (the usual unix anonymous-tempfile idiom), so crashed
+// processes leak no disk; close releases the descriptor and removes
+// the file if the early unlink was refused.
+type shardSpill struct {
+	f       *os.File
+	path    string // non-empty only when the early unlink failed
+	offsets []int64
+	buf     []byte // encode/decode scratch, guarded by the owner's lock
+}
+
+// newShardSpill creates the spill file in dir ("" = the system temp
+// directory) with one slot per entry of sizes (bytes).
+func newShardSpill(dir string, sizes []int64) (*shardSpill, error) {
+	f, err := os.CreateTemp(dir, "signedteams-shards-*.spill")
+	if err != nil {
+		return nil, fmt.Errorf("compat: creating shard spill file: %w", err)
+	}
+	sp := &shardSpill{f: f}
+	if err := os.Remove(f.Name()); err != nil {
+		sp.path = f.Name() // e.g. windows: defer removal to close
+	}
+	sp.offsets = make([]int64, len(sizes))
+	var off, maxSize int64
+	for i, size := range sizes {
+		sp.offsets[i] = off
+		off += size
+		if size > maxSize {
+			maxSize = size
+		}
+	}
+	sp.buf = make([]byte, maxSize)
+	return sp, nil
+}
+
+// write stores shard i's buffers into its slot. Exactly one of dist8
+// and dist32 is non-nil, matching the matrix's active packing.
+func (sp *shardSpill) write(i int, bits []uint64, dist8 []uint8, dist32 []int32) error {
+	b := sp.buf[:0]
+	for _, w := range bits {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	if dist8 != nil {
+		b = append(b, dist8...)
+	} else {
+		for _, d := range dist32 {
+			b = binary.LittleEndian.AppendUint32(b, uint32(d))
+		}
+	}
+	if _, err := sp.f.WriteAt(b, sp.offsets[i]); err != nil {
+		return fmt.Errorf("compat: spilling shard %d: %w", i, err)
+	}
+	return nil
+}
+
+// read restores shard i's slot into the caller-allocated buffers,
+// which must match the sizes the slot was written with.
+func (sp *shardSpill) read(i int, bits []uint64, dist8 []uint8, dist32 []int32) error {
+	size := len(bits) * 8
+	if dist8 != nil {
+		size += len(dist8)
+	} else {
+		size += len(dist32) * 4
+	}
+	b := sp.buf[:size]
+	if _, err := sp.f.ReadAt(b, sp.offsets[i]); err != nil {
+		return fmt.Errorf("compat: reloading shard %d: %w", i, err)
+	}
+	for j := range bits {
+		bits[j] = binary.LittleEndian.Uint64(b[j*8:])
+	}
+	b = b[len(bits)*8:]
+	if dist8 != nil {
+		copy(dist8, b)
+	} else {
+		for j := range dist32 {
+			dist32[j] = int32(binary.LittleEndian.Uint32(b[j*4:]))
+		}
+	}
+	return nil
+}
+
+// close releases the spill file; safe to call once on a valid spill.
+func (sp *shardSpill) close() error {
+	err := sp.f.Close()
+	if sp.path != "" {
+		if rmErr := os.Remove(sp.path); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}

@@ -16,13 +16,27 @@ import (
 //
 // Pairs are ordered (source u, target v≠u). On the full source set
 // the ordered fraction equals the unordered one because the scanned
-// relations are row-symmetric; for the lazy SBPH relation the stats
-// measure the *directed* heuristic (search from u reaches v), which
-// is what the paper's algorithm emits — the Relation interface's
-// symmetrised SBPH agrees with it on canonical (min→max) queries. A
-// matrix-backed SBPH relation streams its already-symmetrised rows
-// instead, so its directed-asymmetric pairs can count differently
-// (see CompatMatrix).
+// relations are row-symmetric.
+//
+// # SBPH stats depend on the engine
+//
+// For SBPH — and only SBPH — the numbers ComputeStats reports depend
+// on which engine computed them:
+//
+//   - The lazy engine streams the *directed* heuristic rows ("the
+//     search from u reaches v"), which is what the paper's algorithm
+//     emits. The Relation interface's symmetrised SBPH agrees with it
+//     on canonical (min→max) queries.
+//   - The packed engines (CompatMatrix, ShardedMatrix) stream their
+//     already-symmetrised rows — entry (u,v) is the search from
+//     min(u,v) to max(u,v) — so directed-asymmetric pairs can count
+//     differently from the lazy engine. The two packed engines agree
+//     with each other exactly.
+//
+// All other kinds have symmetric rows and identical stats on every
+// engine. When recording SBPH results, note the engine that produced
+// them (the experiment harness stamps it into Table 2 rows and table
+// titles for exactly this reason).
 type Stats struct {
 	Kind            Kind
 	Pairs           int64 // ordered pairs scanned

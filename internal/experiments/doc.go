@@ -1,0 +1,36 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section (Section 5) on the synthetic dataset
+// stand-ins:
+//
+//	Table 1      — dataset statistics
+//	Table 2      — compatibility relation comparison (incl. SBP vs SBPH)
+//	Table 3      — unsigned team formation vs signed compatibility
+//	Figure 2(a)  — solution rate per algorithm (LCMD, LCMC, RANDOM, MAX)
+//	Figure 2(b)  — team diameter per algorithm
+//	Figure 2(c)  — solution rate vs task size (LCMD)
+//	Figure 2(d)  — team diameter vs task size (LCMD)
+//	PolicyGrid   — the paper's 2×2 skill/user policy ablation
+//
+// Each experiment returns typed rows; render.go turns them into
+// aligned text tables. Everything is deterministic in Config.Seed.
+// EXPERIMENTS.md records measured-vs-paper numbers and discusses the
+// shape comparisons.
+//
+// # Relation engines
+//
+// Config.Engine selects the compat backend every experiment builds
+// its relations with: "lazy" (default), "matrix" (full packed
+// precompute) or "sharded" (packed row shards with bounded residency
+// and disk spill, tuned by Config.ShardRows and
+// Config.MaxResidentShards). Exact SBP always stays on the lazy
+// engine, because its budgeted exponential enumeration would abort an
+// all-pairs build that source sampling completes.
+//
+// Engine choice is measurement-relevant for one cell family: SBPH
+// statistics from ComputeStats differ between the lazy engine (which
+// streams the directed heuristic, as the paper's algorithm emits) and
+// the packed engines (which materialise the symmetrised relation the
+// Relation interface exposes) — see compat.Stats. Table 2 rows
+// therefore carry the engine name and the renderers print it, so
+// recorded results stay attributable to their backend.
+package experiments

@@ -1,20 +1,6 @@
-// Package experiments regenerates every table and figure of the
-// paper's evaluation section (Section 5) on the synthetic dataset
-// stand-ins:
-//
-//	Table 1      — dataset statistics
-//	Table 2      — compatibility relation comparison (incl. SBP vs SBPH)
-//	Table 3      — unsigned team formation vs signed compatibility
-//	Figure 2(a)  — solution rate per algorithm (LCMD, LCMC, RANDOM, MAX)
-//	Figure 2(b)  — team diameter per algorithm
-//	Figure 2(c)  — solution rate vs task size (LCMD)
-//	Figure 2(d)  — team diameter vs task size (LCMD)
-//	PolicyGrid   — the paper's 2×2 skill/user policy ablation
-//
-// Each experiment returns typed rows; render.go turns them into
-// aligned text tables. Everything is deterministic in Config.Seed.
-// EXPERIMENTS.md records measured-vs-paper numbers and discusses the
-// shape comparisons.
+// Config, dataset loading and the relation-engine selection shared by
+// every experiment. Package documentation lives in doc.go.
+
 package experiments
 
 import (
@@ -67,14 +53,22 @@ type Config struct {
 	// other networks, which this knob lets the harness verify.
 	Dataset string
 	// Engine selects the relation backend: "lazy" (the default —
-	// bounded row cache, rows computed on demand) or "matrix" (packed
+	// bounded row cache, rows computed on demand), "matrix" (packed
 	// all-pairs precompute; every row is materialised up front, so
 	// combine with moderate scales, and note that SampleSources no
-	// longer saves row computations). Exact SBP always stays on the
-	// lazy engine: its per-source enumeration is budgeted and
-	// exponential, so an all-pairs build would abort where sampling
-	// succeeds.
+	// longer saves row computations) or "sharded" (the packed rows
+	// partitioned into row shards with bounded residency and cold
+	// shards spilled to disk — all-pairs speed without the Θ(n²)
+	// resident footprint). Exact SBP always stays on the lazy engine:
+	// its per-source enumeration is budgeted and exponential, so an
+	// all-pairs build would abort where sampling succeeds.
 	Engine string
+	// ShardRows is the sharded engine's rows-per-shard
+	// (0 = compat.DefaultShardRows); ignored by the other engines.
+	ShardRows int
+	// MaxResidentShards bounds how many shards the sharded engine
+	// keeps in memory (0 = all, never spill); ignored otherwise.
+	MaxResidentShards int
 }
 
 // WithDefaults fills the zero fields with the paper's parameters.
@@ -141,14 +135,27 @@ func newRelation(cfg Config, k compat.Kind, g *sgraph.Graph) (compat.Relation, e
 	switch cfg.Engine {
 	case "", "lazy":
 		return compat.New(k, g, opts)
-	case "matrix":
+	case "matrix", "sharded":
 		if k == compat.SBP {
 			// Exact SBP is budgeted and exponential per source; an
-			// all-pairs matrix build would run it from every node and
+			// all-pairs packed build would run it from every node and
 			// abort on the first budget error, where the sampled lazy
 			// path (Table 2 -sample, the beam ablation) succeeds. Keep
 			// SBP on the lazy engine regardless of the flag.
 			return compat.New(k, g, opts)
+		}
+		if cfg.Engine == "sharded" {
+			m, err := compat.NewSharded(k, g, compat.ShardedOptions{
+				Options:           opts,
+				Workers:           cfg.Workers,
+				ShardRows:         cfg.ShardRows,
+				MaxResidentShards: cfg.MaxResidentShards,
+			})
+			if err != nil {
+				// A true nil interface, not a typed-nil *ShardedMatrix.
+				return nil, err
+			}
+			return m, nil
 		}
 		m, err := compat.NewMatrix(k, g, compat.MatrixOptions{Options: opts, Workers: cfg.Workers})
 		if err != nil {
@@ -157,7 +164,32 @@ func newRelation(cfg Config, k compat.Kind, g *sgraph.Graph) (compat.Relation, e
 		}
 		return m, nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown engine %q (want lazy or matrix)", cfg.Engine)
+		return nil, fmt.Errorf("experiments: unknown engine %q (want lazy, matrix or sharded)", cfg.Engine)
+	}
+}
+
+// engineFor names the engine newRelation actually selects for kind k
+// under cfg — "lazy" for exact SBP even when a packed engine is
+// configured (see the carve-out in newRelation) — so result rows are
+// attributed to the backend that really computed them.
+func engineFor(cfg Config, k compat.Kind) string {
+	switch cfg.Engine {
+	case "matrix", "sharded":
+		if k == compat.SBP {
+			return "lazy"
+		}
+		return cfg.Engine
+	default:
+		return "lazy"
+	}
+}
+
+// closeRelation releases relation-held resources once a harness step
+// is done with it. Only the sharded engine holds any (its spill
+// file); the other engines are plain memory and this is a no-op.
+func closeRelation(rel compat.Relation) {
+	if c, ok := rel.(interface{ Close() error }); ok {
+		c.Close()
 	}
 }
 

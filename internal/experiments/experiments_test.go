@@ -130,6 +130,70 @@ func TestTable2SkipsSBPOffSlashdot(t *testing.T) {
 	}
 }
 
+// TestTable2EnginesAgree: the three relation engines must produce the
+// same Table 2 rows for the row-symmetric relations, and the two
+// packed engines must agree on everything including SBPH (both
+// measure the symmetrised relation; the lazy engine's directed SBPH
+// heuristic is the documented exception). The sharded run uses shards
+// small enough that most of them live in the spill file.
+func TestTable2EnginesAgree(t *testing.T) {
+	base := tinyConfig()
+	base.SampleSources = 25
+	run := func(engine string) map[compat.Kind]Table2Row {
+		cfg := base
+		cfg.Engine = engine
+		if engine == "sharded" {
+			cfg.ShardRows = 16
+			cfg.MaxResidentShards = 2
+		}
+		rows, err := Table2(cfg, []string{"slashdot"})
+		if err != nil {
+			t.Fatalf("Table2 engine=%s: %v", engine, err)
+		}
+		got := map[compat.Kind]Table2Row{}
+		for _, r := range rows {
+			// SBP rows are always attributed to the lazy engine: the
+			// packed engines never build exact SBP.
+			want := engineFor(cfg, r.Relation)
+			if r.Engine != want {
+				t.Fatalf("row %v attributes engine %q, want %q", r.Relation, r.Engine, want)
+			}
+			r.Engine = "" // compare measurements, not attribution
+			got[r.Relation] = r
+		}
+		return got
+	}
+	lazy, matrix, sharded := run("lazy"), run("matrix"), run("sharded")
+	for _, k := range Table2Relations() {
+		if k != compat.SBPH { // documented lazy-vs-packed SBPH divergence
+			if lazy[k] != matrix[k] {
+				t.Fatalf("%v: lazy %+v != matrix %+v", k, lazy[k], matrix[k])
+			}
+		}
+		m, s := matrix[k], sharded[k]
+		if m != s {
+			t.Fatalf("%v: matrix %+v != sharded %+v", k, m, s)
+		}
+	}
+	shardedCfg := base
+	shardedCfg.Engine = "sharded"
+	rows, err := Table2(shardedCfg, []string{"slashdot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderTable2(rows).String(); !strings.Contains(out, "engine=sharded") {
+		t.Fatalf("render title missing engine attribution:\n%s", out)
+	}
+}
+
+func TestUnknownEngineRejected(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Engine = "gpu"
+	if _, err := Table2(cfg, []string{"slashdot"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
 func TestTable3(t *testing.T) {
 	rows, err := Table3(tinyConfig())
 	if err != nil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/compat"
 	"repro/internal/texttable"
@@ -26,13 +27,31 @@ func RenderTable1(rows []Table1Row) *texttable.Table {
 }
 
 // RenderTable2 formats Table 2 rows grouped per dataset, with the
-// relations as columns as in the paper.
+// relations as columns as in the paper. The title names the relation
+// engine that produced the rows: results are only comparable within
+// one engine (the packed engines measure the symmetrised SBPH
+// relation, the lazy engine the directed heuristic).
 func RenderTable2(rows []Table2Row) *texttable.Table {
 	headers := []string{"dataset", "metric"}
 	for _, k := range Table2Relations() {
 		headers = append(headers, k.String())
 	}
-	t := texttable.New(headers...).SetTitle("Table 2: Comparison of compatibility relations")
+	title := "Table 2: Comparison of compatibility relations"
+	// Attribute every engine that produced rows (exact SBP stays on
+	// the lazy engine even under a packed -engine flag, so a packed
+	// run legitimately lists two).
+	seen := map[string]bool{}
+	var engines []string
+	for _, r := range rows {
+		if r.Engine != "" && !seen[r.Engine] {
+			seen[r.Engine] = true
+			engines = append(engines, r.Engine)
+		}
+	}
+	if len(engines) > 0 {
+		title += fmt.Sprintf(" [engine=%s]", strings.Join(engines, "+"))
+	}
+	t := texttable.New(headers...).SetTitle(title)
 
 	byDataset := map[string]map[compat.Kind]Table2Row{}
 	var order []string

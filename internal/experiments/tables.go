@@ -51,8 +51,16 @@ func Table1(cfg Config, names []string) ([]Table1Row, error) {
 // Table2Row is one (dataset, relation) cell group of the paper's
 // Table 2.
 type Table2Row struct {
-	Dataset    string
-	Relation   compat.Kind
+	Dataset  string
+	Relation compat.Kind
+	// Engine names the relation backend that actually produced the
+	// row ("lazy", "matrix" or "sharded"), so results stay
+	// attributable: on SBPH the packed engines measure the
+	// symmetrised relation while the lazy engine measures the
+	// directed heuristic (see compat.Stats). Exact SBP rows always
+	// read "lazy" — newRelation keeps SBP on the lazy engine even
+	// under a packed Config.Engine.
+	Engine     string
 	CompUsers  float64 // fraction of compatible user pairs
 	CompSkills float64 // fraction of compatible skill pairs
 	AvgDist    float64 // average relation-distance between compatible users
@@ -95,12 +103,14 @@ func Table2(cfg Config, names []string) ([]Table2Row, error) {
 				Workers: cfg.Workers,
 				Assign:  d.Assign,
 			})
+			closeRelation(rel)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: table 2 %s/%v: %w", name, k, err)
 			}
 			rows = append(rows, Table2Row{
 				Dataset:    name,
 				Relation:   k,
+				Engine:     engineFor(cfg, k),
 				CompUsers:  stats.UserFraction(),
 				CompSkills: stats.Skills.Fraction(d.Assign),
 				AvgDist:    stats.AvgDistance(),
@@ -165,12 +175,14 @@ func Table3(cfg Config) ([]Table3Row, error) {
 			for _, members := range teams {
 				ok, err := team.Compatible(rel, members)
 				if err != nil {
+					closeRelation(rel)
 					return nil, err
 				}
 				if ok {
 					compatible++
 				}
 			}
+			closeRelation(rel)
 			frac := 0.0
 			if len(teams) > 0 {
 				frac = float64(compatible) / float64(len(teams))

@@ -1,0 +1,32 @@
+// Package signedbfs implements Algorithm 1 of "Forming Compatible
+// Teams in Signed Networks" (EDBT 2020): a single-source BFS over a
+// signed graph that counts, for every reachable node, the number of
+// positive and of negative shortest paths from the source.
+//
+// The sign of a path is the product of its edge signs. Walking a
+// positive edge preserves every path's sign; walking a negative edge
+// flips it. The BFS therefore propagates the counter pair (N+, N−)
+// along shortest-path DAG edges, swapping the pair on negative edges.
+//
+// Shortest-path counts grow exponentially in the worst case, so the
+// production counters are saturating uint64s: an overflowing addition
+// sticks to MaxUint64 and the result records that saturation happened.
+// Zero/non-zero tests (all the SPA/SPO compatibility logic needs) are
+// always exact; the SPM majority comparison can be inexact only when
+// both counters of the same node saturate, which Result.Saturated
+// exposes. CountPathsBig is an exact math/big variant used by tests
+// and the path-counting ablation to cross-check.
+//
+// # Allocation discipline
+//
+// CountPaths and Distances allocate per call; the *Into variants
+// write into caller-owned result storage and take a Scratch for all
+// transient traversal state (queue, epoch-stamped discovery marks),
+// so a warm (result, Scratch) pair performs no heap allocations. The
+// all-pairs sweeps in the compat package — Precompute, ComputeStats,
+// the CompatMatrix build and the per-shard builds of ShardedMatrix —
+// rely on this: each worker owns one Scratch and reuses it across all
+// sources it is handed, whether those sources span the whole graph or
+// one row shard at a time. CI's alloc-regression smoke test keeps the
+// warm path at 0 allocs/op.
+package signedbfs

@@ -1,21 +1,6 @@
-// Package signedbfs implements Algorithm 1 of "Forming Compatible
-// Teams in Signed Networks" (EDBT 2020): a single-source BFS over a
-// signed graph that counts, for every reachable node, the number of
-// positive and of negative shortest paths from the source.
-//
-// The sign of a path is the product of its edge signs. Walking a
-// positive edge preserves every path's sign; walking a negative edge
-// flips it. The BFS therefore propagates the counter pair (N+, N−)
-// along shortest-path DAG edges, swapping the pair on negative edges.
-//
-// Shortest-path counts grow exponentially in the worst case, so the
-// production counters are saturating uint64s: an overflowing addition
-// sticks to MaxUint64 and the result records that saturation happened.
-// Zero/non-zero tests (all the SPA/SPO compatibility logic needs) are
-// always exact; the SPM majority comparison can be inexact only when
-// both counters of the same node saturate, which Result.Saturated
-// exposes. CountPathsBig is an exact math/big variant used by tests
-// and the path-counting ablation to cross-check.
+// The allocating single-source entry points and the saturating
+// counter arithmetic. Package documentation lives in doc.go.
+
 package signedbfs
 
 import (

@@ -1,0 +1,25 @@
+// Package team implements the team formation algorithms of "Forming
+// Compatible Teams in Signed Networks" (EDBT 2020): the generic greedy
+// Algorithm 2 with its pluggable skill- and user-selection policies,
+// the RANDOM baseline, the classic unsigned RarestFirst comparator of
+// Lappas et al. (KDD 2009) used by the paper's Table 3, and an
+// exhaustive exact solver used as a test oracle on small instances.
+//
+// A team for task T under compatibility relation Comp is a node set X
+// that covers T's skills, is pairwise Comp-compatible, and minimises
+// Cost(X) — the team diameter, i.e. the largest pairwise
+// relation-distance between members.
+//
+// # Relation engines
+//
+// Every algorithm takes a compat.Relation and works with any of the
+// three engines (lazy, matrix, sharded). When the relation also
+// implements compat.PackedRelation — the matrix and sharded engines
+// do — the candidate filter, the pool-degree counts of the
+// MostCompatible policy and the cost functions switch to word-parallel
+// bitset AND/popcount over packed rows instead of per-pair interface
+// calls, which is what makes batch team formation several times
+// faster on packed backends. The produced teams are identical across
+// engines for every deterministic policy combination (see
+// matrix_test.go).
+package team

@@ -10,11 +10,13 @@ import (
 	"repro/internal/skills"
 )
 
-// TestFormMatrixMatchesLazy: the word-parallel matrix fast paths in
+// TestFormPackedMatchesLazy: the word-parallel packed fast paths in
 // the pickers and in CostWith must produce exactly the teams the lazy
 // engine produces, for every deterministic policy combination and
-// relation kind, on random graphs with random skill assignments.
-func TestFormMatrixMatchesLazy(t *testing.T) {
+// relation kind, on random graphs with random skill assignments —
+// both for the monolithic matrix and for the sharded engine serving
+// most rows across the spill boundary.
+func TestFormPackedMatchesLazy(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 6; trial++ {
 		n := 12 + rng.Intn(20)
@@ -26,36 +28,46 @@ func TestFormMatrixMatchesLazy(t *testing.T) {
 		}
 		for _, k := range []compat.Kind{compat.SPA, compat.SPM, compat.SPO, compat.SBPH, compat.NNE} {
 			lazy := compat.MustNew(k, g, compat.Options{})
-			matrix := compat.MustNewMatrix(k, g, compat.MatrixOptions{})
+			sharded := compat.MustNewSharded(k, g, compat.ShardedOptions{
+				ShardRows:         3,
+				MaxResidentShards: 2,
+			})
+			packed := map[string]compat.Relation{
+				"matrix":  compat.MustNewMatrix(k, g, compat.MatrixOptions{}),
+				"sharded": sharded,
+			}
 			for _, sp := range []SkillPolicy{RarestFirst, LeastCompatibleFirst} {
 				for _, up := range []UserPolicy{MinDistance, MostCompatible} {
 					for _, ck := range []CostKind{Diameter, SumDistance} {
 						opts := Options{Skill: sp, User: up, Cost: ck}
 						want, wantErr := Form(lazy, assign, task, opts)
-						got, gotErr := Form(matrix, assign, task, opts)
-						if (wantErr == nil) != (gotErr == nil) {
-							t.Fatalf("trial %d %v %v/%v/%v: lazy err=%v matrix err=%v",
-								trial, k, sp, up, ck, wantErr, gotErr)
-						}
-						if wantErr != nil {
-							if !errors.Is(wantErr, ErrNoTeam) || !errors.Is(gotErr, ErrNoTeam) {
-								t.Fatalf("trial %d %v: unexpected errors %v / %v", trial, k, wantErr, gotErr)
+						for engine, rel := range packed {
+							got, gotErr := Form(rel, assign, task, opts)
+							if (wantErr == nil) != (gotErr == nil) {
+								t.Fatalf("trial %d %v %v/%v/%v: lazy err=%v %s err=%v",
+									trial, k, sp, up, ck, wantErr, engine, gotErr)
 							}
-							continue
-						}
-						if want.Cost != got.Cost || len(want.Members) != len(got.Members) {
-							t.Fatalf("trial %d %v %v/%v/%v: lazy team %v cost %d, matrix team %v cost %d",
-								trial, k, sp, up, ck, want.Members, want.Cost, got.Members, got.Cost)
-						}
-						for i := range want.Members {
-							if want.Members[i] != got.Members[i] {
-								t.Fatalf("trial %d %v %v/%v/%v: members %v vs %v",
-									trial, k, sp, up, ck, want.Members, got.Members)
+							if wantErr != nil {
+								if !errors.Is(wantErr, ErrNoTeam) || !errors.Is(gotErr, ErrNoTeam) {
+									t.Fatalf("trial %d %v: unexpected errors %v / %v", trial, k, wantErr, gotErr)
+								}
+								continue
+							}
+							if want.Cost != got.Cost || len(want.Members) != len(got.Members) {
+								t.Fatalf("trial %d %v %v/%v/%v: lazy team %v cost %d, %s team %v cost %d",
+									trial, k, sp, up, ck, want.Members, want.Cost, engine, got.Members, got.Cost)
+							}
+							for i := range want.Members {
+								if want.Members[i] != got.Members[i] {
+									t.Fatalf("trial %d %v %v/%v/%v: members %v vs %s %v",
+										trial, k, sp, up, ck, want.Members, engine, got.Members)
+								}
 							}
 						}
 					}
 				}
 			}
+			sharded.Close()
 		}
 	}
 }

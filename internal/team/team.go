@@ -1,14 +1,6 @@
-// Package team implements the team formation algorithms of "Forming
-// Compatible Teams in Signed Networks" (EDBT 2020): the generic greedy
-// Algorithm 2 with its pluggable skill- and user-selection policies,
-// the RANDOM baseline, the classic unsigned RarestFirst comparator of
-// Lappas et al. (KDD 2009) used by the paper's Table 3, and an
-// exhaustive exact solver used as a test oracle on small instances.
-//
-// A team for task T under compatibility relation Comp is a node set X
-// that covers T's skills, is pairwise Comp-compatible, and minimises
-// Cost(X) — the team diameter, i.e. the largest pairwise
-// relation-distance between members.
+// Algorithm 2, its policy knobs and the cost functions. Package
+// documentation lives in doc.go.
+
 package team
 
 import (

@@ -1,41 +1,7 @@
-// Package signedteams is a Go implementation of "Forming Compatible
-// Teams in Signed Networks" (Kouvatis, Semertzidis, Zerva, Pitoura,
-// Tsaparas — EDBT 2020).
-//
-// Given a social network whose edges are signed (+1 friend / −1 foe),
-// the package answers two questions:
-//
-//  1. Compatibility — can two users work together? Seven relations of
-//     increasing permissiveness are provided, built on the theory of
-//     structural balance: DPE, SPA, SPM, SPO, SBPH, SBP and NNE (see
-//     RelationKind).
-//  2. Team formation — given a task (a set of required skills), find
-//     a team that covers the skills, is pairwise compatible, and has
-//     small communication cost (team diameter).
-//
-// # Quickstart
-//
-//	b := signedteams.NewBuilder(4)
-//	b.AddEdge(0, 1, signedteams.Positive)
-//	b.AddEdge(1, 2, signedteams.Positive)
-//	b.AddEdge(0, 3, signedteams.Negative)
-//	g := b.MustBuild()
-//
-//	rel := signedteams.MustNewRelation(signedteams.SPO, g, signedteams.RelationOptions{})
-//	ok, _ := rel.Compatible(0, 2) // true: the shortest path 0→2 is positive
-//
-// Team formation on top of a skill assignment:
-//
-//	univ, _ := signedteams.NewUniverse([]string{"go", "sql"})
-//	assign := signedteams.NewAssignment(univ, g.NumNodes())
-//	assign.MustAdd(0, 0)
-//	assign.MustAdd(2, 1)
-//	team, err := signedteams.FormTeam(rel, assign, signedteams.NewTask(0, 1), signedteams.FormOptions{})
-//
-// The subpackages used by the paper's evaluation — synthetic dataset
-// stand-ins, the experiment harness regenerating every table and
-// figure — are exposed through datasets.go in this package. Everything
-// is implemented on the Go standard library alone.
+// The root package API: graph construction, compatibility relations
+// (all three engines) and team formation. Package documentation lives
+// in doc.go.
+
 package signedteams
 
 import (
@@ -154,6 +120,30 @@ func NewMatrixRelation(kind RelationKind, g *Graph, opts MatrixRelationOptions) 
 		return nil, err
 	}
 	return m, nil
+}
+
+// ShardedRelationOptions tunes NewShardedRelation: the relation
+// parameters plus build parallelism, shard height (ShardRows) and the
+// resident-shard bound (MaxResidentShards) that triggers disk spill.
+type ShardedRelationOptions = compat.ShardedOptions
+
+// ShardedRelation is the sharded packed engine returned by
+// NewShardedRelation, exposed concretely so callers can reach its
+// observability methods (NumShards, ResidentShards, SpillLoads) and
+// Close.
+type ShardedRelation = compat.ShardedMatrix
+
+// NewShardedRelation precomputes the packed all-pairs engine in
+// row shards with bounded memory: each shard is built by a worker
+// pool, at most MaxResidentShards shards stay in memory behind an
+// LRU, and cold shards spill to a compact temporary file that point
+// queries transparently read back. The result implements Relation
+// with the same word-parallel fast paths as NewMatrixRelation, so
+// team formation and statistics run on it unchanged — use it when
+// the full Θ(n²) matrix does not fit but packed-row speed is still
+// wanted. Call Close on the result to release the spill file.
+func NewShardedRelation(kind RelationKind, g *Graph, opts ShardedRelationOptions) (*ShardedRelation, error) {
+	return compat.NewSharded(kind, g, opts)
 }
 
 // ComputeRelationStats measures compatible-pair fractions, average
