@@ -462,6 +462,116 @@ func BenchmarkFormTeamEngines(b *testing.B) {
 	})
 }
 
+// BenchmarkSolverForm measures the reusable solver's plan/scratch
+// split: "fresh" pays plan compilation per solve (the package-level
+// Form), "warm" reuses a compiled plan and the solver's scratch — the
+// serving path, which must stay at 0 allocs/op on the matrix engine
+// (the CI alloc smoke watches this).
+func BenchmarkSolverForm(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := compat.MustNewMatrix(compat.SPM, d.Graph, compat.MatrixOptions{})
+	task, err := skills.RandomTask(rand.New(rand.NewSource(3)), d.Assign, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := team.Options{Skill: team.LeastCompatibleFirst, User: team.MinDistance}
+	solver := team.NewSolver(rel, d.Assign, team.SolverOptions{Workers: 1})
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Form(task, opts); err != nil && !errors.Is(err, team.ErrNoTeam) {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		plan, err := solver.Plan(task, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var tm team.Team
+		for i := 0; i < 2; i++ { // fill the scratch pool and buffers
+			if err := plan.FormInto(&tm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := plan.FormInto(&tm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFormBatch races a sequential package-level Form loop
+// against Solver.FormBatch on every engine — the batch-serving
+// speedup the solver exists for (plan/scratch reuse plus the worker
+// pool). The acceptance bar is batch ≥ 2× loop on the matrix engine.
+func BenchmarkFormBatch(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var tasks []skills.Task
+	for i := 0; i < 32; i++ {
+		t, err := skills.RandomTask(rng, d.Assign, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = append(tasks, t)
+	}
+	opts := team.Options{Skill: team.LeastCompatibleFirst, User: team.MinDistance}
+	engines := []struct {
+		name  string
+		build func() compat.Relation
+	}{
+		{"lazy", func() compat.Relation {
+			rel := compat.MustNew(compat.SPM, d.Graph, compat.Options{CacheCap: d.Graph.NumNodes() + 1})
+			if err := compat.Precompute(rel, 0); err != nil {
+				b.Fatal(err)
+			}
+			return rel
+		}},
+		{"matrix", func() compat.Relation {
+			return compat.MustNewMatrix(compat.SPM, d.Graph, compat.MatrixOptions{})
+		}},
+		{"sharded", func() compat.Relation {
+			return compat.MustNewSharded(compat.SPM, d.Graph, compat.ShardedOptions{})
+		}},
+	}
+	for _, e := range engines {
+		rel := e.build()
+		b.Run(e.name+"/loop", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, task := range tasks {
+					if _, err := team.Form(rel, d.Assign, task, opts); err != nil && !errors.Is(err, team.ErrNoTeam) {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(len(tasks))/b.Elapsed().Seconds(), "tasks/s")
+		})
+		b.Run(e.name+"/batch", func(b *testing.B) {
+			solver := team.NewSolver(rel, d.Assign, team.SolverOptions{})
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.FormBatch(tasks, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(len(tasks))/b.Elapsed().Seconds(), "tasks/s")
+		})
+		if c, ok := rel.(interface{ Close() error }); ok {
+			c.Close()
+		}
+	}
+}
+
 func BenchmarkSignedBFSRow(b *testing.B) {
 	d, err := datasets.EpinionsSim(1, 0)
 	if err != nil {

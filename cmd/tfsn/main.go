@@ -3,11 +3,19 @@
 // compatibility relation and a task, it prints the formed team, its
 // members' skills and the team diameter.
 //
+// The serving-oriented knobs mirror the experiment harness: -engine
+// selects the relation backend (lazy row cache, packed matrix, or the
+// sharded spill-capable matrix), -parallel bounds the solver's worker
+// pool, and -batch switches to batch mode — sample many random tasks
+// and solve them all through one reusable solver, reporting solved
+// fraction, average cost and throughput.
+//
 // Usage:
 //
 //	tfsn -dataset epinions -relation SPO -k 5
 //	tfsn -dataset slashdot -relation SBPH -task "skill-0002,skill-0005"
 //	tfsn -edges g.edges -skills g.skills -relation NNE -k 3
+//	tfsn -dataset epinions -relation SPM -engine matrix -k 5 -batch 200
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/compat"
 	"repro/internal/datasets"
@@ -25,73 +34,105 @@ import (
 	"repro/internal/team"
 )
 
+// config collects the parsed flags.
+type config struct {
+	dataset, edgesPath, skillsTSV string
+	seed                          int64
+	scale                         float64
+	relation, taskSpec            string
+	k                             int
+	skillPol, userPol, costKind   string
+	topk, maxSeeds                int
+
+	engine            string
+	shardRows         int
+	maxResidentShards int
+	parallel          int
+	batch             int
+}
+
 func main() {
-	var (
-		dataset   = flag.String("dataset", "", "built-in dataset: slashdot, epinions or wikipedia")
-		edgesPath = flag.String("edges", "", "signed edge list file (with -skills, instead of -dataset)")
-		skillsTSV = flag.String("skills", "", "skill assignment TSV file")
-		seed      = flag.Int64("seed", 1, "dataset / task sampling seed")
-		scale     = flag.Float64("scale", 0, "built-in dataset scale (0 = default)")
-		relation  = flag.String("relation", "SPO", "compatibility relation: DPE, SPA, SPM, SPO, SBPH, SBP, NNE")
-		taskSpec  = flag.String("task", "", "comma-separated skill names for the task")
-		k         = flag.Int("k", 0, "instead of -task: sample a random task of k skills")
-		skillPol  = flag.String("skill-policy", "leastcompatible", "skill policy: rarest or leastcompatible")
-		userPol   = flag.String("user-policy", "mindistance", "user policy: mindistance, mostcompatible or random")
-		costKind  = flag.String("cost", "diameter", "cost objective: diameter or sumdistance")
-		topk      = flag.Int("topk", 1, "return up to this many distinct teams")
-		maxSeeds  = flag.Int("maxseeds", 0, "cap Algorithm 2 seeds (0 = all)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.dataset, "dataset", "", "built-in dataset: slashdot, epinions or wikipedia")
+	flag.StringVar(&cfg.edgesPath, "edges", "", "signed edge list file (with -skills, instead of -dataset)")
+	flag.StringVar(&cfg.skillsTSV, "skills", "", "skill assignment TSV file")
+	flag.Int64Var(&cfg.seed, "seed", 1, "dataset / task sampling seed")
+	flag.Float64Var(&cfg.scale, "scale", 0, "built-in dataset scale (0 = default)")
+	flag.StringVar(&cfg.relation, "relation", "SPO", "compatibility relation: DPE, SPA, SPM, SPO, SBPH, SBP, NNE")
+	flag.StringVar(&cfg.taskSpec, "task", "", "comma-separated skill names for the task")
+	flag.IntVar(&cfg.k, "k", 0, "instead of -task: sample a random task of k skills")
+	flag.StringVar(&cfg.skillPol, "skill-policy", "leastcompatible", "skill policy: rarest or leastcompatible")
+	flag.StringVar(&cfg.userPol, "user-policy", "mindistance", "user policy: mindistance, mostcompatible or random")
+	flag.StringVar(&cfg.costKind, "cost", "diameter", "cost objective: diameter or sumdistance")
+	flag.IntVar(&cfg.topk, "topk", 1, "return up to this many distinct teams")
+	flag.IntVar(&cfg.maxSeeds, "maxseeds", 0, "cap Algorithm 2 seeds (0 = all)")
+	flag.StringVar(&cfg.engine, "engine", "lazy", "relation engine: lazy (cached rows, on demand), matrix (packed all-pairs precompute) or sharded (packed rows in spillable shards)")
+	flag.IntVar(&cfg.shardRows, "shard-rows", 0, "sharded engine: rows per shard (0 = default)")
+	flag.IntVar(&cfg.maxResidentShards, "max-resident-shards", 0, "sharded engine: shards kept in memory, rest spilled to disk (0 = all resident)")
+	flag.IntVar(&cfg.parallel, "parallel", 0, "solver workers for the seed loop and batch mode (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.batch, "batch", 0, "batch mode: sample this many random tasks of -k skills and solve them all")
 	flag.Parse()
-	if err := run(*dataset, *edgesPath, *skillsTSV, *seed, *scale, *relation, *taskSpec, *k, *skillPol, *userPol, *costKind, *topk, *maxSeeds); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tfsn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, edgesPath, skillsTSV string, seed int64, scale float64, relation, taskSpec string, k int, skillPol, userPol, costKind string, topk, maxSeeds int) error {
-	d, err := loadData(dataset, edgesPath, skillsTSV, seed, scale)
+func run(cfg config) error {
+	d, err := loadData(cfg)
 	if err != nil {
 		return err
 	}
-	kind, err := compat.ParseKind(relation)
+	kind, err := compat.ParseKind(cfg.relation)
 	if err != nil {
 		return err
 	}
-	rel, err := compat.New(kind, d.Graph, compat.Options{})
+	rel, engine, err := buildRelation(kind, d.Graph, cfg)
 	if err != nil {
 		return err
 	}
-	task, err := resolveTask(d.Assign, taskSpec, k, seed)
+	if c, ok := rel.(interface{ Close() error }); ok {
+		defer c.Close()
+	}
+	opts, err := parsePolicies(cfg.skillPol, cfg.userPol, cfg.seed)
 	if err != nil {
 		return err
 	}
-	opts, err := parsePolicies(skillPol, userPol, seed)
-	if err != nil {
-		return err
-	}
-	opts.MaxSeeds = maxSeeds
-	switch strings.ToLower(costKind) {
+	opts.MaxSeeds = cfg.maxSeeds
+	switch strings.ToLower(cfg.costKind) {
 	case "diameter":
 		opts.Cost = team.Diameter
 	case "sumdistance", "sum":
 		opts.Cost = team.SumDistance
 	default:
-		return fmt.Errorf("unknown cost %q (want diameter or sumdistance)", costKind)
+		return fmt.Errorf("unknown cost %q (want diameter or sumdistance)", cfg.costKind)
 	}
-	if topk <= 0 {
-		return fmt.Errorf("-topk must be positive, got %d", topk)
+	if cfg.topk <= 0 {
+		return fmt.Errorf("-topk must be positive, got %d", cfg.topk)
 	}
 
 	fmt.Printf("dataset  %s (%d users, %d edges, %d negative)\n",
 		d.Name, d.Graph.NumNodes(), d.Graph.NumEdges(), d.Graph.NumNegativeEdges())
+	solver := team.NewSolver(rel, d.Assign, team.SolverOptions{Workers: cfg.parallel})
+	if cfg.batch > 0 {
+		if cfg.taskSpec != "" {
+			return errors.New("-batch samples random tasks and cannot be combined with -task; pass -k instead")
+		}
+		return runBatch(cfg, d, solver, kind, engine, opts)
+	}
+
+	task, err := resolveTask(d.Assign, cfg.taskSpec, cfg.k, cfg.seed)
+	if err != nil {
+		return err
+	}
 	names := make([]string, len(task))
 	for i, s := range task {
 		names[i] = d.Assign.Universe().Name(s)
 	}
 	fmt.Printf("task     {%s}\n", strings.Join(names, ", "))
-	fmt.Printf("relation %v, policies %v/%v, cost %v\n\n", kind, opts.Skill, opts.User, opts.Cost)
+	fmt.Printf("relation %v (engine=%s), policies %v/%v, cost %v\n\n", kind, engine, opts.Skill, opts.User, opts.Cost)
 
-	teams, err := team.FormTopK(rel, d.Assign, task, opts, topk)
+	teams, err := solver.FormTopK(task, opts, cfg.topk)
 	if errors.Is(err, team.ErrNoTeam) {
 		fmt.Println("no compatible team exists for this task under", kind)
 		return nil
@@ -100,7 +141,7 @@ func run(dataset, edgesPath, skillsTSV string, seed int64, scale float64, relati
 		return err
 	}
 	for rank, tm := range teams {
-		if topk > 1 {
+		if cfg.topk > 1 {
 			fmt.Printf("#%d ", rank+1)
 		}
 		fmt.Printf("team of %d (%v %d; %d/%d seeds succeeded):\n",
@@ -118,14 +159,100 @@ func run(dataset, edgesPath, skillsTSV string, seed int64, scale float64, relati
 	return nil
 }
 
-func loadData(dataset, edgesPath, skillsTSV string, seed int64, scale float64) (*datasets.Dataset, error) {
+// runBatch samples cfg.batch random tasks and solves them through the
+// reusable solver, reporting aggregate quality and throughput.
+func runBatch(cfg config, d *datasets.Dataset, solver *team.Solver, kind compat.Kind, engine string, opts team.Options) error {
+	if cfg.k <= 0 {
+		return errors.New("-batch needs -k (the task size to sample)")
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	tasks := make([]skills.Task, cfg.batch)
+	for i := range tasks {
+		t, err := skills.RandomTask(rng, d.Assign, cfg.k)
+		if err != nil {
+			return err
+		}
+		tasks[i] = t
+	}
+	fmt.Printf("relation %v (engine=%s), policies %v/%v, cost %v\n", kind, engine, opts.Skill, opts.User, opts.Cost)
+	fmt.Printf("batch    %d random tasks of %d skills\n\n", cfg.batch, cfg.k)
+
+	start := time.Now()
+	teams, err := solver.FormBatch(tasks, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	solved, members, costSum := 0, 0, int64(0)
+	for _, tm := range teams {
+		if tm == nil {
+			continue
+		}
+		solved++
+		members += len(tm.Members)
+		costSum += int64(tm.Cost)
+	}
+	fmt.Printf("solved   %d/%d tasks (%.1f%%)\n", solved, len(tasks), 100*float64(solved)/float64(len(tasks)))
+	if solved > 0 {
+		fmt.Printf("average  %v %.2f, team size %.2f\n",
+			opts.Cost, float64(costSum)/float64(solved), float64(members)/float64(solved))
+	}
+	fmt.Printf("elapsed  %.2fs (%.0f tasks/s)\n", elapsed.Seconds(), float64(len(tasks))/elapsed.Seconds())
+	return nil
+}
+
+// buildRelation constructs the requested engine (the experiment
+// harness's selection, minus its config plumbing). Exact SBP stays on
+// the lazy engine regardless of -engine: its per-source enumeration is
+// budgeted and exponential, so an all-pairs packed build would abort
+// where lazy point queries succeed.
+func buildRelation(kind compat.Kind, g *sgraph.Graph, cfg config) (compat.Relation, string, error) {
+	opts := compat.Options{}
+	if cfg.batch > 0 {
+		// Batch mode revisits sources across tasks: let the lazy row
+		// cache cover the node set instead of thrashing at the default
+		// capacity. (The packed engines ignore CacheCap.)
+		opts.CacheCap = g.NumNodes() + 1
+	}
+	switch cfg.engine {
+	case "", "lazy":
+		rel, err := compat.New(kind, g, opts)
+		return rel, "lazy", err
+	case "matrix", "sharded":
+		if kind == compat.SBP {
+			rel, err := compat.New(kind, g, opts)
+			return rel, "lazy", err
+		}
+		if cfg.engine == "sharded" {
+			m, err := compat.NewSharded(kind, g, compat.ShardedOptions{
+				Options:           opts,
+				ShardRows:         cfg.shardRows,
+				MaxResidentShards: cfg.maxResidentShards,
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			return m, "sharded", nil
+		}
+		m, err := compat.NewMatrix(kind, g, compat.MatrixOptions{Options: opts})
+		if err != nil {
+			return nil, "", err
+		}
+		return m, "matrix", nil
+	default:
+		return nil, "", fmt.Errorf("unknown engine %q (want lazy, matrix or sharded)", cfg.engine)
+	}
+}
+
+func loadData(cfg config) (*datasets.Dataset, error) {
 	switch {
-	case dataset != "" && edgesPath != "":
+	case cfg.dataset != "" && cfg.edgesPath != "":
 		return nil, errors.New("pass either -dataset or -edges/-skills, not both")
-	case dataset != "":
-		return datasets.Load(dataset, seed, scale)
-	case edgesPath != "" && skillsTSV != "":
-		ef, err := os.Open(edgesPath)
+	case cfg.dataset != "":
+		return datasets.Load(cfg.dataset, cfg.seed, cfg.scale)
+	case cfg.edgesPath != "" && cfg.skillsTSV != "":
+		ef, err := os.Open(cfg.edgesPath)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +261,7 @@ func loadData(dataset, edgesPath, skillsTSV string, seed int64, scale float64) (
 		if err != nil {
 			return nil, err
 		}
-		sf, err := os.Open(skillsTSV)
+		sf, err := os.Open(cfg.skillsTSV)
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +270,7 @@ func loadData(dataset, edgesPath, skillsTSV string, seed int64, scale float64) (
 		if err != nil {
 			return nil, err
 		}
-		return &datasets.Dataset{Name: edgesPath, Graph: g, Assign: assign}, nil
+		return &datasets.Dataset{Name: cfg.edgesPath, Graph: g, Assign: assign}, nil
 	default:
 		return nil, errors.New("pass -dataset, or -edges together with -skills")
 	}

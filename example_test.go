@@ -49,6 +49,66 @@ func ExampleFormTeam() {
 	// Output: [0 2] 2
 }
 
+// ExampleTeamSolver serves repeated team queries from one solver: the
+// plan for a task is compiled once and solved warm on reused buffers
+// (allocation-free on packed engines when the solver is
+// single-worker), and a batch of tasks runs across the worker pool —
+// with results identical to per-call FormTeam.
+func ExampleTeamSolver() {
+	g := signedteams.MustFromEdges(5, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Positive},
+		{U: 1, V: 2, Sign: signedteams.Positive},
+		{U: 2, V: 3, Sign: signedteams.Positive},
+		{U: 0, V: 4, Sign: signedteams.Negative},
+	})
+	univ, _ := signedteams.NewUniverse([]string{"go", "sql", "ml"})
+	assign := signedteams.NewAssignment(univ, 5)
+	assign.MustAdd(0, 0) // go
+	assign.MustAdd(2, 1) // sql
+	assign.MustAdd(3, 2) // ml
+	assign.MustAdd(4, 1) // sql — but a foe of user 0
+
+	rel, err := signedteams.NewMatrixRelation(signedteams.SPO, g, signedteams.MatrixRelationOptions{})
+	if err != nil {
+		panic(err)
+	}
+	solver := signedteams.NewTeamSolver(rel, assign, signedteams.TeamSolverOptions{Workers: 2})
+
+	// Compile the plan once, then serve it repeatedly without
+	// re-ranking skills or re-deriving the candidate pool.
+	plan, err := solver.Plan(signedteams.NewTask(0, 1), signedteams.FormOptions{
+		Skill: signedteams.LeastCompatibleFirst,
+		User:  signedteams.MinDistance,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var warm signedteams.Team
+	for i := 0; i < 3; i++ { // warm solves reuse the same buffers
+		if err := plan.FormInto(&warm); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println(warm.Members, warm.Cost)
+
+	// Batches amortise the solver across many tasks; a nil entry means
+	// no compatible team exists for that task.
+	teams, err := solver.FormBatch([]signedteams.Task{
+		signedteams.NewTask(0, 1),
+		signedteams.NewTask(0, 1, 2),
+	}, signedteams.FormOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, tm := range teams {
+		fmt.Println(tm.Members, tm.Cost)
+	}
+	// Output:
+	// [0 2] 2
+	// [0 2] 2
+	// [0 3 2] 3
+}
+
 // ExampleNewMatrixRelation precomputes the packed all-pairs engine:
 // the same answers as the lazy relation, served from bitset rows.
 func ExampleNewMatrixRelation() {

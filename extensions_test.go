@@ -43,6 +43,87 @@ func TestFormTopKFacade(t *testing.T) {
 	}
 }
 
+// TestFormTopKFacadeTelemetry covers the aggregate SeedsTried /
+// SeedsSucceeded semantics through the facade: every returned team
+// carries the totals of the whole search, even after slicing to k.
+func TestFormTopKFacadeTelemetry(t *testing.T) {
+	g := signedteams.MustFromEdges(4, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Positive},
+		{U: 0, V: 2, Sign: signedteams.Positive},
+		{U: 1, V: 3, Sign: signedteams.Positive},
+		{U: 2, V: 3, Sign: signedteams.Positive},
+	})
+	univ, _ := signedteams.NewUniverse([]string{"a", "b"})
+	assign := signedteams.NewAssignment(univ, 4)
+	assign.MustAdd(1, 0)
+	assign.MustAdd(2, 0)
+	assign.MustAdd(3, 1)
+	rel := signedteams.MustNewRelation(signedteams.NNE, g, signedteams.RelationOptions{})
+	// Task {a}: two seeds, two distinct single-member teams; k=1 slices
+	// the list but must keep the 2/2 aggregate on the survivor.
+	teams, err := signedteams.FormTopK(rel, assign, signedteams.NewTask(0), signedteams.FormOptions{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(teams) != 1 {
+		t.Fatalf("teams = %d, want 1", len(teams))
+	}
+	if teams[0].SeedsTried != 2 || teams[0].SeedsSucceeded != 2 {
+		t.Fatalf("telemetry = %d/%d, want aggregate 2/2", teams[0].SeedsSucceeded, teams[0].SeedsTried)
+	}
+}
+
+// TestTeamSolverFacade: the reusable solver must agree with per-call
+// FormTeam through the public API, across engines and worker counts.
+func TestTeamSolverFacade(t *testing.T) {
+	d, err := signedteams.LoadDataset("slashdot", 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var tasks []signedteams.Task
+	for i := 0; i < 6; i++ {
+		task, err := signedteams.RandomTask(rng, d.Assign, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, task)
+	}
+	lazy := signedteams.MustNewRelation(signedteams.SPO, d.Graph, signedteams.RelationOptions{})
+	packed, err := signedteams.NewMatrixRelation(signedteams.SPO, d.Graph, signedteams.MatrixRelationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := signedteams.FormOptions{
+		Skill: signedteams.LeastCompatibleFirst,
+		User:  signedteams.MinDistance,
+	}
+	for _, rel := range []signedteams.Relation{lazy, packed} {
+		solver := signedteams.NewTeamSolver(rel, d.Assign, signedteams.TeamSolverOptions{Workers: 3})
+		batch, err := solver.FormBatch(tasks, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, task := range tasks {
+			want, wantErr := signedteams.FormTeam(rel, d.Assign, task, opts)
+			if wantErr != nil {
+				if batch[i] != nil {
+					t.Fatalf("task %d: batch found a team, FormTeam did not", i)
+				}
+				continue
+			}
+			if batch[i] == nil || batch[i].Cost != want.Cost || len(batch[i].Members) != len(want.Members) {
+				t.Fatalf("task %d: batch %+v vs FormTeam %+v", i, batch[i], want)
+			}
+			// The batch team prices identically under TeamCostWith.
+			cost, err := signedteams.TeamCostWith(rel, batch[i].Members, signedteams.DiameterCost)
+			if err != nil || cost != want.Cost {
+				t.Fatalf("task %d: re-priced cost %d,%v vs %d", i, cost, err, want.Cost)
+			}
+		}
+	}
+}
+
 func TestTeamCostWithFacade(t *testing.T) {
 	g := signedteams.MustFromEdges(3, []signedteams.Edge{
 		{U: 0, V: 1, Sign: signedteams.Positive},

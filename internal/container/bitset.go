@@ -46,6 +46,26 @@ func (b *Bitset) Reset() {
 	}
 }
 
+// Grow reshapes the set to hold values in [0, n) and clears it,
+// reusing the backing array whenever it already has the capacity — the
+// reuse primitive for scratch bitsets that serve tasks of varying
+// size.
+func (b *Bitset) Grow(n int) {
+	if n < 0 {
+		panic("container: Bitset.Grow with negative size")
+	}
+	words := (n + 63) / 64
+	if cap(b.words) < words {
+		b.words = make([]uint64, words)
+	} else {
+		b.words = b.words[:words]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.n = n
+}
+
 // Words exposes the backing word slice (bit i of word i/64 is member
 // 64*(i/64)+i%64). Callers may read it for word-parallel operations but
 // must not resize it; bits at positions ≥ Len are always zero.

@@ -45,6 +45,42 @@ func TestBitsetWordOps(t *testing.T) {
 	}
 }
 
+// TestBitsetGrow: Grow must clear, resize, and reuse the backing
+// array when capacity allows — the scratch-reuse contract.
+func TestBitsetGrow(t *testing.T) {
+	b := NewBitset(0)
+	b.Grow(130)
+	if b.Len() != 130 || len(b.Words()) != 3 {
+		t.Fatalf("after Grow(130): Len=%d words=%d", b.Len(), len(b.Words()))
+	}
+	b.Set(0)
+	b.Set(129)
+	backing := &b.Words()[0]
+	b.Grow(70) // shrink: reuse the array, clear everything
+	if b.Len() != 70 || len(b.Words()) != 2 {
+		t.Fatalf("after Grow(70): Len=%d words=%d", b.Len(), len(b.Words()))
+	}
+	if &b.Words()[0] != backing {
+		t.Fatal("shrinking Grow reallocated the backing array")
+	}
+	if b.Count() != 0 {
+		t.Fatalf("Grow left %d stale members", b.Count())
+	}
+	b.Set(69)
+	b.Grow(128) // within capacity: reuse and clear again
+	if &b.Words()[0] != backing || b.Count() != 0 {
+		t.Fatal("Grow within capacity must reuse and clear")
+	}
+	b.Grow(500) // beyond capacity: fresh, zeroed array
+	if b.Len() != 500 || b.Count() != 0 {
+		t.Fatalf("after Grow(500): Len=%d count=%d", b.Len(), b.Count())
+	}
+	b.Set(499)
+	if !b.Contains(499) {
+		t.Fatal("grown bitset lost a member")
+	}
+}
+
 func TestBitsetWordOpsLengthMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 
@@ -93,7 +92,10 @@ func Figure2ab(cfg Config) ([]AlgoResult, error) {
 	return results, nil
 }
 
-// runAlgorithm applies one team formation algorithm to every task and
+// runAlgorithm applies one team formation algorithm to every task via
+// a reusable solver — the batch runs across cfg.Workers workers with
+// per-task results identical to a sequential Form loop (RandomUser
+// serialises so the seeded Rng is consumed in task order) — and
 // aggregates solution rate and average diameter.
 func runAlgorithm(cfg Config, rel compat.Relation, assign *skills.Assignment, tasks []skills.Task, algo string, randSeed int64) (*AlgoResult, error) {
 	opts := team.Options{MaxSeeds: cfg.MaxSeeds}
@@ -108,14 +110,15 @@ func runAlgorithm(cfg Config, rel compat.Relation, assign *skills.Assignment, ta
 	default:
 		return nil, fmt.Errorf("experiments: unknown algorithm %q", algo)
 	}
+	solver := team.NewSolver(rel, assign, team.SolverOptions{Workers: cfg.Workers})
+	teams, err := solver.FormBatch(tasks, opts)
+	if err != nil {
+		return nil, err
+	}
 	solved, diamSum := 0, int64(0)
-	for _, task := range tasks {
-		tm, err := team.Form(rel, assign, task, opts)
-		if err != nil {
-			if errors.Is(err, team.ErrNoTeam) {
-				continue
-			}
-			return nil, err
+	for _, tm := range teams {
+		if tm == nil {
+			continue
 		}
 		solved++
 		diamSum += int64(tm.Cost)
@@ -224,17 +227,18 @@ func PolicyGrid(cfg Config, kind *compat.Kind) ([]PolicyResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	solver := team.NewSolver(rel, d.Assign, team.SolverOptions{Workers: cfg.Workers})
 	var results []PolicyResult
 	for _, sp := range []team.SkillPolicy{team.RarestFirst, team.LeastCompatibleFirst} {
 		for _, up := range []team.UserPolicy{team.MinDistance, team.MostCompatible} {
+			teams, err := solver.FormBatch(tasks, team.Options{Skill: sp, User: up, MaxSeeds: cfg.MaxSeeds})
+			if err != nil {
+				return nil, err
+			}
 			solved, diamSum := 0, int64(0)
-			for _, task := range tasks {
-				tm, err := team.Form(rel, d.Assign, task, team.Options{Skill: sp, User: up, MaxSeeds: cfg.MaxSeeds})
-				if err != nil {
-					if errors.Is(err, team.ErrNoTeam) {
-						continue
-					}
-					return nil, err
+			for _, tm := range teams {
+				if tm == nil {
+					continue
 				}
 				solved++
 				diamSum += int64(tm.Cost)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/sgraph"
 )
@@ -71,6 +72,12 @@ type Assignment struct {
 	universe *Universe
 	ofUser   [][]SkillID       // sorted, deduplicated
 	holders  [][]sgraph.NodeID // sorted, deduplicated
+
+	// mu guards holderBits, the lazily built packed holder sets that
+	// HolderWords hands to word-parallel consumers (the team solver's
+	// skill ranking above all). Add invalidates the touched skill.
+	mu         sync.Mutex
+	holderBits [][]uint64
 }
 
 // NewAssignment returns an empty assignment for numUsers users over
@@ -102,6 +109,11 @@ func (a *Assignment) Add(u sgraph.NodeID, s SkillID) error {
 	}
 	a.ofUser[u] = insertSorted(a.ofUser[u], s)
 	a.holders[s] = insertSortedNodes(a.holders[s], u)
+	a.mu.Lock()
+	if a.holderBits != nil {
+		a.holderBits[s] = nil // stale packed holder set, rebuilt on demand
+	}
+	a.mu.Unlock()
 	return nil
 }
 
@@ -127,6 +139,31 @@ func (a *Assignment) Holders(s SkillID) []sgraph.NodeID { return a.holders[s] }
 
 // NumHolders returns the number of users holding s.
 func (a *Assignment) NumHolders(s SkillID) int { return len(a.holders[s]) }
+
+// HolderWords returns the packed holder set of skill s: bit u is set
+// iff user u holds s, in (NumUsers+63)/64 words — the container.Bitset
+// layout, so the result composes with packed relation rows of the same
+// universe in word-parallel AND/popcount operations. The slice is
+// cached per skill (built on first request, invalidated by Add) and
+// must not be modified by the caller. Safe for concurrent use.
+func (a *Assignment) HolderWords(s SkillID) []uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.holderBits == nil {
+		a.holderBits = make([][]uint64, a.universe.Len())
+	}
+	if w := a.holderBits[s]; w != nil {
+		return w
+	}
+	// make never returns nil (even for zero users), so the cache entry
+	// always reads as present once built.
+	w := make([]uint64, (len(a.ofUser)+63)/64)
+	for _, u := range a.holders[s] {
+		w[int(u)>>6] |= 1 << uint(int(u)&63)
+	}
+	a.holderBits[s] = w
+	return w
+}
 
 // TotalAssignments returns the number of (user, skill) pairs.
 func (a *Assignment) TotalAssignments() int {

@@ -77,6 +77,57 @@ func TestAssignmentAddAndIndexes(t *testing.T) {
 	}
 }
 
+// TestHolderWords: the packed holder set must mirror Holders, be
+// invalidated by Add, and share the container.Bitset word layout.
+func TestHolderWords(t *testing.T) {
+	u := GenerateUniverse(3)
+	a := NewAssignment(u, 130) // straddles a word boundary
+	a.MustAdd(0, 1)
+	a.MustAdd(64, 1)
+	a.MustAdd(129, 1)
+	w := a.HolderWords(1)
+	if len(w) != 3 {
+		t.Fatalf("words = %d, want 3 for 130 users", len(w))
+	}
+	has := func(w []uint64, i int) bool { return w[i>>6]&(1<<uint(i&63)) != 0 }
+	for _, i := range []int{0, 64, 129} {
+		if !has(w, i) {
+			t.Fatalf("holder %d missing from HolderWords", i)
+		}
+	}
+	if got := popcountWords(w); got != 3 {
+		t.Fatalf("popcount = %d, want 3", got)
+	}
+	// Cached: same slice back.
+	if &a.HolderWords(1)[0] != &w[0] {
+		t.Fatal("HolderWords not cached")
+	}
+	// Add invalidates exactly the touched skill.
+	w0 := a.HolderWords(0)
+	a.MustAdd(7, 1)
+	w2 := a.HolderWords(1)
+	if !has(w2, 7) || popcountWords(w2) != 4 {
+		t.Fatal("Add did not invalidate the holder words")
+	}
+	if &a.HolderWords(0)[0] != &w0[0] {
+		t.Fatal("Add invalidated an untouched skill's holder words")
+	}
+	// Empty skill: empty (all-zero) set, still cached.
+	if popcountWords(a.HolderWords(2)) != 0 {
+		t.Fatal("holderless skill has members")
+	}
+}
+
+func popcountWords(w []uint64) int {
+	c := 0
+	for _, x := range w {
+		for ; x != 0; x &= x - 1 {
+			c++
+		}
+	}
+	return c
+}
+
 func TestAssignmentAddErrors(t *testing.T) {
 	a := NewAssignment(GenerateUniverse(2), 2)
 	if err := a.Add(5, 0); err == nil {

@@ -10,6 +10,46 @@
 // Cost(X) — the team diameter, i.e. the largest pairwise
 // relation-distance between members.
 //
+// # Solver architecture
+//
+// The package is built around a reusable Solver with a plan/scratch
+// split, mirroring what signedbfs.Scratch does for BFS:
+//
+//   - A Solver binds one (relation, assignment) pair, owns a pool of
+//     per-worker scratch and a worker count. It is safe for concurrent
+//     use and is the entry point for serving workloads.
+//   - Solver.Plan compiles a (task, options) query into a TaskPlan:
+//     the policy-ranked skill order (including the compatibility-degree
+//     computation behind LeastCompatibleFirst, word-parallel over the
+//     assignment's cached packed holder sets on packed engines),
+//     Algorithm 2's seed list, and the MostCompatible candidate pool
+//     with its precomputed degrees. Everything in a plan is immutable
+//     across solves.
+//   - scratch carries what a single solve mutates: the covered-skill
+//     bitset (indexed by task position — no maps), the members and
+//     candidate buffers, and the row-AND mask that packed engines keep
+//     incrementally (adding a member ANDs one row instead of
+//     recomputing the whole intersection). On a single-worker solver,
+//     warm TaskPlan.FormInto calls on packed engines therefore
+//     allocate nothing — asserted by the CI alloc smoke; multi-worker
+//     solvers spend per-call goroutine bookkeeping to parallelise the
+//     seed loop instead.
+//   - The seed loop runs across the solver's bounded worker pool with
+//     a deterministic merge (cost, then seed order), so results are
+//     identical at every worker count; Solver.FormBatch amortises the
+//     solver across a slice of tasks the same way. The RandomUser
+//     policy serialises, consuming Options.Rng in the legacy order.
+//   - Team dedup in FormTopK hashes sorted member sets (64-bit FNV
+//     with an exact check on collisions) instead of building string
+//     keys; the tie-break comparator reproduces the legacy decimal
+//     string order exactly.
+//
+// The package-level Form and FormTopK are thin wrappers over a
+// single-use, single-worker Solver and produce byte-identical results
+// to the pre-solver implementation (asserted against a naive reference
+// implementation across all policy/cost/engine combinations in
+// solver_test.go).
+//
 // # Relation engines
 //
 // Every algorithm takes a compat.Relation and works with any of the

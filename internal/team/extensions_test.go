@@ -3,6 +3,7 @@ package team
 import (
 	"errors"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/compat"
@@ -167,22 +168,44 @@ func TestFormTopKDeduplicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seen := map[string]bool{}
-	for _, tm := range teams {
-		key := memberKey(tm.Members)
-		if seen[key] {
-			t.Fatalf("duplicate team %v in top-k output", tm.Members)
+	for i, tm := range teams {
+		for _, other := range teams[i+1:] {
+			if compareMemberSets(sortedCopy(tm.Members), sortedCopy(other.Members)) == 0 {
+				t.Fatalf("duplicate team %v in top-k output", tm.Members)
+			}
 		}
-		seen[key] = true
 	}
 }
 
-func TestMemberKeyOrderInsensitive(t *testing.T) {
-	if memberKey([]sgraph.NodeID{3, 1, 2}) != memberKey([]sgraph.NodeID{2, 3, 1}) {
-		t.Fatal("memberKey must be order-insensitive")
+func sortedCopy(members []sgraph.NodeID) []sgraph.NodeID {
+	out := append([]sgraph.NodeID(nil), members...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestMemberSetDedupHelpers pins the member-set hash and comparator
+// the solver's dedup uses in place of the old string keys: the hash is
+// order-insensitive over the (sorted) set, and the comparator keeps
+// the legacy decimal-string tie-break order (so "10" sorts before "2",
+// exactly as the comma-joined keys compared).
+func TestMemberSetDedupHelpers(t *testing.T) {
+	if membersHash(sortedCopy([]sgraph.NodeID{3, 1, 2})) != membersHash(sortedCopy([]sgraph.NodeID{2, 3, 1})) {
+		t.Fatal("membersHash must be order-insensitive")
 	}
-	if memberKey([]sgraph.NodeID{1}) == memberKey([]sgraph.NodeID{2}) {
-		t.Fatal("memberKey must distinguish different sets")
+	if membersHash([]sgraph.NodeID{1}) == membersHash([]sgraph.NodeID{2}) {
+		t.Fatal("membersHash must distinguish different sets")
+	}
+	if compareMemberSets([]sgraph.NodeID{10}, []sgraph.NodeID{2}) >= 0 {
+		t.Fatal(`decimal order: {10} must sort before {2} (legacy "10," < "2,")`)
+	}
+	if compareMemberSets([]sgraph.NodeID{1, 2}, []sgraph.NodeID{1, 2, 3}) >= 0 {
+		t.Fatal("prefix set must sort first")
+	}
+	if compareMemberSets([]sgraph.NodeID{1, 12}, []sgraph.NodeID{1, 2}) >= 0 {
+		t.Fatal(`decimal prefix: {1,12} must sort before {1,2}`)
+	}
+	if compareMemberSets([]sgraph.NodeID{4, 7}, []sgraph.NodeID{4, 7}) != 0 {
+		t.Fatal("equal sets must compare equal")
 	}
 }
 

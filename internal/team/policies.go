@@ -1,8 +1,12 @@
+// Plan-time policy helpers: the task-scoped skill compatibility
+// degrees behind the LeastCompatibleFirst ranking and the candidate
+// pool behind the MostCompatible degrees. The per-solve policy logic
+// (skill selection, candidate filtering, user picking) lives in the
+// solver's TaskPlan/scratch machinery in solver.go.
+
 package team
 
 import (
-	"fmt"
-	"math/rand"
 	"sort"
 
 	"repro/internal/compat"
@@ -10,61 +14,6 @@ import (
 	"repro/internal/sgraph"
 	"repro/internal/skills"
 )
-
-// skillRanker orders the task's skills once per task according to the
-// skill policy; next returns the best-ranked uncovered skill. Both
-// policies are static rankings, so precomputing the order makes the
-// per-step selection O(|T|).
-type skillRanker struct {
-	order []skills.SkillID // best first
-}
-
-func newSkillRanker(rel compat.Relation, assign *skills.Assignment, task skills.Task, policy SkillPolicy) (*skillRanker, error) {
-	type ranked struct {
-		s   skills.SkillID
-		key int64
-	}
-	rankedSkills := make([]ranked, len(task))
-	switch policy {
-	case RarestFirst:
-		for i, s := range task {
-			rankedSkills[i] = ranked{s: s, key: int64(assign.NumHolders(s))}
-		}
-	case LeastCompatibleFirst:
-		deg, err := SkillCompatDegrees(rel, assign, task)
-		if err != nil {
-			return nil, err
-		}
-		for i, s := range task {
-			rankedSkills[i] = ranked{s: s, key: deg[s]}
-		}
-	default:
-		return nil, fmt.Errorf("team: unknown skill policy %d", int(policy))
-	}
-	sort.Slice(rankedSkills, func(i, j int) bool {
-		if rankedSkills[i].key != rankedSkills[j].key {
-			return rankedSkills[i].key < rankedSkills[j].key
-		}
-		return rankedSkills[i].s < rankedSkills[j].s
-	})
-	r := &skillRanker{order: make([]skills.SkillID, len(rankedSkills))}
-	for i, rs := range rankedSkills {
-		r.order[i] = rs.s
-	}
-	return r, nil
-}
-
-// next returns the best-ranked skill not yet covered. covered may be
-// nil (nothing covered).
-func (r *skillRanker) next(covered map[skills.SkillID]bool) skills.SkillID {
-	for _, s := range r.order {
-		if !covered[s] {
-			return s
-		}
-	}
-	// Callers only invoke next while uncovered skills remain.
-	panic("team: skillRanker.next called with all skills covered")
-}
 
 // SkillCompatDegrees computes the task-scoped compatibility degree
 // cd(s) = Σ_{s'∈task, s'≠s} cd(s,s') for every task skill, where
@@ -77,43 +26,88 @@ func SkillCompatDegrees(rel compat.Relation, assign *skills.Assignment, task ski
 	if len(task) == 0 {
 		return deg, nil
 	}
-	if m, ok := rel.(compat.PackedRelation); ok {
-		// Word-parallel: one holder bitset per task skill, built once,
-		// then one AND/popcount of u's row against the s2 holder set
-		// replaces |holders(s2)| interface calls per source. Diagonal
-		// bits are set, so a dual holder counts, as in the slow path.
-		// Only skills looked up as s2 (task[1:]) need a holder set.
-		holderSets := make(map[skills.SkillID]*container.Bitset, len(task))
-		for _, s := range task[1:] {
-			set := container.NewBitset(m.NumNodes())
-			for _, v := range assign.Holders(s) {
-				set.Set(int(v))
-			}
-			holderSets[s] = set
-		}
-		for i, s1 := range task {
-			for _, s2 := range task[i+1:] {
-				var cd int64
-				for _, u := range assign.Holders(s1) {
-					cd += int64(container.AndCount(m.RowWords(u), holderSets[s2].Words()))
-				}
-				deg[s1] += cd
-				deg[s2] += cd
-			}
-		}
-		return deg, nil
+	byPos := make([]int64, len(task))
+	if err := skillCompatDegreesInto(rel, assign, task, byPos); err != nil {
+		return nil, err
 	}
-	for i, s1 := range task {
-		for _, s2 := range task[i+1:] {
-			cd, err := skillPairDegree(rel, assign, s1, s2)
-			if err != nil {
-				return nil, err
-			}
-			deg[s1] += cd
-			deg[s2] += cd
-		}
+	for i, s := range task {
+		deg[s] = byPos[i]
 	}
 	return deg, nil
+}
+
+// skillCompatDegreesInto writes cd(task[i]) into deg[i] — the
+// map-free form the solver's plan compilation uses (the map assigns
+// were measurable in batch profiles).
+func skillCompatDegreesInto(rel compat.Relation, assign *skills.Assignment, task skills.Task, deg []int64) error {
+	for i := range deg {
+		deg[i] = 0
+	}
+	if m, ok := rel.(compat.PackedRelation); ok {
+		// Word-parallel: the assignment's cached packed holder set per
+		// skill (fetched once per task skill), then one AND/popcount of
+		// u's row against the other skill's holder set replaces
+		// |holders| interface calls per source. Diagonal bits are set,
+		// so a dual holder counts, as in the slow path. cd is symmetric
+		// (packed rows are), so iterate the smaller holder set and mask
+		// with the larger — on Zipf-skewed assignments, where tasks
+		// routinely contain one very popular skill, this cuts the row
+		// scans from the popular side to the rare side.
+		holderWords := make([][]uint64, len(task))
+		if holderWordsMatch(assign, m) {
+			for i, s := range task {
+				holderWords[i] = assign.HolderWords(s)
+			}
+		} else {
+			// Assignment and relation straddle a word boundary: the
+			// cached sets cannot be ANDed against rows, so build
+			// row-sized holder sets for this call instead of degrading
+			// to per-pair interface queries.
+			for i, s := range task {
+				set := container.NewBitset(m.NumNodes())
+				for _, u := range assign.Holders(s) {
+					set.Set(int(u))
+				}
+				holderWords[i] = set.Words()
+			}
+		}
+		for i, s1 := range task {
+			for jo, s2 := range task[i+1:] {
+				j := i + 1 + jo
+				iter, maskWords := s1, holderWords[j]
+				if assign.NumHolders(s2) < assign.NumHolders(s1) {
+					iter, maskWords = s2, holderWords[i]
+				}
+				var cd int64
+				for _, u := range assign.Holders(iter) {
+					cd += int64(container.AndCount(m.RowWords(u), maskWords))
+				}
+				deg[i] += cd
+				deg[j] += cd
+			}
+		}
+		return nil
+	}
+	for i, s1 := range task {
+		for jo, s2 := range task[i+1:] {
+			cd, err := skillPairDegree(rel, assign, s1, s2)
+			if err != nil {
+				return err
+			}
+			deg[i] += cd
+			deg[i+1+jo] += cd
+		}
+	}
+	return nil
+}
+
+// holderWordsMatch reports whether the assignment's packed holder sets
+// have the packed relation's row word length, i.e. whether they can be
+// ANDed against its rows directly. They diverge only when the
+// assignment's user count and the graph's node count straddle a
+// 64-bit word boundary — a misconfiguration more than a real layout.
+func holderWordsMatch(assign *skills.Assignment, m compat.PackedRelation) bool {
+	return (assign.NumUsers()+63)/64 == m.WordsPerRow() && assign.NumUsers() <= m.NumNodes()
 }
 
 func skillPairDegree(rel compat.Relation, assign *skills.Assignment, s1, s2 skills.SkillID) (int64, error) {
@@ -132,67 +126,6 @@ func skillPairDegree(rel compat.Relation, assign *skills.Assignment, s1, s2 skil
 	return cd, nil
 }
 
-// userPicker selects, for a skill, the compatible candidate to add to
-// a team, according to the user policy.
-type userPicker struct {
-	rel    compat.Relation
-	assign *skills.Assignment
-	policy UserPolicy
-	cost   CostKind
-	rng    *rand.Rand
-	// poolDegree, for MostCompatible: candidate → number of compatible
-	// users within the task's candidate pool.
-	poolDegree map[sgraph.NodeID]int
-	// matrix and mask are the word-parallel fast path: when the
-	// relation is matrix-backed, candidate filtering intersects row
-	// bitsets instead of issuing per-pair interface calls.
-	matrix compat.PackedRelation
-	mask   *container.Bitset
-}
-
-func newUserPicker(rel compat.Relation, assign *skills.Assignment, task skills.Task, opts Options) (*userPicker, error) {
-	p := &userPicker{rel: rel, assign: assign, policy: opts.User, cost: opts.Cost, rng: opts.Rng}
-	if m, ok := rel.(compat.PackedRelation); ok {
-		p.matrix = m
-		p.mask = container.NewBitset(m.NumNodes())
-	}
-	if opts.User == MostCompatible {
-		pool := taskPool(assign, task)
-		p.poolDegree = make(map[sgraph.NodeID]int, len(pool))
-		if p.matrix != nil {
-			// One AND/popcount per pool member over the packed rows.
-			// Every row has its own bit set (reflexivity) and u is in
-			// the pool, so subtract the self hit to match the lazy
-			// v≠u count.
-			poolSet := container.NewBitset(p.matrix.NumNodes())
-			for _, u := range pool {
-				poolSet.Set(int(u))
-			}
-			for _, u := range pool {
-				p.poolDegree[u] = container.AndCount(p.matrix.RowWords(u), poolSet.Words()) - 1
-			}
-			return p, nil
-		}
-		for _, u := range pool {
-			degree := 0
-			for _, v := range pool {
-				if u == v {
-					continue
-				}
-				ok, err := rel.Compatible(u, v)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					degree++
-				}
-			}
-			p.poolDegree[u] = degree
-		}
-	}
-	return p, nil
-}
-
 // taskPool returns the distinct holders of any task skill, sorted.
 func taskPool(assign *skills.Assignment, task skills.Task) []sgraph.NodeID {
 	seen := map[sgraph.NodeID]bool{}
@@ -207,112 +140,4 @@ func taskPool(assign *skills.Assignment, task skills.Task) []sgraph.NodeID {
 	}
 	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
 	return pool
-}
-
-// pick returns the chosen holder of skill s compatible with every
-// member, or ErrNoTeam when no such holder exists.
-func (p *userPicker) pick(s skills.SkillID, members []sgraph.NodeID) (sgraph.NodeID, error) {
-	candidates, err := p.compatibleCandidates(s, members)
-	if err != nil {
-		return 0, err
-	}
-	if len(candidates) == 0 {
-		return 0, fmt.Errorf("%w: no compatible holder of skill %d", ErrNoTeam, s)
-	}
-	switch p.policy {
-	case MinDistance:
-		return p.pickMinDistance(candidates, members)
-	case MostCompatible:
-		best := candidates[0]
-		for _, c := range candidates[1:] {
-			if p.poolDegree[c] > p.poolDegree[best] {
-				best = c
-			}
-		}
-		return best, nil
-	case RandomUser:
-		return candidates[p.rng.Intn(len(candidates))], nil
-	default:
-		return 0, fmt.Errorf("team: unknown user policy %d", int(p.policy))
-	}
-}
-
-func (p *userPicker) compatibleCandidates(s skills.SkillID, members []sgraph.NodeID) ([]sgraph.NodeID, error) {
-	var out []sgraph.NodeID
-	if p.matrix != nil && len(members) > 0 {
-		// Word-parallel: AND the members' rows into one mask, then a
-		// bit test per holder replaces |members| interface calls.
-		p.mask.CopyFrom(p.matrix.RowWords(members[0]))
-		for _, x := range members[1:] {
-			p.mask.And(p.matrix.RowWords(x))
-		}
-		for _, v := range p.assign.Holders(s) {
-			if p.mask.Contains(int(v)) {
-				out = append(out, v)
-			}
-		}
-		return out, nil
-	}
-holders:
-	for _, v := range p.assign.Holders(s) {
-		for _, x := range members {
-			// Query with the team member first: relations cache rows
-			// per source, and the team side is small and stable.
-			ok, err := p.rel.Compatible(x, v)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue holders
-			}
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-// pickMinDistance chooses the candidate with the cheapest
-// contribution to the configured cost — the smallest maximum distance
-// to the team for Diameter, the smallest total distance for
-// SumDistance. Candidates with an undefined distance to some member
-// are skipped.
-func (p *userPicker) pickMinDistance(candidates, members []sgraph.NodeID) (sgraph.NodeID, error) {
-	best := sgraph.NodeID(-1)
-	bestDist := int32(0)
-	for _, c := range candidates {
-		contribution := int32(0)
-		defined := true
-		for _, x := range members {
-			var d int32
-			var ok bool
-			if p.matrix != nil {
-				d, ok = p.matrix.PairDistance(c, x)
-			} else {
-				var err error
-				d, ok, err = p.rel.Distance(c, x)
-				if err != nil {
-					return 0, err
-				}
-			}
-			if !ok {
-				defined = false
-				break
-			}
-			if p.cost == SumDistance {
-				contribution += d
-			} else if d > contribution {
-				contribution = d
-			}
-		}
-		if !defined {
-			continue
-		}
-		if best == -1 || contribution < bestDist || (contribution == bestDist && c < best) {
-			best, bestDist = c, contribution
-		}
-	}
-	if best == -1 {
-		return 0, fmt.Errorf("%w: all candidates at undefined distance", ErrNoTeam)
-	}
-	return best, nil
 }

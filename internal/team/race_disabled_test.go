@@ -1,0 +1,5 @@
+//go:build !race
+
+package team
+
+const raceEnabled = false

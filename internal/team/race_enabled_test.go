@@ -1,0 +1,8 @@
+//go:build race
+
+package team
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; allocation assertions are skipped since the instrumentation
+// itself allocates.
+const raceEnabled = true

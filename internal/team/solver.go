@@ -1,0 +1,946 @@
+// The reusable team-formation solver: a plan/scratch split for
+// Algorithm 2, mirroring what signedbfs.Scratch did for BFS. A
+// compiled TaskPlan holds everything that depends only on (relation,
+// assignment, task, options) — the policy-ranked skill order, the seed
+// list, the candidate pool and its compatibility degrees — and is
+// built once per task; per-worker scratch holds everything a single
+// solve mutates — the covered-skill bitset, the members/candidate
+// buffers and the row-AND mask — so that warm solves on packed engines
+// allocate nothing. The seed loop of Algorithm 2 runs across a bounded
+// worker pool (each worker owns its scratch, the compat.Precompute
+// pattern) with results merged deterministically, and FormBatch
+// amortises the solver across a slice of tasks.
+
+package team
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compat"
+	"repro/internal/container"
+	"repro/internal/sgraph"
+	"repro/internal/skills"
+)
+
+// SolverOptions configures NewSolver.
+type SolverOptions struct {
+	// Workers bounds the solver's parallelism: the seed loop of a
+	// single Form and the task loop of FormBatch. ≤0 uses GOMAXPROCS;
+	// 1 solves strictly sequentially. Results are identical at every
+	// worker count (the merge is deterministic); the RandomUser policy
+	// always runs sequentially so a shared Options.Rng is consumed in
+	// the legacy order.
+	Workers int
+}
+
+// Solver answers repeated team-formation queries over one fixed
+// (relation, assignment) pair. It exists for serving workloads: where
+// the package-level Form pays per-call setup — policy ranking, pool
+// degrees, coverage maps — a Solver compiles that setup into a
+// TaskPlan once and reuses per-worker scratch across calls, so warm
+// solves on packed engines are allocation-free (single-worker
+// solvers) and batches run across a worker pool. A Solver is safe for
+// concurrent use; the relation and assignment must not change
+// underneath it.
+type Solver struct {
+	rel    compat.Relation
+	assign *skills.Assignment
+	packed compat.PackedRelation // non-nil on matrix/sharded engines
+	matrix *compat.CompatMatrix  // non-nil on the monolithic matrix engine
+	n      int                   // node count of the relation's graph
+
+	workers int
+	scratch sync.Pool // *scratch
+}
+
+// NewSolver builds a solver over rel and assign.
+func NewSolver(rel compat.Relation, assign *skills.Assignment, opts SolverOptions) *Solver {
+	s := &Solver{
+		rel:     rel,
+		assign:  assign,
+		n:       rel.Graph().NumNodes(),
+		workers: opts.Workers,
+	}
+	if m, ok := rel.(compat.PackedRelation); ok {
+		s.packed = m
+	}
+	// Devirtualise the hottest lookup: distance queries against the
+	// monolithic matrix go through the concrete (inlinable) method
+	// instead of interface dispatch.
+	if cm, ok := rel.(*compat.CompatMatrix); ok {
+		s.matrix = cm
+	}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	s.scratch.New = func() any { return s.newScratch() }
+	return s
+}
+
+// Form compiles a plan for task and solves it: Algorithm 2 with the
+// plan's policies, seeds explored in parallel when the solver has
+// workers to spare. Identical to the package-level Form.
+func (s *Solver) Form(task skills.Task, opts Options) (*Team, error) {
+	p, err := s.Plan(task, opts)
+	if err != nil {
+		return nil, err
+	}
+	var tm Team
+	if err := p.FormInto(&tm); err != nil {
+		return nil, err
+	}
+	return &tm, nil
+}
+
+// FormTopK compiles a plan and returns up to k distinct teams in
+// increasing cost order. Identical to the package-level FormTopK,
+// including the aggregate SeedsTried/SeedsSucceeded stamping (see
+// that function's doc).
+func (s *Solver) FormTopK(task skills.Task, opts Options, k int) ([]*Team, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("team: FormTopK k = %d, want > 0", k)
+	}
+	p, err := s.Plan(task, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.FormTopK(k)
+}
+
+// FormBatch forms one team per task, amortising the solver's scratch
+// across the slice and running tasks across the worker pool (each
+// worker solves whole tasks with its own scratch, so per-task results
+// are identical to Form at any worker count). teams[i] is nil when no
+// compatible team exists for tasks[i] (Form's ErrNoTeam); any other
+// error aborts the batch, reporting the lowest-indexed failure. The
+// RandomUser policy runs the batch sequentially so the shared
+// Options.Rng is consumed in task order, exactly as a sequential Form
+// loop would.
+func (s *Solver) FormBatch(tasks []skills.Task, opts Options) ([]*Team, error) {
+	out := make([]*Team, len(tasks))
+	workers := s.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if opts.User == RandomUser || workers <= 1 {
+		sc := s.getScratch()
+		defer s.putScratch(sc)
+		for i, task := range tasks {
+			tm, err := s.formOne(sc, task, opts)
+			if err != nil {
+				return nil, fmt.Errorf("team: batch task %d: %w", i, err)
+			}
+			out[i] = tm
+		}
+		return out, nil
+	}
+	err := s.runPool(workers, len(tasks), func(sc *scratch, i int) error {
+		tm, err := s.formOne(sc, tasks[i], opts)
+		if err != nil {
+			return fmt.Errorf("team: batch task %d: %w", i, err)
+		}
+		out[i] = tm
+		return nil
+	}, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// formOne is one batch element: plan + sequential solve on the
+// worker's scratch, with ErrNoTeam mapped to a nil team.
+func (s *Solver) formOne(sc *scratch, task skills.Task, opts Options) (*Team, error) {
+	p, err := s.Plan(task, opts)
+	if err != nil {
+		if errors.Is(err, ErrNoTeam) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var tm Team
+	if err := p.formSeq(sc, &tm); err != nil {
+		if errors.Is(err, ErrNoTeam) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return &tm, nil
+}
+
+// ---------------------------------------------------------------------------
+// TaskPlan: the compiled, immutable part of a query.
+
+// TaskPlan is the compiled form of one (task, options) query against a
+// solver: the policy-ranked skill order, Algorithm 2's seed list, and
+// — for the MostCompatible policy — the task's candidate pool with its
+// precomputed compatibility degrees. Build it once with Solver.Plan
+// and solve it repeatedly; every solve reuses per-worker scratch, so
+// warm FormInto calls on packed engines do not allocate. A plan is
+// safe for concurrent use except under the RandomUser policy, whose
+// shared Options.Rng serialises solves.
+type TaskPlan struct {
+	s     *Solver
+	opts  Options
+	task  skills.Task // canonical (sorted, distinct), copied
+	empty bool
+
+	order    []skills.SkillID // task skills, best-ranked first
+	orderPos []int32          // orderPos[i] = index of order[i] in task
+	seeds    []sgraph.NodeID  // holders of order[0], MaxSeeds applied
+
+	// MostCompatible only: the distinct holders of any task skill
+	// (sorted) and, aligned with it, each holder's compatibility degree
+	// within that pool.
+	pool       []sgraph.NodeID
+	poolDegree []int32
+}
+
+// Plan compiles task+opts into a reusable TaskPlan. It performs all
+// the per-task work Algorithm 2 needs exactly once: policy validation,
+// task canonicalisation, skill ranking (including the
+// compatibility-degree computation of LeastCompatibleFirst), seed
+// selection and the MostCompatible pool degrees.
+func (s *Solver) Plan(task skills.Task, opts Options) (*TaskPlan, error) {
+	if opts.User == RandomUser && opts.Rng == nil {
+		return nil, errors.New("team: RandomUser policy requires Options.Rng")
+	}
+	// Re-canonicalise (sort, dedup, copy) rather than trusting the
+	// skills.Task contract: the solve path indexes coverage by task
+	// position and early-exits on sorted order, so an unsorted or
+	// duplicated input must not reach it.
+	p := &TaskPlan{s: s, opts: opts, task: skills.NewTask(task...)}
+	task = p.task
+	if len(task) == 0 {
+		p.empty = true
+		return p, nil
+	}
+	for _, sk := range task {
+		if s.assign.NumHolders(sk) == 0 {
+			return nil, fmt.Errorf("%w: skill %d has no holders", ErrNoTeam, sk)
+		}
+	}
+	if err := p.rankSkills(); err != nil {
+		return nil, err
+	}
+	seeds := s.assign.Holders(p.order[0])
+	if opts.MaxSeeds > 0 && len(seeds) > opts.MaxSeeds {
+		seeds = seeds[:opts.MaxSeeds]
+	}
+	p.seeds = seeds
+	switch opts.User {
+	case MinDistance, RandomUser:
+	case MostCompatible:
+		if err := p.buildPoolDegrees(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("team: unknown user policy %d", int(opts.User))
+	}
+	return p, nil
+}
+
+// Task returns the plan's (canonical) task.
+func (p *TaskPlan) Task() skills.Task { return p.task }
+
+// NumSeeds returns how many seeds Algorithm 2 will try.
+func (p *TaskPlan) NumSeeds() int { return len(p.seeds) }
+
+// rankSkills orders the task's skills by the skill policy (both
+// policies are static rankings, so the order is computed once here and
+// the per-step selection is a covered-bit scan).
+func (p *TaskPlan) rankSkills() error {
+	type ranked struct {
+		s   skills.SkillID
+		key int64
+	}
+	rankedSkills := make([]ranked, len(p.task))
+	switch p.opts.Skill {
+	case RarestFirst:
+		for i, s := range p.task {
+			rankedSkills[i] = ranked{s: s, key: int64(p.s.assign.NumHolders(s))}
+		}
+	case LeastCompatibleFirst:
+		deg := make([]int64, len(p.task))
+		if err := skillCompatDegreesInto(p.s.rel, p.s.assign, p.task, deg); err != nil {
+			return err
+		}
+		for i, s := range p.task {
+			rankedSkills[i] = ranked{s: s, key: deg[i]}
+		}
+	default:
+		return fmt.Errorf("team: unknown skill policy %d", int(p.opts.Skill))
+	}
+	sort.Slice(rankedSkills, func(i, j int) bool {
+		if rankedSkills[i].key != rankedSkills[j].key {
+			return rankedSkills[i].key < rankedSkills[j].key
+		}
+		return rankedSkills[i].s < rankedSkills[j].s
+	})
+	p.order = make([]skills.SkillID, len(rankedSkills))
+	p.orderPos = make([]int32, len(rankedSkills))
+	for i, rs := range rankedSkills {
+		p.order[i] = rs.s
+		p.orderPos[i] = int32(p.taskIndex(rs.s))
+	}
+	return nil
+}
+
+// buildPoolDegrees computes, for every user in the task's candidate
+// pool, the number of other pool members it is compatible with — the
+// MostCompatible policy's ranking — using one AND/popcount per member
+// on packed engines.
+func (p *TaskPlan) buildPoolDegrees() error {
+	p.pool = taskPool(p.s.assign, p.task)
+	p.poolDegree = make([]int32, len(p.pool))
+	if m := p.s.packed; m != nil {
+		poolSet := container.NewBitset(m.NumNodes())
+		for _, u := range p.pool {
+			poolSet.Set(int(u))
+		}
+		for i, u := range p.pool {
+			// Every row has its own bit set (reflexivity) and u is in
+			// the pool, so subtract the self hit to match the v≠u count.
+			p.poolDegree[i] = int32(container.AndCount(m.RowWords(u), poolSet.Words()) - 1)
+		}
+		return nil
+	}
+	for i, u := range p.pool {
+		degree := int32(0)
+		for _, v := range p.pool {
+			if u == v {
+				continue
+			}
+			ok, err := p.s.rel.Compatible(u, v)
+			if err != nil {
+				return err
+			}
+			if ok {
+				degree++
+			}
+		}
+		p.poolDegree[i] = degree
+	}
+	return nil
+}
+
+// taskIndex returns the position of sk within the (sorted) task, or
+// -1. Tasks are small (the paper sweeps up to 20 skills), so a linear
+// scan beats binary search and allocates nothing (sort.Search's
+// closure would, in the solve hot path).
+func (p *TaskPlan) taskIndex(sk skills.SkillID) int {
+	for i, t := range p.task {
+		if t == sk {
+			return i
+		}
+		if t > sk {
+			break
+		}
+	}
+	return -1
+}
+
+// degreeOf returns u's pool compatibility degree (u is always a pool
+// member: candidates are holders of a task skill).
+func (p *TaskPlan) degreeOf(u sgraph.NodeID) int32 {
+	lo, hi := 0, len(p.pool)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.pool[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return p.poolDegree[lo]
+}
+
+// ---------------------------------------------------------------------------
+// scratch: the mutable part of a solve, one per worker.
+
+// scratch carries every buffer a single solve mutates, so repeated
+// solves reuse the same memory: the covered-skill bitset (indexed by
+// task position, replacing the per-call map), the members and
+// candidate slices, the incremental row-AND mask of packed engines,
+// and the current best team.
+type scratch struct {
+	mask    *container.Bitset // AND of the members' packed rows; nil on lazy engines
+	covered *container.Bitset // task positions covered by the members
+	nCov    int
+	members []sgraph.NodeID
+	cand    []sgraph.NodeID
+	best    []sgraph.NodeID
+
+	// formPar's worker-local best (the members live in best), merged
+	// into the plan-level minimum by the pool's finish hook.
+	parFound bool
+	parCost  int32
+	parSeed  int
+}
+
+func (s *Solver) newScratch() *scratch {
+	sc := &scratch{covered: container.NewBitset(0)}
+	if s.packed != nil {
+		sc.mask = container.NewBitset(s.n)
+	}
+	return sc
+}
+
+func (s *Solver) getScratch() *scratch { return s.scratch.Get().(*scratch) }
+func (s *Solver) putScratch(sc *scratch) {
+	s.scratch.Put(sc)
+}
+
+// runPool is the one worker-pool implementation behind the parallel
+// paths (formPar, allTeams, FormBatch): it runs fn(sc, i) for every i
+// in [0, count) across the given number of workers, handing out
+// indices from a shared atomic counter, with one scratch per worker.
+// start (optional) initialises a worker's scratch before its first
+// item; finish (optional) runs once per worker before its scratch is
+// released, for merging worker-local state. The first error aborts the
+// sweep; when several workers error, the lowest-indexed item's error
+// is returned, so error reporting is deterministic.
+func (s *Solver) runPool(workers, count int, fn func(sc *scratch, i int) error, start, finish func(sc *scratch)) error {
+	if workers > count {
+		workers = count
+	}
+	var (
+		next     int64 = -1
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = count
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := s.getScratch()
+			defer s.putScratch(sc)
+			if start != nil {
+				start(sc)
+			}
+			for !failed.Load() {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= count {
+					break
+				}
+				if err := fn(sc, i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+					failed.Store(true)
+					break
+				}
+			}
+			if finish != nil {
+				finish(sc)
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// addMember grows the current team by u: appends it, marks the task
+// skills it covers, and ANDs its packed row into the candidate mask
+// (so candidate filtering is one bit test per holder regardless of
+// team size).
+func (sc *scratch) addMember(p *TaskPlan, u sgraph.NodeID) {
+	if sc.mask != nil {
+		if len(sc.members) == 0 {
+			sc.mask.CopyFrom(p.s.packed.RowWords(u))
+		} else {
+			sc.mask.And(p.s.packed.RowWords(u))
+		}
+	}
+	sc.members = append(sc.members, u)
+	for _, sk := range p.s.assign.UserSkills(u) {
+		if i := p.taskIndex(sk); i >= 0 && !sc.covered.Contains(i) {
+			sc.covered.Set(i)
+			sc.nCov++
+		}
+	}
+}
+
+// nextSkill returns the best-ranked uncovered skill. Callers only
+// invoke it while uncovered skills remain.
+func (p *TaskPlan) nextSkill(sc *scratch) skills.SkillID {
+	for i, sk := range p.order {
+		if !sc.covered.Contains(int(p.orderPos[i])) {
+			return sk
+		}
+	}
+	panic("team: nextSkill called with all skills covered")
+}
+
+// grow runs Algorithm 2's inner loop for one seed into sc.members.
+// ok=false reports a failed seed (no compatible holder of some skill);
+// a non-nil error is a relation failure and aborts the whole solve.
+func (p *TaskPlan) grow(sc *scratch, seed sgraph.NodeID) (bool, error) {
+	sc.members = sc.members[:0]
+	sc.covered.Grow(len(p.task))
+	sc.nCov = 0
+	sc.addMember(p, seed)
+	for sc.nCov < len(p.task) {
+		v, ok, err := p.pick(sc, p.nextSkill(sc))
+		if err != nil || !ok {
+			return false, err
+		}
+		sc.addMember(p, v)
+	}
+	return true, nil
+}
+
+// pick selects which compatible holder of skill joins sc.members,
+// according to the user policy. ok=false means no compatible holder
+// (or, under MinDistance, none at a defined distance).
+func (p *TaskPlan) pick(sc *scratch, skill skills.SkillID) (sgraph.NodeID, bool, error) {
+	sc.cand = sc.cand[:0]
+	if sc.mask != nil {
+		// Word-parallel fast path: the mask already holds the AND of
+		// the members' rows, so compatibility with the whole team is
+		// one bit test per holder.
+		for _, v := range p.s.assign.Holders(skill) {
+			if sc.mask.Contains(int(v)) {
+				sc.cand = append(sc.cand, v)
+			}
+		}
+	} else {
+	holders:
+		for _, v := range p.s.assign.Holders(skill) {
+			for _, x := range sc.members {
+				// Query with the team member first: relations cache
+				// rows per source, and the team side is small and
+				// stable.
+				ok, err := p.s.rel.Compatible(x, v)
+				if err != nil {
+					return 0, false, err
+				}
+				if !ok {
+					continue holders
+				}
+			}
+			sc.cand = append(sc.cand, v)
+		}
+	}
+	if len(sc.cand) == 0 {
+		return 0, false, nil
+	}
+	switch p.opts.User {
+	case MinDistance:
+		return p.pickMinDistance(sc)
+	case MostCompatible:
+		best := sc.cand[0]
+		bestDeg := p.degreeOf(best)
+		for _, c := range sc.cand[1:] {
+			if d := p.degreeOf(c); d > bestDeg {
+				best, bestDeg = c, d
+			}
+		}
+		return best, true, nil
+	case RandomUser:
+		return sc.cand[p.opts.Rng.Intn(len(sc.cand))], true, nil
+	default:
+		return 0, false, fmt.Errorf("team: unknown user policy %d", int(p.opts.User))
+	}
+}
+
+// pickMinDistance chooses the candidate with the cheapest contribution
+// to the configured cost — smallest maximum distance to the team for
+// Diameter, smallest total for SumDistance; ties break to the smaller
+// id. Candidates at an undefined distance to some member are skipped.
+func (p *TaskPlan) pickMinDistance(sc *scratch) (sgraph.NodeID, bool, error) {
+	best := sgraph.NodeID(-1)
+	bestDist := int32(0)
+	for _, c := range sc.cand {
+		contribution := int32(0)
+		defined := true
+		for _, x := range sc.members {
+			var d int32
+			var ok bool
+			if p.s.matrix != nil {
+				d, ok = p.s.matrix.PairDistance(c, x)
+			} else if p.s.packed != nil {
+				d, ok = p.s.packed.PairDistance(c, x)
+			} else {
+				var err error
+				d, ok, err = p.s.rel.Distance(c, x)
+				if err != nil {
+					return 0, false, err
+				}
+			}
+			if !ok {
+				defined = false
+				break
+			}
+			if p.opts.Cost == SumDistance {
+				contribution += d
+			} else if d > contribution {
+				contribution = d
+			}
+		}
+		if !defined {
+			continue
+		}
+		if best == -1 || contribution < bestDist || (contribution == bestDist && c < best) {
+			best, bestDist = c, contribution
+		}
+	}
+	if best == -1 {
+		return 0, false, nil
+	}
+	return best, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Solving a plan.
+
+// FormInto solves the plan into dst, reusing dst.Members' backing
+// array — the warm path for serving repeated queries. Seeds are
+// explored across the solver's worker pool when it has more than one
+// worker (sequentially under RandomUser, so Options.Rng is consumed
+// in seed order); the merge is deterministic, so the result is
+// identical at every worker count. On a single-worker solver over a
+// packed engine, warm calls are allocation-free; multi-worker solvers
+// pay per-call goroutine bookkeeping to parallelise the seed loop
+// instead. It returns ErrNoTeam when every seed fails.
+func (p *TaskPlan) FormInto(dst *Team) error {
+	if p.empty {
+		*dst = Team{Members: dst.Members[:0]}
+		return nil
+	}
+	if p.s.workers > 1 && len(p.seeds) > 1 && p.opts.User != RandomUser {
+		return p.formPar(dst)
+	}
+	sc := p.s.getScratch()
+	defer p.s.putScratch(sc)
+	return p.formSeq(sc, dst)
+}
+
+// Form solves the plan into a fresh Team.
+func (p *TaskPlan) Form() (*Team, error) {
+	var tm Team
+	if err := p.FormInto(&tm); err != nil {
+		return nil, err
+	}
+	return &tm, nil
+}
+
+// formSeq is the sequential solve: Algorithm 2's outer loop on one
+// scratch. It keeps the cheapest team (first seed wins ties, as the
+// loop order dictates) in sc.best and copies it into dst at the end.
+func (p *TaskPlan) formSeq(sc *scratch, dst *Team) error {
+	if p.empty {
+		*dst = Team{Members: dst.Members[:0]}
+		return nil
+	}
+	found := false
+	var bestCost int32
+	succeeded := 0
+	sc.best = sc.best[:0]
+	for _, seed := range p.seeds {
+		ok, err := p.grow(sc, seed)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		cost, priced, err := p.costMembers(sc.members)
+		if err != nil {
+			return err
+		}
+		if !priced {
+			continue // undefined distance inside the team: seed failed
+		}
+		succeeded++
+		if !found || cost < bestCost {
+			found = true
+			bestCost = cost
+			sc.best = append(sc.best[:0], sc.members...)
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: all %d seeds failed for task %v", ErrNoTeam, len(p.seeds), p.task)
+	}
+	dst.Members = append(dst.Members[:0], sc.best...)
+	dst.Cost = bestCost
+	dst.SeedsTried = len(p.seeds)
+	dst.SeedsSucceeded = succeeded
+	return nil
+}
+
+// formPar explores the seeds across the worker pool. Each worker keeps
+// a local best (cost, then seed index); the merge picks the global
+// minimum under the same order, so the result equals formSeq's
+// regardless of scheduling. The lowest-seed-index error wins, also for
+// determinism.
+func (p *TaskPlan) formPar(dst *Team) error {
+	var (
+		succeeded   int64
+		mu          sync.Mutex
+		found       bool
+		bestCost    int32
+		bestSeed    int
+		bestMembers []sgraph.NodeID
+	)
+	err := p.s.runPool(p.s.workers, len(p.seeds),
+		func(sc *scratch, i int) error {
+			ok, err := p.grow(sc, p.seeds[i])
+			if err != nil || !ok {
+				return err
+			}
+			cost, priced, err := p.costMembers(sc.members)
+			if err != nil || !priced {
+				return err
+			}
+			atomic.AddInt64(&succeeded, 1)
+			if !sc.parFound || cost < sc.parCost || (cost == sc.parCost && i < sc.parSeed) {
+				sc.parFound, sc.parCost, sc.parSeed = true, cost, i
+				sc.best = append(sc.best[:0], sc.members...)
+			}
+			return nil
+		},
+		func(sc *scratch) { // start: reset the worker-local best
+			sc.parFound = false
+			sc.best = sc.best[:0]
+		},
+		func(sc *scratch) { // finish: merge into the global minimum
+			if !sc.parFound {
+				return
+			}
+			mu.Lock()
+			if !found || sc.parCost < bestCost || (sc.parCost == bestCost && sc.parSeed < bestSeed) {
+				found, bestCost, bestSeed = true, sc.parCost, sc.parSeed
+				bestMembers = append(bestMembers[:0], sc.best...)
+			}
+			mu.Unlock()
+		})
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: all %d seeds failed for task %v", ErrNoTeam, len(p.seeds), p.task)
+	}
+	dst.Members = append(dst.Members[:0], bestMembers...)
+	dst.Cost = bestCost
+	dst.SeedsTried = len(p.seeds)
+	dst.SeedsSucceeded = int(succeeded)
+	return nil
+}
+
+// FormTopK solves the plan and returns up to k distinct teams in
+// increasing cost order (the same aggregate telemetry stamping as the
+// package-level FormTopK).
+func (p *TaskPlan) FormTopK(k int) ([]*Team, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("team: FormTopK k = %d, want > 0", k)
+	}
+	if p.empty {
+		return []*Team{{Members: nil, Cost: 0}}, nil
+	}
+	teams, err := p.allTeams()
+	if err != nil {
+		return nil, err
+	}
+	succeeded := len(teams)
+	if succeeded == 0 {
+		return nil, fmt.Errorf("%w: all %d seeds failed for task %v", ErrNoTeam, len(p.seeds), p.task)
+	}
+	distinct, sortedSets := dedupTeams(teams)
+	sort.Sort(&teamsByCost{teams: distinct, keys: sortedSets})
+	if len(distinct) > k {
+		distinct = distinct[:k]
+	}
+	for _, tm := range distinct {
+		tm.SeedsTried = len(p.seeds)
+		tm.SeedsSucceeded = succeeded
+	}
+	return distinct, nil
+}
+
+// allTeams grows every seed and returns the successful teams in seed
+// order (the legacy formAll), using the worker pool for deterministic
+// parallel exploration when available.
+func (p *TaskPlan) allTeams() ([]*Team, error) {
+	results := make([]*Team, len(p.seeds))
+	collect := func(sc *scratch, i int) (bool, error) {
+		ok, err := p.grow(sc, p.seeds[i])
+		if err != nil || !ok {
+			return false, err
+		}
+		cost, priced, err := p.costMembers(sc.members)
+		if err != nil || !priced {
+			return false, err
+		}
+		results[i] = &Team{Members: append([]sgraph.NodeID(nil), sc.members...), Cost: cost}
+		return true, nil
+	}
+	if p.s.workers > 1 && len(p.seeds) > 1 && p.opts.User != RandomUser {
+		err := p.s.runPool(p.s.workers, len(p.seeds), func(sc *scratch, i int) error {
+			_, err := collect(sc, i)
+			return err
+		}, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sc := p.s.getScratch()
+		defer p.s.putScratch(sc)
+		for i := range p.seeds {
+			if _, err := collect(sc, i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	teams := results[:0]
+	for _, tm := range results {
+		if tm != nil {
+			teams = append(teams, tm)
+		}
+	}
+	return teams, nil
+}
+
+// costMembers prices the members under the plan's cost objective.
+// priced=false reports an undefined pairwise distance (the seed is
+// treated as failed); errors are relation failures.
+func (p *TaskPlan) costMembers(members []sgraph.NodeID) (cost int32, priced bool, err error) {
+	for i, u := range members {
+		for _, v := range members[i+1:] {
+			var d int32
+			var ok bool
+			if p.s.matrix != nil {
+				d, ok = p.s.matrix.PairDistance(u, v)
+			} else if p.s.packed != nil {
+				d, ok = p.s.packed.PairDistance(u, v)
+			} else {
+				d, ok, err = p.s.rel.Distance(u, v)
+				if err != nil {
+					return 0, false, err
+				}
+			}
+			if !ok {
+				return 0, false, nil
+			}
+			switch p.opts.Cost {
+			case SumDistance:
+				cost += d
+			default: // Diameter
+				if d > cost {
+					cost = d
+				}
+			}
+		}
+	}
+	return cost, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Member-set dedup and ordering.
+
+// dedupTeams drops teams whose member set already appeared (several
+// seeds can grow into the same team), keeping first occurrences in
+// order. Sets are compared by a 64-bit order-insensitive hash with an
+// exact member-wise check on hash collisions — no string keys. It
+// returns the surviving teams and, aligned, each team's sorted member
+// set for use as a sort key.
+func dedupTeams(teams []*Team) ([]*Team, [][]sgraph.NodeID) {
+	distinct := teams[:0]
+	sortedSets := make([][]sgraph.NodeID, 0, len(teams))
+	byHash := make(map[uint64][]int, len(teams))
+next:
+	for _, tm := range teams {
+		set := append([]sgraph.NodeID(nil), tm.Members...)
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		h := membersHash(set)
+		for _, j := range byHash[h] {
+			if equalMembers(sortedSets[j], set) {
+				continue next
+			}
+		}
+		byHash[h] = append(byHash[h], len(distinct))
+		distinct = append(distinct, tm)
+		sortedSets = append(sortedSets, set)
+	}
+	return distinct, sortedSets
+}
+
+// membersHash hashes a sorted member set (FNV-1a over the ids).
+func membersHash(sorted []sgraph.NodeID) uint64 {
+	h := uint64(14695981039346656037)
+	for _, m := range sorted {
+		x := uint64(uint32(m))
+		for i := 0; i < 4; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	return h
+}
+
+func equalMembers(a, b []sgraph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compareMemberSets orders two sorted member sets exactly as the
+// comma-joined decimal keys of the original implementation compared,
+// so FormTopK's tie-break order is stable across the rewrite: sets are
+// compared element-wise by the decimal string of each id (a decimal
+// prefix sorts first, matching ',' < '0'), then by length.
+func compareMemberSets(a, b []sgraph.NodeID) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			var bufA, bufB [20]byte
+			da := strconv.AppendInt(bufA[:0], int64(a[i]), 10)
+			db := strconv.AppendInt(bufB[:0], int64(b[i]), 10)
+			return bytes.Compare(da, db)
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// teamsByCost sorts teams by cost, ties broken by the legacy
+// member-set order; keys holds each team's sorted member set.
+type teamsByCost struct {
+	teams []*Team
+	keys  [][]sgraph.NodeID
+}
+
+func (t *teamsByCost) Len() int { return len(t.teams) }
+func (t *teamsByCost) Less(i, j int) bool {
+	if t.teams[i].Cost != t.teams[j].Cost {
+		return t.teams[i].Cost < t.teams[j].Cost
+	}
+	return compareMemberSets(t.keys[i], t.keys[j]) < 0
+}
+func (t *teamsByCost) Swap(i, j int) {
+	t.teams[i], t.teams[j] = t.teams[j], t.teams[i]
+	t.keys[i], t.keys[j] = t.keys[j], t.keys[i]
+}

@@ -7,8 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
-	"strconv"
 
 	"repro/internal/compat"
 	"repro/internal/sgraph"
@@ -131,26 +129,14 @@ type Team struct {
 // holder of the first selected skill, grow it greedily — always
 // remaining pairwise compatible — until the task is covered, and
 // return the cheapest grown team.
+//
+// Form is a thin wrapper over a single-use, single-worker Solver;
+// workloads that solve many tasks (or the same task repeatedly)
+// against one relation should build a Solver once and use its Form,
+// FormBatch or plan-level entry points, which reuse the compiled plan
+// and per-worker scratch. The results are identical.
 func Form(rel compat.Relation, assign *skills.Assignment, task skills.Task, opts Options) (*Team, error) {
-	teams, tried, err := formAll(rel, assign, task, opts)
-	if err != nil {
-		return nil, err
-	}
-	if len(task) == 0 {
-		return &Team{Members: nil, Cost: 0}, nil
-	}
-	var best *Team
-	for _, tm := range teams {
-		if best == nil || tm.Cost < best.Cost {
-			best = tm
-		}
-	}
-	if best == nil {
-		return nil, fmt.Errorf("%w: all %d seeds failed for task %v", ErrNoTeam, tried, task)
-	}
-	best.SeedsTried = tried
-	best.SeedsSucceeded = len(teams)
-	return best, nil
+	return NewSolver(rel, assign, SolverOptions{Workers: 1}).Form(task, opts)
 }
 
 // FormTopK runs Algorithm 2 and returns up to k distinct teams in
@@ -158,136 +144,15 @@ func Form(rel compat.Relation, assign *skills.Assignment, task skills.Task, opts
 // variant in the spirit of Kargar & An (CIKM 2011), which falls out
 // of Algorithm 2's candidate list L for free. It returns ErrNoTeam
 // when no seed produces a team.
+//
+// SeedsTried and SeedsSucceeded on the returned teams are aggregates
+// of the whole search, not per-team telemetry: every returned team
+// carries the same totals — how many seeds Algorithm 2 tried and how
+// many of them grew into a (not necessarily distinct) priced team —
+// even after the list is deduplicated and sliced to k. Like Form,
+// FormTopK is a thin wrapper over a single-use Solver.
 func FormTopK(rel compat.Relation, assign *skills.Assignment, task skills.Task, opts Options, k int) ([]*Team, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("team: FormTopK k = %d, want > 0", k)
-	}
-	teams, tried, err := formAll(rel, assign, task, opts)
-	if err != nil {
-		return nil, err
-	}
-	if len(task) == 0 {
-		return []*Team{{Members: nil, Cost: 0}}, nil
-	}
-	if len(teams) == 0 {
-		return nil, fmt.Errorf("%w: all %d seeds failed for task %v", ErrNoTeam, tried, task)
-	}
-	// Deduplicate by member set (several seeds can grow into the same
-	// team), then order by cost.
-	seen := map[string]bool{}
-	distinct := teams[:0]
-	for _, tm := range teams {
-		key := memberKey(tm.Members)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		distinct = append(distinct, tm)
-	}
-	sort.Slice(distinct, func(i, j int) bool {
-		if distinct[i].Cost != distinct[j].Cost {
-			return distinct[i].Cost < distinct[j].Cost
-		}
-		return memberKey(distinct[i].Members) < memberKey(distinct[j].Members)
-	})
-	if len(distinct) > k {
-		distinct = distinct[:k]
-	}
-	for _, tm := range distinct {
-		tm.SeedsTried = tried
-		tm.SeedsSucceeded = len(teams)
-	}
-	return distinct, nil
-}
-
-func memberKey(members []sgraph.NodeID) string {
-	sorted := append([]sgraph.NodeID(nil), members...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	buf := make([]byte, 0, 8*len(sorted))
-	for _, m := range sorted {
-		buf = strconv.AppendInt(buf, int64(m), 10)
-		buf = append(buf, ',')
-	}
-	return string(buf)
-}
-
-// formAll is Algorithm 2's outer loop: one grown team per successful
-// seed (priced by the configured cost), plus the number of seeds
-// tried.
-func formAll(rel compat.Relation, assign *skills.Assignment, task skills.Task, opts Options) ([]*Team, int, error) {
-	if opts.User == RandomUser && opts.Rng == nil {
-		return nil, 0, errors.New("team: RandomUser policy requires Options.Rng")
-	}
-	if len(task) == 0 {
-		return nil, 0, nil
-	}
-	for _, s := range task {
-		if assign.NumHolders(s) == 0 {
-			return nil, 0, fmt.Errorf("%w: skill %d has no holders", ErrNoTeam, s)
-		}
-	}
-
-	ranker, err := newSkillRanker(rel, assign, task, opts.Skill)
-	if err != nil {
-		return nil, 0, err
-	}
-	picker, err := newUserPicker(rel, assign, task, opts)
-	if err != nil {
-		return nil, 0, err
-	}
-
-	first := ranker.next(nil)
-	seeds := assign.Holders(first)
-	if opts.MaxSeeds > 0 && len(seeds) > opts.MaxSeeds {
-		seeds = seeds[:opts.MaxSeeds]
-	}
-
-	var teams []*Team
-	tried := 0
-	for _, seed := range seeds {
-		tried++
-		members, err := growTeam(rel, assign, task, seed, ranker, picker)
-		if err != nil {
-			if errors.Is(err, ErrNoTeam) {
-				continue
-			}
-			return nil, tried, err
-		}
-		cost, err := CostWith(rel, members, opts.Cost)
-		if err != nil {
-			if errors.Is(err, errUndefinedDistance) {
-				continue // cannot price this team; treat the seed as failed
-			}
-			return nil, tried, err
-		}
-		teams = append(teams, &Team{Members: members, Cost: cost})
-	}
-	return teams, tried, nil
-}
-
-// growTeam implements the inner loop of Algorithm 2 for one seed.
-func growTeam(rel compat.Relation, assign *skills.Assignment, task skills.Task, seed sgraph.NodeID, ranker *skillRanker, picker *userPicker) ([]sgraph.NodeID, error) {
-	members := []sgraph.NodeID{seed}
-	covered := make(map[skills.SkillID]bool, len(task))
-	addCoverage(assign, task, seed, covered)
-	for len(covered) < len(task) {
-		s := ranker.next(covered)
-		v, err := picker.pick(s, members)
-		if err != nil {
-			return nil, err
-		}
-		members = append(members, v)
-		addCoverage(assign, task, v, covered)
-	}
-	return members, nil
-}
-
-func addCoverage(assign *skills.Assignment, task skills.Task, u sgraph.NodeID, covered map[skills.SkillID]bool) {
-	for _, s := range assign.UserSkills(u) {
-		if task.Contains(s) {
-			covered[s] = true
-		}
-	}
+	return NewSolver(rel, assign, SolverOptions{Workers: 1}).FormTopK(task, opts, k)
 }
 
 // errUndefinedDistance reports a member pair with no relation

@@ -248,19 +248,24 @@ func TestSkillCompatDegrees(t *testing.T) {
 func TestLeastCompatibleFirstOrdering(t *testing.T) {
 	f := newFixture(t)
 	rel := nne(t, f.g)
-	ranker, err := newSkillRanker(rel, f.assign, f.task, LeastCompatibleFirst)
+	s := NewSolver(rel, f.assign, SolverOptions{Workers: 1})
+	plan, err := s.Plan(f.task, Options{Skill: LeastCompatibleFirst})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// cd: A=4, B=5, C=5 → A first, then B (tie broken by id), then C.
-	if ranker.order[0] != 0 || ranker.order[1] != 1 || ranker.order[2] != 2 {
-		t.Fatalf("order = %v, want [0 1 2]", ranker.order)
+	if plan.order[0] != 0 || plan.order[1] != 1 || plan.order[2] != 2 {
+		t.Fatalf("order = %v, want [0 1 2]", plan.order)
 	}
-	if got := ranker.next(nil); got != 0 {
-		t.Fatalf("next(nil) = %d, want 0", got)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	sc.covered.Grow(len(plan.task))
+	if got := plan.nextSkill(sc); got != 0 {
+		t.Fatalf("nextSkill(∅) = %d, want 0", got)
 	}
-	if got := ranker.next(map[skills.SkillID]bool{0: true}); got != 1 {
-		t.Fatalf("next({A}) = %d, want 1", got)
+	sc.covered.Set(0) // A covered
+	if got := plan.nextSkill(sc); got != 1 {
+		t.Fatalf("nextSkill({A}) = %d, want 1", got)
 	}
 }
 

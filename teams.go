@@ -80,8 +80,34 @@ const (
 // with errors.Is.
 var ErrNoTeam = team.ErrNoTeam
 
+// Reusable solver types. A TeamSolver compiles the per-task setup of
+// Algorithm 2 (policy ranking, seed list, candidate-pool degrees) into
+// a TeamPlan once and reuses per-worker scratch across solves, so
+// repeated queries over one relation — the serving workload — skip the
+// per-call setup FormTeam pays, batches run across a worker pool, and
+// warm plan solves on packed engines are allocation-free when the
+// solver is single-worker.
+type (
+	// TeamSolver answers repeated team formation queries over one
+	// (relation, assignment) pair; safe for concurrent use.
+	TeamSolver = team.Solver
+	// TeamSolverOptions configures NewTeamSolver (worker count).
+	TeamSolverOptions = team.SolverOptions
+	// TeamPlan is a compiled task query: build once with
+	// TeamSolver.Plan, solve repeatedly with Form/FormInto/FormTopK.
+	TeamPlan = team.TaskPlan
+)
+
+// NewTeamSolver builds a reusable team-formation solver over rel and
+// assign. Results are identical to FormTeam for every policy
+// combination and engine, at every worker count.
+func NewTeamSolver(rel Relation, assign *Assignment, opts TeamSolverOptions) *TeamSolver {
+	return team.NewSolver(rel, assign, opts)
+}
+
 // FormTeam runs the paper's Algorithm 2: greedy team formation under
-// a compatibility relation.
+// a compatibility relation. For repeated queries against the same
+// relation, build a NewTeamSolver once instead.
 func FormTeam(rel Relation, assign *Assignment, task Task, opts FormOptions) (*Team, error) {
 	return team.Form(rel, assign, task, opts)
 }
