@@ -508,6 +508,174 @@ func BenchmarkSolverForm(b *testing.B) {
 	})
 }
 
+// BenchmarkPlanCacheServe measures the cross-request serving layer:
+// repeated tasks answered through Solver.FormInto. "uncached" pays
+// plan compilation on every request (the PR 3 serving path);
+// "warm" serves every request from the plan cache — the hit path,
+// which must stay at 0 allocs/op on the matrix engine (the CI alloc
+// smoke watches this); "thrash" runs the same workload through a
+// cache smaller than the working set, pricing the eviction worst
+// case.
+func BenchmarkPlanCacheServe(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := compat.MustNewMatrix(compat.SPM, d.Graph, compat.MatrixOptions{})
+	rng := rand.New(rand.NewSource(3))
+	var tasks []skills.Task
+	for i := 0; i < 16; i++ {
+		t, err := skills.RandomTask(rng, d.Assign, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = append(tasks, t)
+	}
+	opts := team.Options{Skill: team.LeastCompatibleFirst, User: team.MinDistance}
+	serve := func(b *testing.B, solver *team.Solver, tm *team.Team) {
+		for i := 0; i < b.N; i++ {
+			err := solver.FormInto(tasks[i%len(tasks)], opts, tm)
+			if err != nil && !errors.Is(err, team.ErrNoTeam) {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) {
+		solver := team.NewSolver(rel, d.Assign, team.SolverOptions{Workers: 1})
+		b.ReportAllocs()
+		serve(b, solver, &team.Team{})
+	})
+	b.Run("warm", func(b *testing.B) {
+		solver := team.NewSolver(rel, d.Assign, team.SolverOptions{Workers: 1, PlanCache: 64})
+		var tm team.Team             // shared with the timed loop so its buffer is warm too
+		for _, task := range tasks { // compile every plan outside the timer
+			if err := solver.FormInto(task, opts, &tm); err != nil && !errors.Is(err, team.ErrNoTeam) {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		serve(b, solver, &tm)
+		b.StopTimer() // the stats read below is not part of the serve path
+		st := solver.PlanCacheStats()
+		b.ReportMetric(100*st.HitRate(), "hit-%")
+	})
+	b.Run("thrash", func(b *testing.B) {
+		// 16 distinct keys over 8 slots, round-robin: every request
+		// misses and evicts — the cache's overhead ceiling.
+		solver := team.NewSolver(rel, d.Assign, team.SolverOptions{Workers: 1, PlanCache: 8})
+		b.ReportAllocs()
+		serve(b, solver, &team.Team{})
+	})
+}
+
+// BenchmarkFormBatchRepeated is the repeated-task batch workload the
+// plan cache exists for: 128 tasks drawn from 16 distinct, solved
+// through FormBatch on the matrix engine with and without a plan
+// cache. Compare against BenchmarkFormBatch (all-distinct tasks) and
+// the PR 3 matrix_batch baseline in BENCH_form.json.
+func BenchmarkFormBatchRepeated(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := compat.MustNewMatrix(compat.SPM, d.Graph, compat.MatrixOptions{})
+	rng := rand.New(rand.NewSource(3))
+	var distinct []skills.Task
+	for i := 0; i < 16; i++ {
+		t, err := skills.RandomTask(rng, d.Assign, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		distinct = append(distinct, t)
+	}
+	tasks := make([]skills.Task, 128)
+	for i := range tasks {
+		tasks[i] = distinct[rng.Intn(len(distinct))]
+	}
+	opts := team.Options{Skill: team.LeastCompatibleFirst, User: team.MinDistance}
+	for _, cache := range []int{0, 64} {
+		name := "no-cache"
+		if cache > 0 {
+			name = "plan-cache"
+		}
+		b.Run(name, func(b *testing.B) {
+			solver := team.NewSolver(rel, d.Assign, team.SolverOptions{PlanCache: cache})
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.FormBatch(tasks, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(len(tasks))/b.Elapsed().Seconds(), "tasks/s")
+		})
+	}
+}
+
+// BenchmarkLazyFormDecomposed isolates where a lazy-engine Form call
+// spends its time, to attribute the PR 2 → PR 3 sequential-Form delta
+// recorded in BENCH_form.json: "form" builds a throwaway solver per
+// call (the package-level Form path), "solver-form" reuses the solver
+// but compiles a plan per call, and "warm-plan" only solves. The
+// row cache is fully precomputed, so every split measures pure
+// query-path work.
+func BenchmarkLazyFormDecomposed(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := compat.MustNew(compat.SPM, d.Graph, compat.Options{CacheCap: d.Graph.NumNodes() + 1})
+	if err := compat.Precompute(rel, 0); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var tasks []skills.Task
+	for i := 0; i < 16; i++ {
+		t, err := skills.RandomTask(rng, d.Assign, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = append(tasks, t)
+	}
+	opts := team.Options{Skill: team.LeastCompatibleFirst, User: team.MinDistance}
+	b.Run("form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := team.Form(rel, d.Assign, tasks[i%len(tasks)], opts); err != nil && !errors.Is(err, team.ErrNoTeam) {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("solver-form", func(b *testing.B) {
+		solver := team.NewSolver(rel, d.Assign, team.SolverOptions{Workers: 1})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Form(tasks[i%len(tasks)], opts); err != nil && !errors.Is(err, team.ErrNoTeam) {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-plan", func(b *testing.B) {
+		solver := team.NewSolver(rel, d.Assign, team.SolverOptions{Workers: 1})
+		plans := make([]*team.TaskPlan, 0, len(tasks))
+		for _, task := range tasks {
+			p, err := solver.Plan(task, opts)
+			if err != nil {
+				if errors.Is(err, team.ErrNoTeam) {
+					continue
+				}
+				b.Fatal(err)
+			}
+			plans = append(plans, p)
+		}
+		var tm team.Team
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := plans[i%len(plans)].FormInto(&tm); err != nil && !errors.Is(err, team.ErrNoTeam) {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkFormBatch races a sequential package-level Form loop
 // against Solver.FormBatch on every engine — the batch-serving
 // speedup the solver exists for (plan/scratch reuse plus the worker

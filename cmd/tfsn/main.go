@@ -6,16 +6,20 @@
 // The serving-oriented knobs mirror the experiment harness: -engine
 // selects the relation backend (lazy row cache, packed matrix, or the
 // sharded spill-capable matrix), -parallel bounds the solver's worker
-// pool, and -batch switches to batch mode — sample many random tasks
-// and solve them all through one reusable solver, reporting solved
-// fraction, average cost and throughput.
+// pool, -batch switches to batch mode — sample many random tasks and
+// solve them all through one reusable solver, reporting solved
+// fraction, average cost and throughput — and -plan-cache bounds the
+// solver's compiled-plan LRU, whose hit/miss/eviction counters the
+// batch report prints (repeated tasks are served without recompiling
+// their plans).
 //
 // Usage:
 //
 //	tfsn -dataset epinions -relation SPO -k 5
 //	tfsn -dataset slashdot -relation SBPH -task "skill-0002,skill-0005"
 //	tfsn -edges g.edges -skills g.skills -relation NNE -k 3
-//	tfsn -dataset epinions -relation SPM -engine matrix -k 5 -batch 200
+//	tfsn -dataset epinions -relation SPM -engine matrix -k 5 \
+//	    -batch 200 -parallel 8 -plan-cache 256
 package main
 
 import (
@@ -49,6 +53,7 @@ type config struct {
 	maxResidentShards int
 	parallel          int
 	batch             int
+	planCache         int
 }
 
 func main() {
@@ -71,6 +76,7 @@ func main() {
 	flag.IntVar(&cfg.maxResidentShards, "max-resident-shards", 0, "sharded engine: shards kept in memory, rest spilled to disk (0 = all resident)")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "solver workers for the seed loop and batch mode (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.batch, "batch", 0, "batch mode: sample this many random tasks of -k skills and solve them all")
+	flag.IntVar(&cfg.planCache, "plan-cache", 0, "cache up to this many compiled task plans in the solver (0 = no cache); repeated tasks skip plan compilation")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tfsn:", err)
@@ -113,7 +119,10 @@ func run(cfg config) error {
 
 	fmt.Printf("dataset  %s (%d users, %d edges, %d negative)\n",
 		d.Name, d.Graph.NumNodes(), d.Graph.NumEdges(), d.Graph.NumNegativeEdges())
-	solver := team.NewSolver(rel, d.Assign, team.SolverOptions{Workers: cfg.parallel})
+	solver := team.NewSolver(rel, d.Assign, team.SolverOptions{
+		Workers:   cfg.parallel,
+		PlanCache: cfg.planCache,
+	})
 	if cfg.batch > 0 {
 		if cfg.taskSpec != "" {
 			return errors.New("-batch samples random tasks and cannot be combined with -task; pass -k instead")
@@ -199,6 +208,11 @@ func runBatch(cfg config, d *datasets.Dataset, solver *team.Solver, kind compat.
 			opts.Cost, float64(costSum)/float64(solved), float64(members)/float64(solved))
 	}
 	fmt.Printf("elapsed  %.2fs (%.0f tasks/s)\n", elapsed.Seconds(), float64(len(tasks))/elapsed.Seconds())
+	if cfg.planCache > 0 {
+		st := solver.PlanCacheStats()
+		fmt.Printf("plans    %d cached (cap %d): %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
+			st.Size, st.Capacity, st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
+	}
 	return nil
 }
 

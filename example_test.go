@@ -50,10 +50,12 @@ func ExampleFormTeam() {
 }
 
 // ExampleTeamSolver serves repeated team queries from one solver: the
-// plan for a task is compiled once and solved warm on reused buffers
-// (allocation-free on packed engines when the solver is
-// single-worker), and a batch of tasks runs across the worker pool —
-// with results identical to per-call FormTeam.
+// plan for a task is compiled once (the cold solve) and then solved
+// warm on reused buffers (allocation-free on packed engines when the
+// solver is single-worker), and a batch of tasks runs across the
+// worker pool — with results identical to per-call FormTeam. For
+// cross-request plan reuse without holding plans yourself, see
+// ExampleTeamSolver_planCache.
 func ExampleTeamSolver() {
 	g := signedteams.MustFromEdges(5, []signedteams.Edge{
 		{U: 0, V: 1, Sign: signedteams.Positive},
@@ -84,12 +86,14 @@ func ExampleTeamSolver() {
 		panic(err)
 	}
 	var warm signedteams.Team
+	solves := 0
 	for i := 0; i < 3; i++ { // warm solves reuse the same buffers
 		if err := plan.FormInto(&warm); err != nil {
 			panic(err)
 		}
+		solves++
 	}
-	fmt.Println(warm.Members, warm.Cost)
+	fmt.Printf("%v cost %d — 1 cold compile, %d warm solves\n", warm.Members, warm.Cost, solves)
 
 	// Batches amortise the solver across many tasks; a nil entry means
 	// no compatible team exists for that task.
@@ -104,9 +108,59 @@ func ExampleTeamSolver() {
 		fmt.Println(tm.Members, tm.Cost)
 	}
 	// Output:
-	// [0 2] 2
+	// [0 2] cost 2 — 1 cold compile, 3 warm solves
 	// [0 2] 2
 	// [0 3 2] 3
+}
+
+// ExampleTeamSolver_planCache serves a repeated task from the
+// solver's plan cache: the first request compiles and caches the plan
+// (a miss), every later request — including one spelling the task in
+// a different order, with duplicates — reuses it (hits), skipping
+// policy ranking and pool-degree computation entirely. On packed
+// engines a warm cache-hit FormInto allocates nothing.
+func ExampleTeamSolver_planCache() {
+	g := signedteams.MustFromEdges(5, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Positive},
+		{U: 1, V: 2, Sign: signedteams.Positive},
+		{U: 2, V: 3, Sign: signedteams.Positive},
+		{U: 0, V: 4, Sign: signedteams.Negative},
+	})
+	univ, _ := signedteams.NewUniverse([]string{"go", "sql", "ml"})
+	assign := signedteams.NewAssignment(univ, 5)
+	assign.MustAdd(0, 0) // go
+	assign.MustAdd(2, 1) // sql
+	assign.MustAdd(3, 2) // ml
+	assign.MustAdd(4, 1) // sql — but a foe of user 0
+
+	rel, err := signedteams.NewMatrixRelation(signedteams.SPO, g, signedteams.MatrixRelationOptions{})
+	if err != nil {
+		panic(err)
+	}
+	solver := signedteams.NewTeamSolver(rel, assign, signedteams.TeamSolverOptions{
+		Workers:   1,
+		PlanCache: 16, // keep up to 16 compiled plans across requests
+	})
+	opts := signedteams.FormOptions{
+		Skill: signedteams.LeastCompatibleFirst,
+		User:  signedteams.MinDistance,
+	}
+	var tm signedteams.Team
+	for i := 0; i < 3; i++ {
+		if err := solver.FormInto(signedteams.NewTask(0, 1), opts, &tm); err != nil {
+			panic(err)
+		}
+	}
+	// A scrambled, duplicated spelling keys to the same canonical task.
+	if err := solver.FormInto(signedteams.Task{1, 0, 1}, opts, &tm); err != nil {
+		panic(err)
+	}
+	st := solver.PlanCacheStats()
+	fmt.Println(tm.Members, tm.Cost)
+	fmt.Printf("%d hits / %d misses, %d plan cached\n", st.Hits, st.Misses, st.Size)
+	// Output:
+	// [0 2] 2
+	// 3 hits / 1 misses, 1 plan cached
 }
 
 // ExampleNewMatrixRelation precomputes the packed all-pairs engine:

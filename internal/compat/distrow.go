@@ -1,0 +1,104 @@
+// The packed distance-row accessor. PairDistance answers one ordered
+// pair per call, which means the team solver's MinDistance picker —
+// the hottest loop of batch serving — pays a full lookup (and, on the
+// sharded engine, a mutex acquisition and shard resolution) for every
+// (candidate, member) pair. DistanceRow instead resolves a source row
+// once and hands back a DistRow view whose At is a plain slice index,
+// so scanning one candidate against the whole team touches the shard
+// bookkeeping a single time.
+
+package compat
+
+import "repro/internal/sgraph"
+
+// NoDistance marks an undefined entry in a DistanceRowInto result:
+// the relation defines no distance for the pair (Distance's ok=false).
+const NoDistance = noDist32
+
+// DistRow is one source node's packed distance row: the relation
+// distance from the source to every node, in whichever packing the
+// engine built (uint8 with a sentinel, or int32 after overflow). It is
+// an immutable view — valid even after the owning shard is evicted on
+// the sharded engine — and At never locks, so hot loops resolve the
+// row once and then index freely.
+type DistRow struct {
+	d8  []uint8
+	d32 []int32
+}
+
+// At returns the packed distance to v and whether it is defined,
+// exactly as PairDistance(source, v) would.
+func (r DistRow) At(v sgraph.NodeID) (int32, bool) {
+	if r.d32 != nil {
+		d := r.d32[v]
+		return d, d != noDist32
+	}
+	d := r.d8[v]
+	return int32(d), d != noDist8
+}
+
+// Len returns the number of entries (the node count), 0 for the zero
+// DistRow.
+func (r DistRow) Len() int {
+	if r.d32 != nil {
+		return len(r.d32)
+	}
+	return len(r.d8)
+}
+
+// distRowInto widens a packed row into dst as int32 with NoDistance
+// for undefined entries, growing dst as needed — the shared
+// implementation behind both engines' DistanceRowInto.
+func (r DistRow) distRowInto(dst []int32) []int32 {
+	n := r.Len()
+	if cap(dst) < n {
+		dst = make([]int32, n)
+	}
+	dst = dst[:n]
+	if r.d32 != nil {
+		copy(dst, r.d32)
+		return dst
+	}
+	for i, d := range r.d8 {
+		if d == noDist8 {
+			dst[i] = noDist32
+		} else {
+			dst[i] = int32(d)
+		}
+	}
+	return dst
+}
+
+// DistanceRow returns u's packed distance row as an immutable view.
+func (m *CompatMatrix) DistanceRow(u sgraph.NodeID) DistRow {
+	if m.dist32 != nil {
+		return DistRow{d32: m.dist32[int(u)*m.n : (int(u)+1)*m.n]}
+	}
+	return DistRow{d8: m.dist8[int(u)*m.n : (int(u)+1)*m.n]}
+}
+
+// DistanceRowInto widens u's distance row into dst (reusing its
+// backing array when it is large enough) with NoDistance marking
+// undefined pairs, and returns the filled slice.
+func (m *CompatMatrix) DistanceRowInto(u sgraph.NodeID, dst []int32) []int32 {
+	return m.DistanceRow(u).distRowInto(dst)
+}
+
+// DistanceRow returns u's packed distance row, reloading the owning
+// shard if it is cold — one shard resolution for the whole row, where
+// per-pair PairDistance calls would lock once per pair. Like RowWords,
+// it panics if a spilled shard cannot be reloaded, and the returned
+// view stays valid after the shard is evicted again.
+func (m *ShardedMatrix) DistanceRow(u sgraph.NodeID) DistRow {
+	_, d8, d32, err := m.rowView(u)
+	if err != nil {
+		panic(err)
+	}
+	return DistRow{d8: d8, d32: d32}
+}
+
+// DistanceRowInto widens u's distance row into dst with NoDistance
+// marking undefined pairs; see CompatMatrix.DistanceRowInto.
+func (m *ShardedMatrix) DistanceRowInto(u sgraph.NodeID, dst []int32) []int32 {
+	return m.DistanceRow(u).distRowInto(dst)
+}

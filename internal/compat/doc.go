@@ -50,7 +50,14 @@
 //
 // The packed engines expose their rows through the PackedRelation
 // capability, which the team package's pickers and cost functions
-// detect to switch to word-parallel AND/popcount fast paths.
+// detect to switch to word-parallel AND/popcount fast paths. Beyond
+// the bit rows (RowWords) and the error-free point lookup
+// (PairDistance), the capability includes DistanceRow/DistanceRowInto:
+// one source's whole packed distance row as an immutable DistRow view,
+// resolved with a single shard touch on the sharded engine — the
+// accessor the team solver's MinDistance picker and cost functions
+// scan instead of paying a per-pair lookup (and, on sharded, a lock)
+// for every (candidate, member) pair.
 //
 // # The SBPH statistics caveat
 //

@@ -314,12 +314,22 @@ func fillWords(words []uint64, n int) {
 // future packed backend (e.g. a sharded or spilling matrix) inherits
 // them by implementing this interface. A PackedRelation is precomputed
 // by construction; Precompute on one is a no-op.
+//
+// DistanceRow resolves one source's whole distance row (shard-aware on
+// sharded backends: one shard touch per row, not per pair), so loops
+// that price one node against many resolve the row once and index it
+// through DistRow.At instead of paying a PairDistance lookup per pair.
+// DistanceRowInto widens the row into a caller-reused []int32 with
+// NoDistance for undefined pairs, for consumers that want a uniform
+// representation independent of the engine's packing.
 type PackedRelation interface {
 	Relation
 	NumNodes() int
 	WordsPerRow() int
 	RowWords(u sgraph.NodeID) []uint64
 	PairDistance(u, v sgraph.NodeID) (int32, bool)
+	DistanceRow(u sgraph.NodeID) DistRow
+	DistanceRowInto(u sgraph.NodeID, dst []int32) []int32
 }
 
 // Compile-time interface checks.

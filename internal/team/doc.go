@@ -27,13 +27,29 @@
 //     across solves.
 //   - scratch carries what a single solve mutates: the covered-skill
 //     bitset (indexed by task position — no maps), the members and
-//     candidate buffers, and the row-AND mask that packed engines keep
+//     candidate buffers, the row-AND mask that packed engines keep
 //     incrementally (adding a member ANDs one row instead of
-//     recomputing the whole intersection). On a single-worker solver,
-//     warm TaskPlan.FormInto calls on packed engines therefore
-//     allocate nothing — asserted by the CI alloc smoke; multi-worker
-//     solvers spend per-call goroutine bookkeeping to parallelise the
-//     seed loop instead.
+//     recomputing the whole intersection), and the members' cached
+//     packed distance rows — the MinDistance picker and the cost
+//     functions scan those rows by plain indexing (compat.DistRow.At)
+//     instead of per-pair PairDistance lookups, which on the sharded
+//     engine collapses one lock per pair into one shard touch per
+//     member. The scratch also holds the plan-compilation buffers
+//     (ranking keys, degree accumulators, the pool bitset), so the
+//     cold plans of a batch compile without re-allocating. On a
+//     single-worker solver, warm TaskPlan.FormInto calls on packed
+//     engines therefore allocate nothing — asserted by the CI alloc
+//     smoke; multi-worker solvers spend per-call goroutine bookkeeping
+//     to parallelise the seed loop instead.
+//   - SolverOptions.PlanCache adds the cross-request layer: an LRU of
+//     compiled plans keyed by the canonical task plus the options
+//     fingerprint, so a repeated task skips compilation entirely —
+//     Solver.FormInto on a cache hit is allocation-free end to end on
+//     packed engines, and Solver.PlanCacheStats reports hits, misses
+//     and evictions. Plan compilation is the dominant cost of a cold
+//     solve (on the lazy engine the LeastCompatibleFirst degree pass
+//     alone is ~80% of a Form call, see BenchmarkLazyFormDecomposed),
+//     which is exactly what the cache removes for repeated queries.
 //   - The seed loop runs across the solver's bounded worker pool with
 //     a deterministic merge (cost, then seed order), so results are
 //     identical at every worker count; Solver.FormBatch amortises the

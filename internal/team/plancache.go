@@ -1,0 +1,223 @@
+// The cross-request plan cache. A TaskPlan is immutable and safe for
+// concurrent solves, so a serving workload that sees the same task
+// again should not pay plan compilation again — policy ranking, the
+// LeastCompatibleFirst degree computation and the MostCompatible pool
+// degrees dominate a cold solve on packed engines. planCache keys
+// compiled plans by the canonical task plus an options fingerprint,
+// bounds them with container.IndexLRU over a fixed slot array (no
+// per-operation allocations, so a cache hit stays on the solver's
+// zero-allocation serving path) and counts hits, misses and evictions,
+// exposed through Solver.PlanCacheStats.
+
+package team
+
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/container"
+	"repro/internal/skills"
+)
+
+// PlanCacheStats is a snapshot of a solver's plan-cache counters.
+// Hits are solves served from a cached plan, Misses are compilations
+// the cache could not avoid (including the very first solve of every
+// task), Evictions count plans dropped by the LRU bound. RandomUser
+// queries bypass the cache and appear in no counter.
+type PlanCacheStats struct {
+	Hits, Misses, Evictions int64
+	// Size is the number of cached plans; Capacity the LRU bound
+	// (0 when the solver has no cache).
+	Size, Capacity int
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 before any lookup.
+func (s PlanCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// planSlot is one cached plan with its key hash (the full key — the
+// canonical task and the options fingerprint — lives in the plan
+// itself, so collisions are resolved by an exact comparison).
+type planSlot struct {
+	hash uint64
+	plan *TaskPlan
+}
+
+// planCache is a concurrency-safe LRU of compiled plans over a fixed
+// slot universe: a map from key hash to slot indices, the slot array,
+// and an IndexLRU picking eviction victims. One mutex guards it all —
+// lookups are a hash, a map probe and a list touch, which is far below
+// plan-compilation cost, and the scratch slice keeps non-canonical
+// lookup tasks from allocating.
+type planCache struct {
+	mu     sync.Mutex
+	slots  []planSlot
+	byHash map[uint64][]int32
+	lru    *container.IndexLRU
+	free   []int32
+	canon  []skills.SkillID // reused canonicalisation buffer
+
+	hits, misses, evictions int64
+}
+
+func newPlanCache(capacity int) *planCache {
+	c := &planCache{
+		slots:  make([]planSlot, capacity),
+		byHash: make(map[uint64][]int32, capacity),
+		lru:    container.NewIndexLRU(capacity),
+		free:   make([]int32, 0, capacity),
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
+	return c
+}
+
+// canonicalLocked returns the canonical (sorted, distinct) form of
+// task without allocating: already-canonical tasks — the common case,
+// skills.NewTask guarantees it — are returned as-is, anything else is
+// canonicalised into the cache's reused buffer. Requires c.mu held
+// (the buffer is shared).
+func (c *planCache) canonicalLocked(task skills.Task) skills.Task {
+	canonical := true
+	for i := 1; i < len(task); i++ {
+		if task[i] <= task[i-1] {
+			canonical = false
+			break
+		}
+	}
+	if canonical {
+		return task
+	}
+	c.canon = append(c.canon[:0], task...)
+	slices.Sort(c.canon)
+	out := c.canon[:0]
+	for i, s := range c.canon {
+		if i == 0 || s != c.canon[i-1] {
+			out = append(out, s)
+		}
+	}
+	c.canon = c.canon[:len(out)] // out aliases canon's prefix
+	return skills.Task(out)
+}
+
+// planKeyHash hashes the canonical task and the options fingerprint
+// (the package-shared FNV-1a mix). Options.Rng is deliberately
+// excluded: it is unused by the cacheable policies, and RandomUser
+// never reaches the cache.
+func planKeyHash(task skills.Task, opts Options) uint64 {
+	h := fnvOffset
+	for _, s := range task {
+		h = fnvMix(h, uint64(uint32(s)), 4)
+	}
+	h = fnvMix(h, uint64(uint32(opts.Skill))<<32|uint64(uint32(opts.User)), 8)
+	h = fnvMix(h, uint64(uint32(opts.Cost))<<32|uint64(uint32(opts.MaxSeeds)), 8)
+	return h
+}
+
+// planMatches reports whether a cached plan serves exactly the given
+// canonical task under the given options.
+func planMatches(p *TaskPlan, task skills.Task, opts Options) bool {
+	if p.opts.Skill != opts.Skill || p.opts.User != opts.User ||
+		p.opts.Cost != opts.Cost || p.opts.MaxSeeds != opts.MaxSeeds {
+		return false
+	}
+	if len(p.task) != len(task) {
+		return false
+	}
+	for i := range task {
+		if p.task[i] != task[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the cached plan for (task, opts), counting a hit or
+// a miss. Allocation-free for canonical tasks.
+func (c *planCache) lookup(task skills.Task, opts Options) (*TaskPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	canonical := c.canonicalLocked(task)
+	h := planKeyHash(canonical, opts)
+	for _, idx := range c.byHash[h] {
+		if planMatches(c.slots[idx].plan, canonical, opts) {
+			c.lru.Touch(int(idx))
+			c.hits++
+			return c.slots[idx].plan, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// insert publishes a freshly compiled plan, evicting the least
+// recently used entry when full. A racing insert of the same key wins
+// by arrival: the earlier entry is kept and returned, so concurrent
+// compilers of one task converge on a single shared plan.
+func (c *planCache) insert(p *TaskPlan) *TaskPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := planKeyHash(p.task, p.opts)
+	for _, idx := range c.byHash[h] {
+		if planMatches(c.slots[idx].plan, p.task, p.opts) {
+			c.lru.Touch(int(idx))
+			return c.slots[idx].plan
+		}
+	}
+	var idx int32
+	if n := len(c.free); n > 0 {
+		idx = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		victim := c.lru.PopBack()
+		if victim < 0 {
+			// Capacity 0 is rejected at construction, so a tracked
+			// victim always exists; be safe anyway.
+			return p
+		}
+		idx = int32(victim)
+		c.dropFromHashLocked(c.slots[idx].hash, idx)
+		c.evictions++
+	}
+	c.slots[idx] = planSlot{hash: h, plan: p}
+	c.byHash[h] = append(c.byHash[h], idx)
+	c.lru.Touch(int(idx))
+	return p
+}
+
+// dropFromHashLocked removes slot idx from its hash bucket, deleting
+// the bucket when it empties (buckets are almost always singletons).
+func (c *planCache) dropFromHashLocked(h uint64, idx int32) {
+	bucket := c.byHash[h]
+	for i, b := range bucket {
+		if b == idx {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(c.byHash, h)
+	} else {
+		c.byHash[h] = bucket
+	}
+}
+
+// stats snapshots the counters.
+func (c *planCache) stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.lru.Len(),
+		Capacity:  len(c.slots),
+	}
+}

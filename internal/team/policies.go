@@ -37,9 +37,18 @@ func SkillCompatDegrees(rel compat.Relation, assign *skills.Assignment, task ski
 }
 
 // skillCompatDegreesInto writes cd(task[i]) into deg[i] — the
-// map-free form the solver's plan compilation uses (the map assigns
-// were measurable in batch profiles).
+// map-free form SkillCompatDegrees uses (the map assigns were
+// measurable in batch profiles).
 func skillCompatDegreesInto(rel compat.Relation, assign *skills.Assignment, task skills.Task, deg []int64) error {
+	_, err := skillCompatDegreesScratch(rel, assign, task, deg, nil)
+	return err
+}
+
+// skillCompatDegreesScratch is skillCompatDegreesInto with a reusable
+// holder-word buffer: the solver's plan compilation passes its
+// per-worker buffer in (and keeps the possibly grown slice it gets
+// back), so batches of cold plans allocate no degree scratch per task.
+func skillCompatDegreesScratch(rel compat.Relation, assign *skills.Assignment, task skills.Task, deg []int64, holderBuf [][]uint64) ([][]uint64, error) {
 	for i := range deg {
 		deg[i] = 0
 	}
@@ -53,7 +62,10 @@ func skillCompatDegreesInto(rel compat.Relation, assign *skills.Assignment, task
 		// with the larger — on Zipf-skewed assignments, where tasks
 		// routinely contain one very popular skill, this cuts the row
 		// scans from the popular side to the rare side.
-		holderWords := make([][]uint64, len(task))
+		if cap(holderBuf) < len(task) {
+			holderBuf = make([][]uint64, len(task))
+		}
+		holderWords := holderBuf[:len(task)]
 		if holderWordsMatch(assign, m) {
 			for i, s := range task {
 				holderWords[i] = assign.HolderWords(s)
@@ -86,19 +98,19 @@ func skillCompatDegreesInto(rel compat.Relation, assign *skills.Assignment, task
 				deg[j] += cd
 			}
 		}
-		return nil
+		return holderBuf, nil
 	}
 	for i, s1 := range task {
 		for jo, s2 := range task[i+1:] {
 			cd, err := skillPairDegree(rel, assign, s1, s2)
 			if err != nil {
-				return err
+				return holderBuf, err
 			}
 			deg[i] += cd
 			deg[i+1+jo] += cd
 		}
 	}
-	return nil
+	return holderBuf, nil
 }
 
 // holderWordsMatch reports whether the assignment's packed holder sets

@@ -15,9 +15,11 @@ package team
 
 import (
 	"bytes"
+	"cmp"
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"strconv"
 	"sync"
@@ -38,6 +40,16 @@ type SolverOptions struct {
 	// always runs sequentially so a shared Options.Rng is consumed in
 	// the legacy order.
 	Workers int
+	// PlanCache, when positive, keeps up to that many compiled plans
+	// in a per-solver LRU keyed by the canonical task and the options
+	// fingerprint (skill/user policy, cost, MaxSeeds), so repeated
+	// queries skip plan compilation entirely — the cross-request
+	// serving path. Cache hits are shared plans: immutable, safe for
+	// concurrent solves, and allocation-free to retrieve. RandomUser
+	// queries bypass the cache (their solves consume the caller's
+	// Rng); plan-time failures (e.g. a holderless skill) are not
+	// cached and recompile on every request. 0 disables the cache.
+	PlanCache int
 }
 
 // Solver answers repeated team-formation queries over one fixed
@@ -57,7 +69,8 @@ type Solver struct {
 	n      int                   // node count of the relation's graph
 
 	workers int
-	scratch sync.Pool // *scratch
+	scratch sync.Pool  // *scratch
+	plans   *planCache // nil when SolverOptions.PlanCache is 0
 }
 
 // NewSolver builds a solver over rel and assign.
@@ -80,23 +93,45 @@ func NewSolver(rel compat.Relation, assign *skills.Assignment, opts SolverOption
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.PlanCache > 0 {
+		s.plans = newPlanCache(opts.PlanCache)
+	}
 	s.scratch.New = func() any { return s.newScratch() }
 	return s
 }
 
+// PlanCacheStats snapshots the solver's plan-cache counters; the zero
+// value (Capacity 0) reports a solver built without a cache.
+func (s *Solver) PlanCacheStats() PlanCacheStats {
+	if s.plans == nil {
+		return PlanCacheStats{}
+	}
+	return s.plans.stats()
+}
+
 // Form compiles a plan for task and solves it: Algorithm 2 with the
 // plan's policies, seeds explored in parallel when the solver has
-// workers to spare. Identical to the package-level Form.
+// workers to spare. Identical to the package-level Form. With a plan
+// cache enabled, repeated tasks reuse the cached plan.
 func (s *Solver) Form(task skills.Task, opts Options) (*Team, error) {
-	p, err := s.Plan(task, opts)
-	if err != nil {
-		return nil, err
-	}
 	var tm Team
-	if err := p.FormInto(&tm); err != nil {
+	if err := s.FormInto(task, opts, &tm); err != nil {
 		return nil, err
 	}
 	return &tm, nil
+}
+
+// FormInto is Form solving into a caller-owned Team, reusing
+// dst.Members' backing array — the zero-allocation serving entry
+// point: on a single-worker solver over a packed engine, a warm call
+// whose plan is served from the cache performs no allocations at all
+// (the CI alloc smoke asserts this via BenchmarkPlanCacheServe).
+func (s *Solver) FormInto(task skills.Task, opts Options, dst *Team) error {
+	p, err := s.planFor(task, opts, nil)
+	if err != nil {
+		return err
+	}
+	return p.FormInto(dst)
 }
 
 // FormTopK compiles a plan and returns up to k distinct teams in
@@ -107,7 +142,7 @@ func (s *Solver) FormTopK(task skills.Task, opts Options, k int) ([]*Team, error
 	if k <= 0 {
 		return nil, fmt.Errorf("team: FormTopK k = %d, want > 0", k)
 	}
-	p, err := s.Plan(task, opts)
+	p, err := s.planFor(task, opts, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +193,7 @@ func (s *Solver) FormBatch(tasks []skills.Task, opts Options) ([]*Team, error) {
 // formOne is one batch element: plan + sequential solve on the
 // worker's scratch, with ErrNoTeam mapped to a nil team.
 func (s *Solver) formOne(sc *scratch, task skills.Task, opts Options) (*Team, error) {
-	p, err := s.Plan(task, opts)
+	p, err := s.planFor(task, opts, sc)
 	if err != nil {
 		if errors.Is(err, ErrNoTeam) {
 			return nil, nil
@@ -207,8 +242,42 @@ type TaskPlan struct {
 // the per-task work Algorithm 2 needs exactly once: policy validation,
 // task canonicalisation, skill ranking (including the
 // compatibility-degree computation of LeastCompatibleFirst), seed
-// selection and the MostCompatible pool degrees.
+// selection and the MostCompatible pool degrees. When the solver has a
+// plan cache, Plan serves repeated (task, options) queries from it —
+// see SolverOptions.PlanCache.
 func (s *Solver) Plan(task skills.Task, opts Options) (*TaskPlan, error) {
+	return s.planFor(task, opts, nil)
+}
+
+// planFor is the cache-aware plan entry point behind Plan, Form,
+// FormTopK and the batch loop: a cache hit returns the shared compiled
+// plan without touching the scratch pool, a miss compiles through
+// planWith and publishes the result. RandomUser plans bypass the cache
+// entirely (their solves consume the caller's Rng, so sharing one
+// across requests would entangle their random streams).
+func (s *Solver) planFor(task skills.Task, opts Options, sc *scratch) (*TaskPlan, error) {
+	if s.plans == nil || opts.User == RandomUser {
+		return s.planWith(task, opts, sc)
+	}
+	if p, ok := s.plans.lookup(task, opts); ok {
+		return p, nil
+	}
+	p, err := s.planWith(task, opts, sc)
+	if err != nil {
+		return nil, err
+	}
+	return s.plans.insert(p), nil
+}
+
+// planWith compiles a plan using sc's compile buffers (ranking keys,
+// degree accumulators, the pool bitset), borrowing a worker scratch
+// when the caller holds none — the reuse that keeps cold plans in a
+// batch from re-allocating compilation scratch for every task.
+func (s *Solver) planWith(task skills.Task, opts Options, sc *scratch) (*TaskPlan, error) {
+	if sc == nil {
+		sc = s.getScratch()
+		defer s.putScratch(sc)
+	}
 	if opts.User == RandomUser && opts.Rng == nil {
 		return nil, errors.New("team: RandomUser policy requires Options.Rng")
 	}
@@ -227,7 +296,7 @@ func (s *Solver) Plan(task skills.Task, opts Options) (*TaskPlan, error) {
 			return nil, fmt.Errorf("%w: skill %d has no holders", ErrNoTeam, sk)
 		}
 	}
-	if err := p.rankSkills(); err != nil {
+	if err := p.rankSkills(sc); err != nil {
 		return nil, err
 	}
 	seeds := s.assign.Holders(p.order[0])
@@ -238,7 +307,7 @@ func (s *Solver) Plan(task skills.Task, opts Options) (*TaskPlan, error) {
 	switch opts.User {
 	case MinDistance, RandomUser:
 	case MostCompatible:
-		if err := p.buildPoolDegrees(); err != nil {
+		if err := p.buildPoolDegrees(sc); err != nil {
 			return nil, err
 		}
 	default:
@@ -253,36 +322,48 @@ func (p *TaskPlan) Task() skills.Task { return p.task }
 // NumSeeds returns how many seeds Algorithm 2 will try.
 func (p *TaskPlan) NumSeeds() int { return len(p.seeds) }
 
+// rankedSkill pairs a task skill with its policy ranking key.
+type rankedSkill struct {
+	s   skills.SkillID
+	key int64
+}
+
 // rankSkills orders the task's skills by the skill policy (both
 // policies are static rankings, so the order is computed once here and
-// the per-step selection is a covered-bit scan).
-func (p *TaskPlan) rankSkills() error {
-	type ranked struct {
-		s   skills.SkillID
-		key int64
+// the per-step selection is a covered-bit scan). The ranking keys and
+// degree accumulators live in sc's compile buffers; only the retained
+// order/orderPos slices are allocated per plan.
+func (p *TaskPlan) rankSkills(sc *scratch) error {
+	if cap(sc.planRanked) < len(p.task) {
+		sc.planRanked = make([]rankedSkill, len(p.task))
 	}
-	rankedSkills := make([]ranked, len(p.task))
+	rankedSkills := sc.planRanked[:len(p.task)]
 	switch p.opts.Skill {
 	case RarestFirst:
 		for i, s := range p.task {
-			rankedSkills[i] = ranked{s: s, key: int64(p.s.assign.NumHolders(s))}
+			rankedSkills[i] = rankedSkill{s: s, key: int64(p.s.assign.NumHolders(s))}
 		}
 	case LeastCompatibleFirst:
-		deg := make([]int64, len(p.task))
-		if err := skillCompatDegreesInto(p.s.rel, p.s.assign, p.task, deg); err != nil {
+		if cap(sc.planDeg) < len(p.task) {
+			sc.planDeg = make([]int64, len(p.task))
+		}
+		deg := sc.planDeg[:len(p.task)]
+		var err error
+		sc.planHolders, err = skillCompatDegreesScratch(p.s.rel, p.s.assign, p.task, deg, sc.planHolders)
+		if err != nil {
 			return err
 		}
 		for i, s := range p.task {
-			rankedSkills[i] = ranked{s: s, key: deg[i]}
+			rankedSkills[i] = rankedSkill{s: s, key: deg[i]}
 		}
 	default:
 		return fmt.Errorf("team: unknown skill policy %d", int(p.opts.Skill))
 	}
-	sort.Slice(rankedSkills, func(i, j int) bool {
-		if rankedSkills[i].key != rankedSkills[j].key {
-			return rankedSkills[i].key < rankedSkills[j].key
+	slices.SortFunc(rankedSkills, func(a, b rankedSkill) int {
+		if a.key != b.key {
+			return cmp.Compare(a.key, b.key)
 		}
-		return rankedSkills[i].s < rankedSkills[j].s
+		return cmp.Compare(a.s, b.s)
 	})
 	p.order = make([]skills.SkillID, len(rankedSkills))
 	p.orderPos = make([]int32, len(rankedSkills))
@@ -296,15 +377,35 @@ func (p *TaskPlan) rankSkills() error {
 // buildPoolDegrees computes, for every user in the task's candidate
 // pool, the number of other pool members it is compatible with — the
 // MostCompatible policy's ranking — using one AND/popcount per member
-// on packed engines.
-func (p *TaskPlan) buildPoolDegrees() error {
-	p.pool = taskPool(p.s.assign, p.task)
-	p.poolDegree = make([]int32, len(p.pool))
-	if m := p.s.packed; m != nil {
-		poolSet := container.NewBitset(m.NumNodes())
-		for _, u := range p.pool {
-			poolSet.Set(int(u))
+// on packed engines. The pool membership bitset is sc's reusable
+// compile buffer: it first dedups the holder union (replacing the
+// map-based taskPool in the compile path), then doubles as the
+// AND/popcount mask.
+func (p *TaskPlan) buildPoolDegrees(sc *scratch) error {
+	m := p.s.packed
+	if sc.planPool == nil {
+		sc.planPool = container.NewBitset(0)
+	}
+	poolSet := sc.planPool
+	if m != nil {
+		// Exactly the row word length, so rows AND against it directly.
+		poolSet.Grow(m.NumNodes())
+	} else {
+		poolSet.Grow(p.s.assign.NumUsers())
+	}
+	members := 0
+	for _, s := range p.task {
+		for _, u := range p.s.assign.Holders(s) {
+			if !poolSet.Contains(int(u)) {
+				poolSet.Set(int(u))
+				members++
+			}
 		}
+	}
+	p.pool = make([]sgraph.NodeID, 0, members)
+	poolSet.ForEach(func(u int) { p.pool = append(p.pool, sgraph.NodeID(u)) })
+	p.poolDegree = make([]int32, len(p.pool))
+	if m != nil {
 		for i, u := range p.pool {
 			// Every row has its own bit set (reflexivity) and u is in
 			// the pool, so subtract the self hit to match the v≠u count.
@@ -375,14 +476,32 @@ type scratch struct {
 	covered *container.Bitset // task positions covered by the members
 	nCov    int
 	members []sgraph.NodeID
-	cand    []sgraph.NodeID
-	best    []sgraph.NodeID
+	// memberRows caches, aligned with members, each member's packed
+	// distance row (packed engines only; empty on lazy). A row is
+	// resolved once when the member joins — one shard touch per member
+	// on the sharded engine — and then scanned by plain indexing in
+	// pickMinDistance and costMembers, replacing their per-pair
+	// PairDistance lookups.
+	memberRows []compat.DistRow
+	cand       []sgraph.NodeID
+	best       []sgraph.NodeID
 
 	// formPar's worker-local best (the members live in best), merged
 	// into the plan-level minimum by the pool's finish hook.
 	parFound bool
 	parCost  int32
 	parSeed  int
+
+	// Plan-compilation buffers, reused across the tasks a worker
+	// compiles (FormBatch's cold plans): the ranking keys and degree
+	// accumulators of rankSkills, the cached holder-word slices of the
+	// LeastCompatibleFirst degree computation, and the pool-membership
+	// bitset of buildPoolDegrees. Only a plan's retained slices
+	// (order, seeds, pool, degrees) are allocated per task.
+	planRanked  []rankedSkill
+	planDeg     []int64
+	planHolders [][]uint64
+	planPool    *container.Bitset
 }
 
 func (s *Solver) newScratch() *scratch {
@@ -395,6 +514,16 @@ func (s *Solver) newScratch() *scratch {
 
 func (s *Solver) getScratch() *scratch { return s.scratch.Get().(*scratch) }
 func (s *Solver) putScratch(sc *scratch) {
+	// Drop the cached distance-row views (the whole capacity — grow
+	// only truncates, leaving stale entries past len) before pooling:
+	// on the sharded engine each view aliases an entire shard slab, and
+	// a pooled scratch holding them would pin evicted slabs past the
+	// engine's residency bound until some unrelated GC clears the pool.
+	rows := sc.memberRows[:cap(sc.memberRows)]
+	for i := range rows {
+		rows[i] = compat.DistRow{}
+	}
+	sc.memberRows = rows[:0]
 	s.scratch.Put(sc)
 }
 
@@ -453,15 +582,23 @@ func (s *Solver) runPool(workers, count int, fn func(sc *scratch, i int) error, 
 }
 
 // addMember grows the current team by u: appends it, marks the task
-// skills it covers, and ANDs its packed row into the candidate mask
-// (so candidate filtering is one bit test per holder regardless of
-// team size).
+// skills it covers, ANDs its packed row into the candidate mask (so
+// candidate filtering is one bit test per holder regardless of team
+// size) and caches its packed distance row for the member-by-member
+// scans of pickMinDistance and costMembers.
 func (sc *scratch) addMember(p *TaskPlan, u sgraph.NodeID) {
 	if sc.mask != nil {
 		if len(sc.members) == 0 {
 			sc.mask.CopyFrom(p.s.packed.RowWords(u))
 		} else {
 			sc.mask.And(p.s.packed.RowWords(u))
+		}
+		// Devirtualised on the monolithic matrix: its DistanceRow is a
+		// slice expression and inlines.
+		if p.s.matrix != nil {
+			sc.memberRows = append(sc.memberRows, p.s.matrix.DistanceRow(u))
+		} else {
+			sc.memberRows = append(sc.memberRows, p.s.packed.DistanceRow(u))
 		}
 	}
 	sc.members = append(sc.members, u)
@@ -489,6 +626,7 @@ func (p *TaskPlan) nextSkill(sc *scratch) skills.SkillID {
 // a non-nil error is a relation failure and aborts the whole solve.
 func (p *TaskPlan) grow(sc *scratch, seed sgraph.NodeID) (bool, error) {
 	sc.members = sc.members[:0]
+	sc.memberRows = sc.memberRows[:0]
 	sc.covered.Grow(len(p.task))
 	sc.nCov = 0
 	sc.addMember(p, seed)
@@ -560,25 +698,31 @@ func (p *TaskPlan) pick(sc *scratch, skill skills.SkillID) (sgraph.NodeID, bool,
 // to the configured cost — smallest maximum distance to the team for
 // Diameter, smallest total for SumDistance; ties break to the smaller
 // id. Candidates at an undefined distance to some member are skipped.
+//
+// On packed engines the members' distance rows are already cached in
+// scratch (resolved once per member when it joined the team — on the
+// sharded engine one shard touch per member, not one lock per pair),
+// so pricing a candidate is a member-by-member scan of those rows
+// through DistRow.At, a plain slice index. Distances are symmetric for
+// every relation (a property-tested invariant), so reading the member
+// side of each pair returns exactly the values the per-pair
+// PairDistance path read, and candidate order plus tie-break are
+// unchanged — picked members are identical (tested against the
+// pairwise oracle in solver_test.go).
 func (p *TaskPlan) pickMinDistance(sc *scratch) (sgraph.NodeID, bool, error) {
+	if p.s.packed != nil {
+		c, ok := p.pickMinDistancePacked(sc)
+		return c, ok, nil
+	}
 	best := sgraph.NodeID(-1)
 	bestDist := int32(0)
 	for _, c := range sc.cand {
 		contribution := int32(0)
 		defined := true
 		for _, x := range sc.members {
-			var d int32
-			var ok bool
-			if p.s.matrix != nil {
-				d, ok = p.s.matrix.PairDistance(c, x)
-			} else if p.s.packed != nil {
-				d, ok = p.s.packed.PairDistance(c, x)
-			} else {
-				var err error
-				d, ok, err = p.s.rel.Distance(c, x)
-				if err != nil {
-					return 0, false, err
-				}
+			d, ok, err := p.s.rel.Distance(c, x)
+			if err != nil {
+				return 0, false, err
 			}
 			if !ok {
 				defined = false
@@ -601,6 +745,42 @@ func (p *TaskPlan) pickMinDistance(sc *scratch) (sgraph.NodeID, bool, error) {
 		return 0, false, nil
 	}
 	return best, true, nil
+}
+
+// pickMinDistancePacked is pickMinDistance's packed-engine fast path:
+// no row resolution at all in the candidate loop, just direct indexing
+// into the members' cached distance rows.
+func (p *TaskPlan) pickMinDistancePacked(sc *scratch) (sgraph.NodeID, bool) {
+	sum := p.opts.Cost == SumDistance
+	rows := sc.memberRows
+	best := sgraph.NodeID(-1)
+	bestDist := int32(0)
+	for _, c := range sc.cand {
+		contribution := int32(0)
+		defined := true
+		for i := range rows {
+			d, ok := rows[i].At(c)
+			if !ok {
+				defined = false
+				break
+			}
+			if sum {
+				contribution += d
+			} else if d > contribution {
+				contribution = d
+			}
+		}
+		if !defined {
+			continue
+		}
+		if best == -1 || contribution < bestDist || (contribution == bestDist && c < best) {
+			best, bestDist = c, contribution
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
 }
 
 // ---------------------------------------------------------------------------
@@ -657,7 +837,7 @@ func (p *TaskPlan) formSeq(sc *scratch, dst *Team) error {
 		if !ok {
 			continue
 		}
-		cost, priced, err := p.costMembers(sc.members)
+		cost, priced, err := p.costMembers(sc)
 		if err != nil {
 			return err
 		}
@@ -701,7 +881,7 @@ func (p *TaskPlan) formPar(dst *Team) error {
 			if err != nil || !ok {
 				return err
 			}
-			cost, priced, err := p.costMembers(sc.members)
+			cost, priced, err := p.costMembers(sc)
 			if err != nil || !priced {
 				return err
 			}
@@ -780,7 +960,7 @@ func (p *TaskPlan) allTeams() ([]*Team, error) {
 		if err != nil || !ok {
 			return false, err
 		}
-		cost, priced, err := p.costMembers(sc.members)
+		cost, priced, err := p.costMembers(sc)
 		if err != nil || !priced {
 			return false, err
 		}
@@ -813,23 +993,37 @@ func (p *TaskPlan) allTeams() ([]*Team, error) {
 	return teams, nil
 }
 
-// costMembers prices the members under the plan's cost objective.
+// costMembers prices sc's grown team under the plan's cost objective.
 // priced=false reports an undefined pairwise distance (the seed is
-// treated as failed); errors are relation failures.
-func (p *TaskPlan) costMembers(members []sgraph.NodeID) (cost int32, priced bool, err error) {
+// treated as failed); errors are relation failures. On packed engines
+// each pair (u,v) reads u's cached distance row at v — the exact entry
+// PairDistance returned, with no per-pair row resolution.
+func (p *TaskPlan) costMembers(sc *scratch) (cost int32, priced bool, err error) {
+	members := sc.members
+	if p.s.packed != nil {
+		sum := p.opts.Cost == SumDistance
+		rows := sc.memberRows
+		for i := range members {
+			row := rows[i]
+			for _, v := range members[i+1:] {
+				d, ok := row.At(v)
+				if !ok {
+					return 0, false, nil
+				}
+				if sum {
+					cost += d
+				} else if d > cost {
+					cost = d
+				}
+			}
+		}
+		return cost, true, nil
+	}
 	for i, u := range members {
 		for _, v := range members[i+1:] {
-			var d int32
-			var ok bool
-			if p.s.matrix != nil {
-				d, ok = p.s.matrix.PairDistance(u, v)
-			} else if p.s.packed != nil {
-				d, ok = p.s.packed.PairDistance(u, v)
-			} else {
-				d, ok, err = p.s.rel.Distance(u, v)
-				if err != nil {
-					return 0, false, err
-				}
+			d, ok, err := p.s.rel.Distance(u, v)
+			if err != nil {
+				return 0, false, err
 			}
 			if !ok {
 				return 0, false, nil
@@ -877,16 +1071,28 @@ next:
 	return distinct, sortedSets
 }
 
+// fnvOffset/fnvPrime are the FNV-1a 64-bit parameters shared by the
+// package's hashes (member-set dedup, plan-cache keys).
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+// fnvMix folds the low n bytes of x into h, FNV-1a style.
+func fnvMix(h, x uint64, n int) uint64 {
+	for i := 0; i < n; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
 // membersHash hashes a sorted member set (FNV-1a over the ids).
 func membersHash(sorted []sgraph.NodeID) uint64 {
-	h := uint64(14695981039346656037)
+	h := fnvOffset
 	for _, m := range sorted {
-		x := uint64(uint32(m))
-		for i := 0; i < 4; i++ {
-			h ^= x & 0xff
-			h *= 1099511628211
-			x >>= 8
-		}
+		h = fnvMix(h, uint64(uint32(m)), 4)
 	}
 	return h
 }

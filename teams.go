@@ -86,21 +86,31 @@ var ErrNoTeam = team.ErrNoTeam
 // repeated queries over one relation — the serving workload — skip the
 // per-call setup FormTeam pays, batches run across a worker pool, and
 // warm plan solves on packed engines are allocation-free when the
-// solver is single-worker.
+// solver is single-worker. With TeamSolverOptions.PlanCache set, the
+// solver additionally keeps an LRU of compiled plans keyed by the
+// canonical task and the options fingerprint, so repeated tasks skip
+// plan compilation across requests — warm cache-hit solves through
+// TeamSolver.FormInto allocate nothing on packed engines, and
+// TeamSolver.PlanCacheStats reports hits, misses and evictions.
 type (
 	// TeamSolver answers repeated team formation queries over one
 	// (relation, assignment) pair; safe for concurrent use.
 	TeamSolver = team.Solver
-	// TeamSolverOptions configures NewTeamSolver (worker count).
+	// TeamSolverOptions configures NewTeamSolver: the worker count and
+	// the PlanCache bound for cross-request plan reuse.
 	TeamSolverOptions = team.SolverOptions
 	// TeamPlan is a compiled task query: build once with
 	// TeamSolver.Plan, solve repeatedly with Form/FormInto/FormTopK.
 	TeamPlan = team.TaskPlan
+	// PlanCacheStats is a snapshot of a TeamSolver's plan-cache
+	// counters (hits, misses, evictions, size, capacity).
+	PlanCacheStats = team.PlanCacheStats
 )
 
 // NewTeamSolver builds a reusable team-formation solver over rel and
 // assign. Results are identical to FormTeam for every policy
-// combination and engine, at every worker count.
+// combination and engine, at every worker count — with or without the
+// plan cache.
 func NewTeamSolver(rel Relation, assign *Assignment, opts TeamSolverOptions) *TeamSolver {
 	return team.NewSolver(rel, assign, opts)
 }
