@@ -740,6 +740,108 @@ func BenchmarkFormBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedSweep is the cold-shard story's acceptance
+// benchmark: a sequential full-row sweep (RowWords + DistanceRow per
+// source, the ComputeStats/export access pattern) over a ShardedMatrix
+// whose residency bound keeps most shards spilled, so every shard
+// boundary pays a reload. Variants select the spill read backend and
+// the async prefetcher:
+//
+//   - readback         — ReadAt into a scratch buffer, no prefetch:
+//     the PR 4 baseline behaviour.
+//   - mmap             — reloads decode straight out of the mapping.
+//   - mmap+prefetch    — the -prefetch serving configuration; on a
+//     multi-core host the next shard decodes concurrently with the
+//     current shard's scan, on one core it degrades to early loading.
+//   - readback+prefetch — prefetch over the portable backend.
+//
+// The bar (BENCH_form.json): mmap+prefetch ≥ 1.3× readback.
+func BenchmarkShardedSweep(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := d.Graph.NumNodes()
+	variants := []struct {
+		name     string
+		prefetch bool
+		noMmap   bool
+	}{
+		{"readback", false, true},
+		{"mmap", false, false},
+		{"mmap+prefetch", true, false},
+		{"readback+prefetch", true, true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			m := compat.MustNewSharded(compat.SPM, d.Graph, compat.ShardedOptions{
+				ShardRows:         64,
+				MaxResidentShards: 4,
+				Prefetch:          v.prefetch,
+				DisableMmap:       v.noMmap,
+			})
+			defer m.Close()
+			var sink uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for u := sgraph.NodeID(0); int(u) < n; u++ {
+					for _, w := range m.RowWords(u) {
+						sink += w & 1
+					}
+					if dist, ok := m.DistanceRow(u).At(sgraph.NodeID((int(u) + 1) % n)); ok {
+						sink += uint64(dist)
+					}
+				}
+			}
+			b.StopTimer()
+			if sink == 0 {
+				b.Fatal("sweep read nothing")
+			}
+			b.ReportMetric(float64(b.N)*float64(n)/b.Elapsed().Seconds(), "rows/s")
+			st := m.PrefetchStats()
+			b.ReportMetric(float64(st.Hits), "prefetch-hits")
+			if v.prefetch && st.Issued == 0 {
+				b.Fatal("prefetch variant issued no prefetches")
+			}
+		})
+	}
+}
+
+// BenchmarkShardedResidentRow pins the serving fast path of the
+// mmap+prefetch configuration: rows of a resident shard (reloaded out
+// of the mapping once, during warm-up) must serve RowWords and
+// DistanceRow with zero allocations — the CI alloc smoke greps the
+// "warm" sub-benchmark.
+func BenchmarkShardedResidentRow(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := compat.MustNewSharded(compat.SPM, d.Graph, compat.ShardedOptions{
+		ShardRows:         64,
+		MaxResidentShards: 4,
+		Prefetch:          true,
+	})
+	defer m.Close()
+	b.Run("warm", func(b *testing.B) {
+		const rows = 64 // stay inside shard 0: resident after the first touch
+		for u := sgraph.NodeID(0); int(u) < rows; u++ {
+			m.RowWords(u) // warm-up: reload shard 0 (an mmap decode)
+		}
+		var sink uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u := sgraph.NodeID(i % rows)
+			sink += m.RowWords(u)[0]
+			if dist, ok := m.DistanceRow(u).At(0); ok {
+				sink += uint64(dist)
+			}
+		}
+		_ = sink
+	})
+}
+
 func BenchmarkSignedBFSRow(b *testing.B) {
 	d, err := datasets.EpinionsSim(1, 0)
 	if err != nil {

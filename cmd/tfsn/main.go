@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/compat"
 	"repro/internal/datasets"
 	"repro/internal/sgraph"
@@ -51,9 +52,36 @@ type config struct {
 	engine            string
 	shardRows         int
 	maxResidentShards int
+	prefetch          bool
+	mmapSpill         bool
 	parallel          int
 	batch             int
 	planCache         int
+}
+
+// validateFlags rejects flag combinations that would silently do
+// nothing (or contradict each other). set holds the names of flags
+// explicitly present on the command line. The sharded-only flag
+// vocabulary is shared with cmd/experiments via internal/cliflags.
+func validateFlags(cfg config, set map[string]bool) error {
+	if err := cliflags.ValidateEngine(cfg.engine, set); err != nil {
+		return err
+	}
+	if set["task"] && set["k"] {
+		return errors.New("-task and -k are mutually exclusive: a named task has its size")
+	}
+	if cfg.batch > 0 {
+		if cfg.taskSpec != "" {
+			return errors.New("-batch samples random tasks and cannot be combined with -task; pass -k instead")
+		}
+		if cfg.k <= 0 {
+			return errors.New("-batch needs -k (the task size to sample)")
+		}
+		if set["topk"] {
+			return errors.New("-topk only applies to single-task mode, not -batch")
+		}
+	}
+	return nil
 }
 
 func main() {
@@ -74,10 +102,19 @@ func main() {
 	flag.StringVar(&cfg.engine, "engine", "lazy", "relation engine: lazy (cached rows, on demand), matrix (packed all-pairs precompute) or sharded (packed rows in spillable shards)")
 	flag.IntVar(&cfg.shardRows, "shard-rows", 0, "sharded engine: rows per shard (0 = default)")
 	flag.IntVar(&cfg.maxResidentShards, "max-resident-shards", 0, "sharded engine: shards kept in memory, rest spilled to disk (0 = all resident)")
+	flag.BoolVar(&cfg.prefetch, "prefetch", false, "sharded engine: async-prefetch the next shard during sequential sweeps")
+	flag.BoolVar(&cfg.mmapSpill, "mmap-spill", true, "sharded engine: serve spill reloads from a read-only mmap of the spill file (false = portable read-back)")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "solver workers for the seed loop and batch mode (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.batch, "batch", 0, "batch mode: sample this many random tasks of -k skills and solve them all")
 	flag.IntVar(&cfg.planCache, "plan-cache", 0, "cache up to this many compiled task plans in the solver (0 = no cache); repeated tasks skip plan compilation")
 	flag.Parse()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(cfg, set); err != nil {
+		fmt.Fprintln(os.Stderr, "tfsn:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tfsn:", err)
 		os.Exit(1)
@@ -124,10 +161,8 @@ func run(cfg config) error {
 		PlanCache: cfg.planCache,
 	})
 	if cfg.batch > 0 {
-		if cfg.taskSpec != "" {
-			return errors.New("-batch samples random tasks and cannot be combined with -task; pass -k instead")
-		}
-		return runBatch(cfg, d, solver, kind, engine, opts)
+		// Flag-combination errors were rejected up front (validateFlags).
+		return runBatch(cfg, d, rel, solver, kind, engine, opts)
 	}
 
 	task, err := resolveTask(d.Assign, cfg.taskSpec, cfg.k, cfg.seed)
@@ -170,10 +205,7 @@ func run(cfg config) error {
 
 // runBatch samples cfg.batch random tasks and solves them through the
 // reusable solver, reporting aggregate quality and throughput.
-func runBatch(cfg config, d *datasets.Dataset, solver *team.Solver, kind compat.Kind, engine string, opts team.Options) error {
-	if cfg.k <= 0 {
-		return errors.New("-batch needs -k (the task size to sample)")
-	}
+func runBatch(cfg config, d *datasets.Dataset, rel compat.Relation, solver *team.Solver, kind compat.Kind, engine string, opts team.Options) error {
 	rng := rand.New(rand.NewSource(cfg.seed))
 	tasks := make([]skills.Task, cfg.batch)
 	for i := range tasks {
@@ -213,6 +245,11 @@ func runBatch(cfg config, d *datasets.Dataset, solver *team.Solver, kind compat.
 		fmt.Printf("plans    %d cached (cap %d): %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
 			st.Size, st.Capacity, st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
 	}
+	if m, ok := rel.(*compat.ShardedMatrix); ok && cfg.prefetch {
+		pf := m.PrefetchStats()
+		fmt.Printf("prefetch %d issued: %d hits / %d wasted (%d spill reloads total)\n",
+			pf.Issued, pf.Hits, pf.Wasted, m.SpillLoads())
+	}
 	return nil
 }
 
@@ -243,6 +280,8 @@ func buildRelation(kind compat.Kind, g *sgraph.Graph, cfg config) (compat.Relati
 				Options:           opts,
 				ShardRows:         cfg.shardRows,
 				MaxResidentShards: cfg.maxResidentShards,
+				Prefetch:          cfg.prefetch,
+				DisableMmap:       !cfg.mmapSpill,
 			})
 			if err != nil {
 				return nil, "", err

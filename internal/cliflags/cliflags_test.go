@@ -1,0 +1,22 @@
+package cliflags
+
+import "testing"
+
+func TestValidateEngine(t *testing.T) {
+	for _, name := range ShardedOnly {
+		if err := ValidateEngine("sharded", map[string]bool{name: true}); err != nil {
+			t.Errorf("-%s under -engine=sharded must pass, got %v", name, err)
+		}
+		for _, engine := range []string{"lazy", "matrix", ""} {
+			if err := ValidateEngine(engine, map[string]bool{name: true}); err == nil {
+				t.Errorf("-%s under -engine=%q must be rejected", name, engine)
+			}
+		}
+	}
+	if err := ValidateEngine("lazy", map[string]bool{"seed": true}); err != nil {
+		t.Errorf("engine-agnostic flags must pass under any engine, got %v", err)
+	}
+	if err := ValidateEngine("lazy", nil); err != nil {
+		t.Errorf("no flags set must pass, got %v", err)
+	}
+}

@@ -88,7 +88,8 @@ func (m *CompatMatrix) DistanceRowInto(u sgraph.NodeID, dst []int32) []int32 {
 // shard if it is cold — one shard resolution for the whole row, where
 // per-pair PairDistance calls would lock once per pair. Like RowWords,
 // it panics if a spilled shard cannot be reloaded, and the returned
-// view stays valid after the shard is evicted again.
+// view stays valid after the shard is evicted again — until Close
+// unmaps the spill file that zero-copy rows alias.
 func (m *ShardedMatrix) DistanceRow(u sgraph.NodeID) DistRow {
 	_, d8, d32, err := m.rowView(u)
 	if err != nil {

@@ -42,11 +42,18 @@
 //     relation into packed bitset rows plus a packed distance matrix,
 //     so all-pairs and batch-query workloads run on word-level
 //     operations; see CompatMatrix for the Θ(n²) memory trade-off.
-//   - The sharded engine (sharded.go, NewSharded) keeps the packed
-//     row layout but partitions it into row shards with bounded
+//   - The sharded engine (sharded.go, spill.go, NewSharded) keeps the
+//     packed row layout but partitions it into row shards with bounded
 //     residency: cold shards spill to a compact temporary file and
-//     are read back on demand, so packed-row speed survives graphs
-//     whose full matrix does not fit; see ShardedMatrix.
+//     come back on demand, so packed-row speed survives graphs whose
+//     full matrix does not fit. Where the platform supports it the
+//     spill file is memory-mapped and a reload is a zero-copy view
+//     into the mapping (spill_mmap.go; ShardedOptions.DisableMmap
+//     forces the portable ReadAt fallback), and ShardedOptions.Prefetch
+//     arms a sequential-sweep detector plus a background prefetcher
+//     (prefetch.go) that prepares the predicted next shard — counted
+//     by PrefetchStats — while the current one is scanned; see
+//     ShardedMatrix.
 //
 // The packed engines expose their rows through the PackedRelation
 // capability, which the team package's pickers and cost functions

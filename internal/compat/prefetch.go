@@ -1,0 +1,251 @@
+// The sharded engine's async shard prefetcher. A sequential sweep
+// over a spilled ShardedMatrix (ComputeStats, batch solving over
+// sorted sources, the cmatrix-style exports) pays one shard reload per
+// shard height, serialised with the queries it serves. The prefetcher
+// removes that stall from the demand path: a last-two-shards detector
+// recognises the sweep (the two most recently demand-touched shards
+// were consecutive), predicts the next shard, and a single background
+// goroutine decodes it out of the spill file into a standby slab while
+// the current shard is being scanned. The next demand miss then adopts
+// the standby buffers instead of reading — a prefetch *hit*. Mispredictions
+// are cheap: an unclaimed standby slab is recycled through a bounded
+// free list (container.SlabPool) the moment the detector predicts a
+// different shard, and a prefetch the demand path overtakes is counted
+// *wasted* and recycled too. Slabs are recycled only while they have
+// never been exposed to a caller, so RowWords/DistanceRow views stay
+// immutable-after-exposure exactly as without prefetching.
+//
+// Concurrency: the detector, counters and standby slot live under the
+// matrix mutex; only the spill read itself runs outside it (the spill
+// layer is read-concurrent — a mapping, or per-caller scratch). The
+// single-goroutine design means at most one read is in flight, the
+// issue path never blocks sending (channel capacity one), and Close
+// drains the goroutine before the spill file is unmapped.
+
+package compat
+
+import "sync/atomic"
+
+// PrefetchStats counts the sharded engine's async prefetcher activity.
+// Issued is the number of background shard reloads started, Hits how
+// many prefetched shards a demand query adopted, Wasted how many were
+// discarded unused (misprediction, the demand path overtaking the
+// read, or Close). Issued ≥ Hits + Wasted; the difference is a read
+// still in flight or parked in the standby slab. All zero unless the
+// matrix was built with ShardedOptions.Prefetch.
+type PrefetchStats struct {
+	Issued, Hits, Wasted int64
+}
+
+// shardSlabs is one shard's buffers detached from the shard table:
+// the prefetcher prepares them (heap slabs it decoded into, or —
+// view=true — zero-copy slices into the spill mapping), and a demand
+// query either adopts them into the shard state (hit) or they are
+// recycled (waste; views are dropped, only heap slabs pool). Exactly
+// one of dist8/dist32 is non-nil, matching the active packing.
+type shardSlabs struct {
+	bits   []uint64
+	dist8  []uint8
+	dist32 []int32
+	view   bool
+}
+
+// PrefetchStats snapshots the prefetcher counters; see the type.
+func (m *ShardedMatrix) PrefetchStats() PrefetchStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return PrefetchStats{Issued: m.pfIssued, Hits: m.pfHits, Wasted: m.pfWasted}
+}
+
+// noteAccessLocked feeds the sequential-sweep detector with one
+// demand-touched shard: when the last two distinct shards were
+// consecutive and ascending, the next one is predicted and prefetched.
+// It reports whether the caller should hand the background goroutine a
+// scheduling slot once the lock is released: after issuing a request,
+// and — crucially — at every later shard transition while one is still
+// pending. Without the latter a pure-CPU sweep on a single processor
+// can outrun the scheduler: the request sits in the channel, inflight
+// gates further issues, and the prefetcher starves until async
+// preemption, which a short sweep never reaches. Yielding once per
+// transition bounds the recovery at one shard.
+func (m *ShardedMatrix) noteAccessLocked(s int) bool {
+	transitioned := s != m.lastShard
+	if transitioned {
+		m.prevShard, m.lastShard = m.lastShard, s
+	}
+	if m.prevShard >= 0 && m.lastShard == m.prevShard+1 {
+		issued := m.maybePrefetchLocked(m.lastShard + 1)
+		// Yield only on the access that crossed a shard boundary:
+		// rows within the current shard must not pay a Gosched while
+		// a background decode is in flight.
+		return issued || (transitioned && m.inflight >= 0)
+	}
+	return false
+}
+
+// maybePrefetchLocked hands shard next to the background prefetcher if
+// it is worth reading: in range, cold, not already decoded or being
+// decoded, and the matrix is still serving. At most one read is in
+// flight, so the buffered send can never block under the lock. It
+// reports whether an async prefetch was issued.
+//
+// On a single-processor host (syncPrefetch) the background goroutine
+// cannot overlap with the demand scan — it would only add scheduler
+// handoffs to the same serial work — so the predicted shard is decoded
+// right here instead: the standby slot, the slab recycling and the
+// counters behave identically, the decode just runs at issue time
+// (early loading) rather than concurrently.
+func (m *ShardedMatrix) maybePrefetchLocked(next int) bool {
+	if next >= m.numShards || m.closed || m.spill == nil || m.inflight >= 0 {
+		return false
+	}
+	if m.shards[next].bits != nil || m.standbyShard == next {
+		return false
+	}
+	// Each prediction is attempted once: every row of the current
+	// shard re-derives the same `next`, and without this gate a
+	// failed (or demand-overtaken) prefetch would be re-issued per
+	// row — amplifying one spill I/O error into a failing read per
+	// row. The gate clears itself as the sweep advances (the next
+	// transition predicts a different shard).
+	if next == m.lastPredicted {
+		return false
+	}
+	// A standby slab for any other shard is a stale prediction.
+	m.dropStandbyLocked()
+	m.lastPredicted = next
+	if m.syncPrefetch {
+		m.pfIssued++
+		slab, ok := m.viewSlabLocked(next)
+		if !ok {
+			slab = m.takeSlabLocked(next)
+			var err error
+			m.readScratch, err = m.spill.read(next, slab.bits, slab.dist8, slab.dist32, m.readScratch)
+			if err != nil {
+				// The demand path will hit the same error with context.
+				m.recycleSlabLocked(slab)
+				m.pfWasted++
+				return false
+			}
+		}
+		m.spillLoads++
+		m.standby, m.standbyShard = slab, next
+		return false // nothing to yield to
+	}
+	if m.prefetchCh == nil {
+		m.prefetchCh = make(chan int, 1)
+		m.prefetchWG.Add(1)
+		go m.prefetchLoop(m.prefetchCh)
+	}
+	m.inflight = next
+	m.pfIssued++
+	m.prefetchCh <- next
+	return true
+}
+
+// prefetchLoop is the single background prefetcher: it prepares each
+// requested shard outside the matrix lock — decoding the slot into a
+// slab from the free list, or, with zero-copy views, building the
+// view and prefaulting its pages so the demand scan faults on nothing
+// — and parks the result in the standby slot for the next demand miss
+// to adopt. Read errors are deliberately swallowed: the demand path
+// will hit the same error and propagate it with proper context.
+func (m *ShardedMatrix) prefetchLoop(ch <-chan int) {
+	defer m.prefetchWG.Done()
+	var scratch []byte // ReadAt-fallback decode buffer, goroutine-owned
+	for s := range ch {
+		m.mu.Lock()
+		if m.closed || m.spill == nil || m.shards[s].bits != nil {
+			m.inflight = -1
+			m.pfWasted++
+			m.mu.Unlock()
+			continue
+		}
+		sp := m.spill
+		slab, isView := m.viewSlabLocked(s)
+		if !isView {
+			slab = m.takeSlabLocked(s)
+		}
+		m.mu.Unlock()
+
+		var err error
+		if isView {
+			prefaultSlab(slab)
+		} else {
+			scratch, err = sp.read(s, slab.bits, slab.dist8, slab.dist32, scratch)
+		}
+
+		m.mu.Lock()
+		m.inflight = -1
+		if err == nil {
+			m.spillLoads++
+		}
+		if err != nil || m.closed || m.shards[s].bits != nil {
+			// Failed, closing, or the demand path loaded the shard
+			// while we were preparing it: nothing here was ever
+			// exposed, so heap slabs go straight back to the free
+			// list and views are simply dropped.
+			m.recycleSlabLocked(slab)
+			m.pfWasted++
+		} else {
+			m.dropStandbyLocked() // unreachable in practice; keeps the single-standby invariant
+			m.standby, m.standbyShard = slab, s
+		}
+		m.mu.Unlock()
+	}
+}
+
+// prefaultSlab touches one byte per page of a view-backed slab so the
+// kernel faults the slot in on the prefetcher's time, not the demand
+// scan's. The atomic sink defeats dead-code elimination (and stays
+// race-clean across concurrent matrices' prefetchers).
+var prefaultSink atomic.Uint64
+
+func prefaultSlab(slab shardSlabs) {
+	const page = 4096
+	var sink uint64
+	for i := 0; i < len(slab.bits); i += page / 8 {
+		sink += slab.bits[i]
+	}
+	for i := 0; i < len(slab.dist8); i += page {
+		sink += uint64(slab.dist8[i])
+	}
+	for i := 0; i < len(slab.dist32); i += page / 4 {
+		sink += uint64(uint32(slab.dist32[i]))
+	}
+	prefaultSink.Add(sink)
+}
+
+// takeSlabLocked returns decode buffers shaped for shard s, recycled
+// from the free list when possible (only full-height shards recycle;
+// the short tail shard allocates fresh).
+func (m *ShardedMatrix) takeSlabLocked(s int) shardSlabs {
+	rows := m.shards[s].rows
+	if rows == m.shardRows {
+		if slab, ok := m.slabPool.Get(); ok {
+			return slab
+		}
+	}
+	return m.newSlab(rows)
+}
+
+// recycleSlabLocked parks a never-exposed heap slab on the free list;
+// views are dropped (nothing to reuse — they alias the mapping), as
+// are short-tail slabs (their shape would corrupt a later full-height
+// reuse).
+func (m *ShardedMatrix) recycleSlabLocked(slab shardSlabs) {
+	if !slab.view && len(slab.bits) == m.shardRows*m.stride {
+		m.slabPool.Put(slab)
+	}
+}
+
+// dropStandbyLocked discards an unclaimed standby slab, counting it
+// wasted; a no-op when the slot is empty.
+func (m *ShardedMatrix) dropStandbyLocked() {
+	if m.standbyShard < 0 {
+		return
+	}
+	m.recycleSlabLocked(m.standby)
+	m.standby, m.standbyShard = shardSlabs{}, -1
+	m.pfWasted++
+}

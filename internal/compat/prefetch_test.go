@@ -1,0 +1,263 @@
+package compat
+
+import (
+	"errors"
+	"flag"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sgraph"
+)
+
+// raceShardRows selects the shard heights for the interleaving tests
+// below; CI runs them under -race with tiny heights (1 and 3) so that
+// every query crosses shard boundaries and the prefetcher, the demand
+// path and eviction constantly interleave.
+var raceShardRows = flag.String("shard-rows", "1,3", "comma-separated shard heights for the prefetch/eviction interleaving tests")
+
+// forceAsyncPrefetch puts m in background-goroutine mode regardless of
+// the host's GOMAXPROCS, so the async machinery (channel handoff,
+// standby adoption racing the demand path, Close draining) is
+// exercised even on a single-processor machine.
+func forceAsyncPrefetch(m *ShardedMatrix) {
+	m.mu.Lock()
+	m.syncPrefetch = false
+	m.mu.Unlock()
+}
+
+func parseShardRows(t *testing.T) []int {
+	t.Helper()
+	var heights []int
+	for _, part := range strings.Split(*raceShardRows, ",") {
+		h, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || h <= 0 {
+			t.Fatalf("bad -shard-rows entry %q", part)
+		}
+		heights = append(heights, h)
+	}
+	return heights
+}
+
+// TestShardedPrefetchSequentialSweep: a sequential row sweep over a
+// spilled matrix must trigger the sweep detector, issue background
+// prefetches, and adopt at least some of them (hits) — on both spill
+// backends — while answering every query exactly like the full matrix
+// and respecting the residency bound.
+func TestShardedPrefetchSequentialSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(408))
+	n := 72
+	g := randomSignedGraph(rng, n, 300, 0.3)
+	full := MustNewMatrix(SPO, g, MatrixOptions{})
+	for _, noMmap := range spillBackends(t) {
+		for _, mode := range []string{"sync", "async"} {
+			m := MustNewSharded(SPO, g, ShardedOptions{
+				ShardRows: 6, MaxResidentShards: 2,
+				Prefetch: true, DisableMmap: noMmap,
+				SpillDir: t.TempDir(),
+			})
+			m.mu.Lock()
+			m.syncPrefetch = mode == "sync"
+			m.mu.Unlock()
+			var st PrefetchStats
+			// The adoption of a prefetched shard races the demand sweep
+			// on purpose (an overtaken prefetch is counted wasted, not
+			// wrong), so sweep until a hit lands; one pass is normally
+			// plenty — and always is in sync mode.
+			for pass := 0; pass < 10; pass++ {
+				for u := sgraph.NodeID(0); int(u) < n; u++ {
+					for v := sgraph.NodeID(0); int(v) < n; v++ {
+						want, _ := full.Compatible(u, v)
+						got, err := m.Compatible(u, v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got != want {
+							t.Fatalf("noMmap=%v %s: Compatible(%d,%d) = %v, want %v", noMmap, mode, u, v, got, want)
+						}
+					}
+				}
+				st = m.PrefetchStats()
+				if st.Hits > 0 {
+					break
+				}
+			}
+			if st.Issued == 0 {
+				t.Fatalf("noMmap=%v %s: sequential sweep issued no prefetches", noMmap, mode)
+			}
+			if st.Hits == 0 {
+				t.Fatalf("noMmap=%v %s: no prefetch hits across 10 sequential sweeps (stats %+v)", noMmap, mode, st)
+			}
+			if st.Hits+st.Wasted > st.Issued {
+				t.Fatalf("noMmap=%v %s: counter conservation violated: %+v", noMmap, mode, st)
+			}
+			if got := m.ResidentShards(); got > m.MaxResidentShards() {
+				t.Fatalf("noMmap=%v %s: %d shards resident, bound %d", noMmap, mode, got, m.MaxResidentShards())
+			}
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestShardedPrefetchDisabledByDefault: without ShardedOptions.Prefetch
+// the detector must stay off — sweeps issue nothing and the counters
+// stay zero (the serving default is unchanged behaviour).
+func TestShardedPrefetchDisabledByDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	n := 36
+	g := randomSignedGraph(rng, n, 140, 0.3)
+	m := MustNewSharded(SPO, g, ShardedOptions{ShardRows: 4, MaxResidentShards: 2})
+	defer m.Close()
+	for u := sgraph.NodeID(0); int(u) < n; u++ {
+		if _, err := m.Compatible(u, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.PrefetchStats(); st != (PrefetchStats{}) {
+		t.Fatalf("prefetch counters moved without Prefetch enabled: %+v", st)
+	}
+}
+
+// TestShardedPrefetchEvictionInterleavings is the dedicated -race
+// workout: for every configured tiny shard height and both spill
+// backends, sequential sweepers and random-access workers hammer a
+// prefetching matrix with a residency bound of 2, so reload, adoption,
+// eviction and background decode interleave in every order. Results
+// must stay identical to the full matrix throughout.
+func TestShardedPrefetchEvictionInterleavings(t *testing.T) {
+	rng := rand.New(rand.NewSource(410))
+	n := 40
+	g := randomSignedGraph(rng, n, 170, 0.3)
+	full := MustNewMatrix(SPO, g, MatrixOptions{})
+	for _, shardRows := range parseShardRows(t) {
+		for _, noMmap := range spillBackends(t) {
+			m := MustNewSharded(SPO, g, ShardedOptions{
+				ShardRows: shardRows, MaxResidentShards: 2,
+				Prefetch: true, DisableMmap: noMmap,
+				SpillDir: t.TempDir(),
+			})
+			forceAsyncPrefetch(m) // exercise the goroutine even on one CPU
+			var wg sync.WaitGroup
+			errc := make(chan error, 4)
+			for w := 0; w < 2; w++ { // sequential sweepers feed the detector
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for pass := 0; pass < 3; pass++ {
+						for u := sgraph.NodeID(0); int(u) < n; u++ {
+							v := sgraph.NodeID((int(u)*7 + w) % n)
+							want, _ := full.Compatible(u, v)
+							got, err := m.Compatible(u, v)
+							if err != nil {
+								errc <- err
+								return
+							}
+							if got != want {
+								errc <- errors.New("sweeper diverged from full matrix")
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			for w := 0; w < 2; w++ { // random access fights the detector
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(500 + w)))
+					for i := 0; i < 3*n; i++ {
+						u := sgraph.NodeID(r.Intn(n))
+						v := sgraph.NodeID(r.Intn(n))
+						wantD, wantOK := full.PairDistance(u, v)
+						gotD, gotOK := m.PairDistance(u, v)
+						if gotOK != wantOK || (gotOK && gotD != wantD) {
+							errc <- errors.New("random worker diverged from full matrix")
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatalf("rows=%d noMmap=%v: %v", shardRows, noMmap, err)
+			}
+			if st := m.PrefetchStats(); st.Hits+st.Wasted > st.Issued {
+				t.Fatalf("rows=%d noMmap=%v: counter conservation violated: %+v", shardRows, noMmap, st)
+			}
+			if err := m.Close(); err != nil {
+				t.Fatalf("rows=%d noMmap=%v: Close: %v", shardRows, noMmap, err)
+			}
+			if err := m.Close(); err != nil {
+				t.Fatalf("rows=%d noMmap=%v: second Close: %v", shardRows, noMmap, err)
+			}
+		}
+	}
+}
+
+// TestShardedCloseWithPrefetchInFlight: Close must drain the
+// background prefetcher before releasing the spill file — no panic,
+// no deadlock, no use of a closed file — and stay idempotent.
+func TestShardedCloseWithPrefetchInFlight(t *testing.T) {
+	rng := rand.New(rand.NewSource(411))
+	n := 48
+	g := randomSignedGraph(rng, n, 200, 0.3)
+	for i := 0; i < 8; i++ { // several attempts to catch an in-flight read
+		m := MustNewSharded(SPO, g, ShardedOptions{
+			ShardRows: 2, MaxResidentShards: 2, Prefetch: true,
+			SpillDir: t.TempDir(),
+		})
+		forceAsyncPrefetch(m) // an in-flight background read is the point
+		for u := sgraph.NodeID(0); int(u) < 2*(i+1) && int(u) < n; u++ {
+			if _, err := m.Compatible(u, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close with prefetch possibly in flight: %v", err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+		// After Close every issued prefetch is accounted for.
+		if st := m.PrefetchStats(); st.Hits+st.Wasted != st.Issued {
+			t.Fatalf("attempt %d: unaccounted prefetches after Close: %+v", i, st)
+		}
+	}
+}
+
+// TestShardedStatsSurfacePrefetch: ComputeStats over a prefetching
+// sharded relation is exactly the sequential access pattern the
+// prefetcher targets; the Stats snapshot must surface its counters
+// while every relation-level number still matches the full matrix.
+func TestShardedStatsSurfacePrefetch(t *testing.T) {
+	rng := rand.New(rand.NewSource(412))
+	g := randomSignedGraph(rng, 60, 260, 0.3)
+	full, err := ComputeStats(MustNewMatrix(SPO, g, MatrixOptions{}), StatsOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNewSharded(SPO, g, ShardedOptions{
+		ShardRows: 5, MaxResidentShards: 2, Prefetch: true,
+		SpillDir: t.TempDir(),
+	})
+	defer m.Close()
+	st, err := ComputeStats(m, StatsOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Prefetch.Issued == 0 {
+		t.Fatal("single-worker stats sweep surfaced no prefetch activity")
+	}
+	if got, want := st.Prefetch, m.PrefetchStats(); got.Issued > want.Issued {
+		t.Fatalf("stats snapshot ahead of the matrix counters: %+v > %+v", got, want)
+	}
+	st.Prefetch = PrefetchStats{} // compare the relation numbers only
+	if *st != *full {
+		t.Fatalf("stats diverge: sharded %+v matrix %+v", st, full)
+	}
+}

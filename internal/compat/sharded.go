@@ -51,6 +51,21 @@ type ShardedOptions struct {
 	// SpillDir is where the cold-shard file is created; "" uses the
 	// system temporary directory.
 	SpillDir string
+	// Prefetch enables the async prefetcher: when point queries walk
+	// shards sequentially (the last two demand-touched shards were
+	// consecutive), a single background goroutine decodes the predicted
+	// next shard into a standby slab while the current one is scanned,
+	// so a sequential sweep over a spilled matrix rarely waits for a
+	// reload. Adds at most one shard slab of memory on top of
+	// MaxResidentShards. On a single-processor host (GOMAXPROCS 1),
+	// where a background decode cannot overlap anything, predictions
+	// decode inline at issue time instead — same accounting, no
+	// scheduler overhead. See PrefetchStats.
+	Prefetch bool
+	// DisableMmap forces the portable ReadAt spill read path even on
+	// platforms that support memory-mapping the spill file. Mostly for
+	// tests and measurement; mapped reloads are strictly faster.
+	DisableMmap bool
 }
 
 // ShardedMatrix is the packed all-pairs compatibility relation split
@@ -68,12 +83,24 @@ type ShardedOptions struct {
 //
 // Concurrency: all shard bookkeeping is guarded by one mutex, so the
 // type is safe for concurrent use; row slices returned by RowWords
-// remain valid after eviction (buffers are immutable once built and
-// reloads allocate fresh ones). Spill I/O failures after construction
-// are reported as errors from Compatible/Distance and as panics from
-// the error-free PackedRelation fast paths (RowWords, PairDistance).
-// Call Close to release the spill file; Close is a no-op when nothing
-// ever spilled.
+// remain valid after eviction (buffers are immutable once exposed —
+// heap slabs are never recycled after exposure, and mapping-backed
+// views stay mapped until Close). Where the platform supports it the
+// spill file is memory-mapped read-only and cold shards are served as
+// zero-copy views straight into the mapping — a reload is pointer
+// arithmetic, not a decode, and view-backed resident shards occupy no
+// heap (ShardedOptions.DisableMmap forces the portable ReadAt
+// fallback). ShardedOptions.Prefetch adds a sequential-sweep detector
+// plus a single background prefetcher that prepares — decodes, or
+// prefaults the mapped pages of — the predicted next shard while the
+// current one is scanned. Spill I/O failures after construction are
+// reported as errors from Compatible/Distance and as panics from the
+// error-free PackedRelation fast paths (RowWords, PairDistance).
+//
+// Call Close to release the spill file and stop the prefetcher; Close
+// is idempotent. Close unmaps the spill file, so on mapped-spill
+// matrices every row or distance view previously handed out dies with
+// it — Close only after the matrix's consumers are done.
 type ShardedMatrix struct {
 	g         *sgraph.Graph
 	kind      Kind
@@ -87,6 +114,10 @@ type ShardedMatrix struct {
 	beam  int
 	exact balance.ExactOptions
 
+	prefetch     bool // ShardedOptions.Prefetch
+	syncPrefetch bool // single-P host: decode predictions inline (prefetch.go)
+	noMmap       bool // ShardedOptions.DisableMmap
+
 	mu       sync.Mutex
 	shards   []shardState
 	lru      *container.IndexLRU // evictable (resident, unpinned) shards
@@ -94,6 +125,33 @@ type ShardedMatrix struct {
 	spill    *shardSpill
 	spillDir string
 	closed   bool
+	// views enables zero-copy reloads: post-build, on a mapped spill
+	// whose byte order matches the host, a cold shard is served as
+	// slices straight into the mapping instead of decoded into heap
+	// slabs. Off during build — build-time reloads (the SBPH tile
+	// pass) write into shard buffers, which a read-only view forbids.
+	views bool
+
+	// readScratch is the demand path's decode buffer for the ReadAt
+	// spill fallback; guarded by mu (the prefetcher owns its own).
+	readScratch []byte
+
+	// Sequential-sweep detection and the async prefetcher state
+	// (prefetch.go). All fields are guarded by mu; the channel and
+	// WaitGroup outlive individual requests and are only created and
+	// torn down under the documented Close ordering.
+	lastShard     int // most recent shard demand-touched by rowView
+	prevShard     int // distinct shard touched before lastShard
+	inflight      int // shard the prefetcher is decoding; -1 when idle
+	lastPredicted int // most recent prediction handed to the prefetcher; -1 none
+	standbyShard  int // decoded shard awaiting adoption; -1 when empty
+	standby       shardSlabs
+	slabPool      *container.SlabPool[shardSlabs]
+	prefetchCh    chan int
+	prefetchWG    sync.WaitGroup
+	pfIssued      int64
+	pfHits        int64
+	pfWasted      int64
 
 	// Observability and test hooks.
 	spillLoads      int64
@@ -151,6 +209,11 @@ func NewSharded(k Kind, g *sgraph.Graph, opts ShardedOptions) (*ShardedMatrix, e
 		beam:      opts.BeamWidth,
 		exact:     opts.Exact,
 		spillDir:  opts.SpillDir,
+		prefetch:  opts.Prefetch,
+		noMmap:    opts.DisableMmap,
+		// With one processor a background decode cannot overlap the
+		// demand scan; prefetch predictions decode inline instead.
+		syncPrefetch: opts.Prefetch && runtime.GOMAXPROCS(0) == 1,
 	}
 	if m.beam <= 0 {
 		m.beam = balance.DefaultBeamWidth
@@ -219,17 +282,32 @@ func (m *ShardedMatrix) SpillLoads() int64 {
 	return m.spillLoads
 }
 
-// Close releases the spill file. Resident shards stay queryable, but
-// a query touching a spilled shard after Close errors (or panics on
-// the PackedRelation fast paths). Close is idempotent.
+// Close stops the prefetcher and releases the spill file. Resident
+// shards stay queryable, but a query touching a spilled shard after
+// Close errors (or panics on the PackedRelation fast paths). Close is
+// idempotent.
 func (m *ShardedMatrix) Close() error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed || m.spill == nil {
-		m.closed = true
+	if m.closed {
+		m.mu.Unlock()
 		return nil
 	}
 	m.closed = true
+	ch := m.prefetchCh
+	m.prefetchCh = nil
+	m.mu.Unlock()
+	// Drain the prefetcher outside the lock (its loop body takes it);
+	// only then is the spill file safe to unmap and close.
+	if ch != nil {
+		close(ch)
+		m.prefetchWG.Wait()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dropStandbyLocked()
+	if m.spill == nil {
+		return nil
+	}
 	err := m.spill.close()
 	m.spill = nil
 	return err
@@ -278,7 +356,8 @@ func (m *ShardedMatrix) PairDistance(u, v sgraph.NodeID) (int32, bool) {
 
 // RowWords returns u's packed compatibility row (bit v set ⇔
 // Compatible(u,v); bits ≥ NumNodes are zero). The slice is immutable
-// and stays valid even after the owning shard is evicted; it panics if
+// and stays valid after the owning shard is evicted — until Close,
+// which unmaps the spill file that zero-copy rows alias; it panics if
 // a spilled shard cannot be reloaded. The caller must not modify it.
 func (m *ShardedMatrix) RowWords(u sgraph.NodeID) []uint64 {
 	words, _, _, err := m.rowView(u)
@@ -321,50 +400,103 @@ func (r shardedRowView) distance(v sgraph.NodeID) (int32, bool) {
 }
 
 // rowView resolves row u to its bit words and packed distance row,
-// reloading the owning shard if it is cold.
+// reloading the owning shard if it is cold. When the sweep detector
+// issues a prefetch, the goroutine scheduler is nudged once after the
+// lock is released so the background decode starts promptly even on a
+// single CPU (a pure-CPU demand sweep would otherwise starve it until
+// async preemption).
 func (m *ShardedMatrix) rowView(u sgraph.NodeID) ([]uint64, []uint8, []int32, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := int(u) / m.shardRows
 	sh, err := m.residentLocked(s)
 	if err != nil {
+		m.mu.Unlock()
 		return nil, nil, nil, err
+	}
+	issued := false
+	if m.prefetch {
+		issued = m.noteAccessLocked(s)
 	}
 	r := int(u) - s*m.shardRows
 	words := sh.bits[r*m.stride : (r+1)*m.stride]
+	var d8 []uint8
+	var d32 []int32
 	if m.wide {
-		return words, nil, sh.dist32[r*m.n : (r+1)*m.n], nil
+		d32 = sh.dist32[r*m.n : (r+1)*m.n]
+	} else {
+		d8 = sh.dist8[r*m.n : (r+1)*m.n]
 	}
-	return words, sh.dist8[r*m.n : (r+1)*m.n], nil, nil
+	m.mu.Unlock()
+	if issued {
+		runtime.Gosched()
+	}
+	return words, d8, d32, nil
 }
 
 // ---------------------------------------------------------------------------
 // Residency bookkeeping. All helpers below require m.mu held.
 
-// residentLocked returns shard s, reloading it from the spill file if
-// it is cold. Room is made before the load, so residency never
-// exceeds the bound (pinned shards excepted).
+// residentLocked returns shard s, materialising it if it is cold: a
+// shard the prefetcher already prepared is adopted from the standby
+// slab (a prefetch hit); otherwise the spill file serves it — as a
+// zero-copy view into the mapping when views are enabled, by decoding
+// into fresh heap slabs when not. Room is made before the load, so
+// residency never exceeds the bound (pinned shards excepted).
 func (m *ShardedMatrix) residentLocked(s int) (*shardState, error) {
 	sh := &m.shards[s]
 	if sh.bits == nil {
-		if m.spill == nil {
-			return nil, fmt.Errorf("compat: shard %d is spilled but the spill file is closed", s)
+		if m.standbyShard == s {
+			if err := m.makeRoomLocked(); err != nil {
+				return nil, err
+			}
+			sh.bits, sh.dist8, sh.dist32 = m.standby.bits, m.standby.dist8, m.standby.dist32
+			m.standby, m.standbyShard = shardSlabs{}, -1
+			m.pfHits++
+			m.admitLocked()
+		} else {
+			if m.spill == nil {
+				return nil, fmt.Errorf("compat: shard %d is spilled but the spill file is closed", s)
+			}
+			if err := m.makeRoomLocked(); err != nil {
+				return nil, err
+			}
+			if slab, ok := m.viewSlabLocked(s); ok {
+				sh.bits, sh.dist8, sh.dist32 = slab.bits, slab.dist8, slab.dist32
+			} else {
+				m.allocShard(sh)
+				var err error
+				m.readScratch, err = m.spill.read(s, sh.bits, sh.dist8, sh.dist32, m.readScratch)
+				if err != nil {
+					sh.bits, sh.dist8, sh.dist32 = nil, nil, nil
+					return nil, err
+				}
+			}
+			m.spillLoads++
+			m.admitLocked()
 		}
-		if err := m.makeRoomLocked(); err != nil {
-			return nil, err
-		}
-		m.allocShard(sh)
-		if err := m.spill.read(s, sh.bits, sh.dist8, sh.dist32); err != nil {
-			sh.bits, sh.dist8, sh.dist32 = nil, nil, nil
-			return nil, err
-		}
-		m.spillLoads++
-		m.admitLocked()
 	}
 	if sh.pins == 0 {
 		m.lru.Touch(s)
 	}
 	return sh, nil
+}
+
+// viewSlabLocked resolves shard s as zero-copy slices into the spill
+// mapping, when views are enabled and the slot qualifies.
+func (m *ShardedMatrix) viewSlabLocked(s int) (shardSlabs, bool) {
+	if !m.views {
+		return shardSlabs{}, false
+	}
+	rows := m.shards[s].rows
+	d8Len, d32Len := rows*m.n, 0
+	if m.wide {
+		d8Len, d32Len = 0, rows*m.n
+	}
+	bits, d8, d32, ok := m.spill.view(s, rows*m.stride, d8Len, d32Len)
+	if !ok {
+		return shardSlabs{}, false
+	}
+	return shardSlabs{bits: bits, dist8: d8, dist32: d32, view: true}, true
 }
 
 // admitLocked counts one freshly materialised shard.
@@ -401,6 +533,11 @@ func (m *ShardedMatrix) unpinLocked(s int) {
 // before their buffers are released; when every resident shard is
 // pinned it returns without evicting (the bound then transiently
 // stretches, which only the ≤2-pin tile passes can cause).
+//
+// A failed spill write (or spill-file creation) must not demote the
+// victim: its slot on disk may be stale or torn, so the shard stays
+// resident, dirty and LRU-tracked — the eviction can be retried — and
+// the error propagates to the query that needed the room.
 func (m *ShardedMatrix) makeRoomLocked() error {
 	for m.resident >= m.maxRes {
 		victim := m.lru.PopBack()
@@ -409,10 +546,12 @@ func (m *ShardedMatrix) makeRoomLocked() error {
 		}
 		sh := &m.shards[victim]
 		if sh.dirty {
-			if err := m.ensureSpillLocked(); err != nil {
-				return err
+			err := m.ensureSpillLocked()
+			if err == nil {
+				err = m.spill.write(victim, sh.bits, sh.dist8, sh.dist32)
 			}
-			if err := m.spill.write(victim, sh.bits, sh.dist8, sh.dist32); err != nil {
+			if err != nil {
+				m.lru.Touch(victim)
 				return err
 			}
 			sh.dirty = false
@@ -432,7 +571,7 @@ func (m *ShardedMatrix) ensureSpillLocked() error {
 	for i := range sizes {
 		sizes[i] = m.shardBytes(m.shardLen(i))
 	}
-	sp, err := newShardSpill(m.spillDir, sizes)
+	sp, err := newShardSpill(m.spillDir, sizes, !m.noMmap)
 	if err != nil {
 		return err
 	}
@@ -440,15 +579,24 @@ func (m *ShardedMatrix) ensureSpillLocked() error {
 	return nil
 }
 
+// newSlab allocates heap buffers shaped for a shard of the given row
+// count under the active packing — the one place that knows the slab
+// shape, shared by demand reloads, the build path and the prefetcher.
+func (m *ShardedMatrix) newSlab(rows int) shardSlabs {
+	slab := shardSlabs{bits: make([]uint64, rows*m.stride)}
+	if m.wide {
+		slab.dist32 = make([]int32, rows*m.n)
+	} else {
+		slab.dist8 = make([]uint8, rows*m.n)
+	}
+	return slab
+}
+
 // allocShard allocates the resident buffers for one shard (contents
 // overwritten by the build filler or the spill read).
 func (m *ShardedMatrix) allocShard(sh *shardState) {
-	sh.bits = make([]uint64, sh.rows*m.stride)
-	if m.wide {
-		sh.dist32 = make([]int32, sh.rows*m.n)
-	} else {
-		sh.dist8 = make([]uint8, sh.rows*m.n)
-	}
+	slab := m.newSlab(sh.rows)
+	sh.bits, sh.dist8, sh.dist32 = slab.bits, slab.dist8, slab.dist32
 }
 
 // shardLen returns the row count of shard s (the last may be short).
@@ -461,13 +609,14 @@ func (m *ShardedMatrix) shardLen(s int) int {
 }
 
 // shardBytes returns the spill-slot size of a shard with the given
-// row count under the active distance packing.
+// row count under the active distance packing, padded to 8 bytes so
+// every slot offset stays aligned for the zero-copy mapping views.
 func (m *ShardedMatrix) shardBytes(rows int) int64 {
 	distBytes := int64(rows) * int64(m.n)
 	if m.wide {
 		distBytes *= 4
 	}
-	return int64(rows)*int64(m.stride)*8 + distBytes
+	return (int64(rows)*int64(m.stride)*8 + distBytes + 7) &^ 7
 }
 
 // ---------------------------------------------------------------------------
@@ -494,6 +643,17 @@ func (m *ShardedMatrix) build(workers int, wide bool) error {
 	m.spillLoads = 0
 	m.peakResident = 0
 	m.symSnapshotPeak = 0
+	m.views = false // build-time reloads are written into; no views yet
+	// Prefetcher state. The goroutine never runs during build (only
+	// rowView feeds the detector), so a plain reset is race-free; the
+	// slab pool holds at most the in-flight slab plus one standby.
+	m.lastShard, m.prevShard = -1, -1
+	m.inflight = -1
+	m.lastPredicted = -1
+	m.standbyShard = -1
+	m.standby = shardSlabs{}
+	m.slabPool = container.NewSlabPool[shardSlabs](2)
+	m.pfIssued, m.pfHits, m.pfWasted = 0, 0, 0
 	m.mu.Unlock()
 	if m.n == 0 {
 		return nil
@@ -508,8 +668,16 @@ func (m *ShardedMatrix) build(workers int, wide bool) error {
 		}
 	}
 	if m.kind == SBPH {
-		return m.symmetrise(workers)
+		if err := m.symmetrise(workers); err != nil {
+			return err
+		}
 	}
+	// The relation is immutable from here on, so cold shards can be
+	// served as zero-copy views into the mapping (when it exists and
+	// matches the host byte order).
+	m.mu.Lock()
+	m.views = m.spill != nil && m.spill.canView()
+	m.mu.Unlock()
 	return nil
 }
 

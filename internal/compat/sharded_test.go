@@ -15,7 +15,8 @@ import (
 // its own shard), 7 (rows straddling shard boundaries), 64 (word
 // aligned) and n (single shard), with a residency bound small enough
 // that most shards live in the spill file and rows are served across
-// spill/reload cycles.
+// spill/reload cycles — under both the mmap and the ReadAt spill
+// backend (trials alternate so the whole grid covers both).
 func TestShardedAgreesAcrossShardSizes(t *testing.T) {
 	rng := rand.New(rand.NewSource(401))
 	opts := Options{Exact: balance.ExactOptions{MaxLen: 7}}
@@ -23,7 +24,10 @@ func TestShardedAgreesAcrossShardSizes(t *testing.T) {
 		n := 9 + rng.Intn(16)
 		g := randomSignedGraph(rng, n, n+rng.Intn(4*n), 0.3)
 		for _, shardRows := range []int{1, 7, 64, n} {
-			for _, k := range Kinds() {
+			for ki, k := range Kinds() {
+				// Alternate the spill backend across the grid; every
+				// (shard size, backend) pair is still exercised.
+				noMmap := (trial+shardRows+ki)%2 == 0 || !spillMmapSupported
 				lazy := MustNew(k, g, opts)
 				full := MustNewMatrix(k, g, MatrixOptions{Options: opts})
 				sharded, err := NewSharded(k, g, ShardedOptions{
@@ -31,6 +35,7 @@ func TestShardedAgreesAcrossShardSizes(t *testing.T) {
 					ShardRows:         shardRows,
 					MaxResidentShards: 2,
 					SpillDir:          t.TempDir(),
+					DisableMmap:       noMmap,
 				})
 				if err != nil {
 					t.Fatalf("trial %d %v rows=%d: NewSharded: %v", trial, k, shardRows, err)
@@ -91,9 +96,12 @@ func TestShardedAgreesAcrossShardSizes(t *testing.T) {
 func TestShardedRowsMatchMatrixRows(t *testing.T) {
 	rng := rand.New(rand.NewSource(402))
 	g := randomSignedGraph(rng, 61, 240, 0.3) // 61 rows: shards of 7 straddle words
-	for _, k := range []Kind{SPO, SBPH, NNE} {
+	for ki, k := range []Kind{SPO, SBPH, NNE} {
 		full := MustNewMatrix(k, g, MatrixOptions{})
-		sharded := MustNewSharded(k, g, ShardedOptions{ShardRows: 7, MaxResidentShards: 2})
+		sharded := MustNewSharded(k, g, ShardedOptions{
+			ShardRows: 7, MaxResidentShards: 2,
+			DisableMmap: ki%2 == 0, // cover both spill backends
+		})
 		defer sharded.Close()
 		if sharded.WordsPerRow() != full.WordsPerRow() {
 			t.Fatalf("%v: WordsPerRow sharded=%d matrix=%d", k, sharded.WordsPerRow(), full.WordsPerRow())
@@ -270,6 +278,88 @@ func TestShardedDegenerateSizes(t *testing.T) {
 	}
 	if m1.SpillLoads() != 0 || m1.spill != nil {
 		t.Fatal("single-shard matrix must never spill")
+	}
+}
+
+// TestShardedEvictionWriteFailureKeepsVictimResident is the
+// regression test for the eviction error path: when spilling a dirty
+// victim fails, the victim must stay resident, dirty and LRU-tracked
+// (its slot on disk may be stale or torn), the residency bookkeeping
+// must not drift, the error must reach the query that needed the
+// room — and once the fault clears, the very same eviction must
+// succeed and the whole relation still agree with the full matrix.
+func TestShardedEvictionWriteFailureKeepsVictimResident(t *testing.T) {
+	rng := rand.New(rand.NewSource(413))
+	n := 24
+	g := randomSignedGraph(rng, n, 100, 0.3)
+	full := MustNewMatrix(SPO, g, MatrixOptions{})
+	m := MustNewSharded(SPO, g, ShardedOptions{ShardRows: 3, MaxResidentShards: 2})
+	defer m.Close()
+
+	errBoom := errors.New("injected spill write failure")
+	m.mu.Lock()
+	if m.spill == nil {
+		m.mu.Unlock()
+		t.Fatal("bounded build left no spill file")
+	}
+	m.spill.failWrite = errBoom
+	residentBefore := m.resident
+	cold := -1
+	dirtyResident := 0
+	for s := range m.shards {
+		if m.shards[s].bits == nil {
+			if cold < 0 {
+				cold = s
+			}
+		} else if m.shards[s].dirty {
+			dirtyResident++
+		}
+	}
+	m.mu.Unlock()
+	if cold < 0 || dirtyResident == 0 {
+		t.Fatalf("fixture broke: cold=%d dirtyResident=%d", cold, dirtyResident)
+	}
+
+	u := sgraph.NodeID(cold * m.ShardRows())
+	if _, err := m.Compatible(u, 0); !errors.Is(err, errBoom) {
+		t.Fatalf("query over a failing eviction returned %v, want the injected fault", err)
+	}
+
+	m.mu.Lock()
+	if m.resident != residentBefore {
+		t.Errorf("resident count drifted: %d -> %d", residentBefore, m.resident)
+	}
+	count := 0
+	for s := range m.shards {
+		sh := &m.shards[s]
+		if sh.bits == nil {
+			continue
+		}
+		count++
+		if sh.pins == 0 && !m.lru.Contains(s) {
+			t.Errorf("resident shard %d fell out of the LRU after the failed eviction", s)
+		}
+		if !sh.dirty {
+			t.Errorf("failed eviction cleared dirty on shard %d over a possibly torn slot", s)
+		}
+	}
+	if count != m.resident {
+		t.Errorf("%d shards actually resident, bookkeeping says %d", count, m.resident)
+	}
+	m.spill.failWrite = nil
+	m.mu.Unlock()
+
+	for u := sgraph.NodeID(0); int(u) < n; u++ {
+		for v := sgraph.NodeID(0); int(v) < n; v++ {
+			want, _ := full.Compatible(u, v)
+			got, err := m.Compatible(u, v)
+			if err != nil {
+				t.Fatalf("Compatible(%d,%d) after clearing the fault: %v", u, v, err)
+			}
+			if got != want {
+				t.Fatalf("Compatible(%d,%d) = %v after the failed eviction, want %v", u, v, got, want)
+			}
+		}
 	}
 }
 

@@ -4,29 +4,62 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"unsafe"
 )
+
+// hostLittleEndian reports whether the host matches the spill file's
+// little-endian slot encoding, which is what lets a mapped slot be
+// reinterpreted in place instead of decoded.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
 
 // shardSpill is the cold store of a ShardedMatrix: one temporary file
 // holding every shard in a compact fixed-layout slot — the row bit
 // words little-endian, then the packed distance entries (raw bytes for
 // uint8 storage, little-endian for the int32 fallback). Slots are
-// written with WriteAt and read back with ReadAt, so concurrent-free
-// single-owner access needs no seeking state.
+// written with WriteAt, so the writer (the eviction path, always under
+// the matrix lock) needs no seeking state.
+//
+// Reads come in three flavours. On platforms that support it the
+// whole file is memory-mapped read-only at creation (spill_mmap.go);
+// on a little-endian host a mapped slot can then be served as a
+// zero-copy *view* — the slot bytes reinterpreted in place as the
+// shard's []uint64 / distance slices (slots are 8-byte aligned for
+// exactly this), so a reload costs no decode at all and resident
+// view-backed shards occupy no heap. Where views do not apply (mapped
+// big-endian hosts, or build-time reloads whose buffers are written
+// afterwards), read decodes out of the mapping into caller buffers;
+// with no mapping at all (ShardedOptions.DisableMmap, non-unix
+// builds) it falls back to ReadAt into a caller-owned scratch buffer.
+// None of the read paths hold spill-internal mutable state, so the
+// demand path and the async prefetcher can reload different shards
+// concurrently; write keeps a private encode buffer and relies on its
+// callers holding one lock.
 //
 // The file is unlinked immediately after creation when the platform
 // allows it (the usual unix anonymous-tempfile idiom), so crashed
-// processes leak no disk; close releases the descriptor and removes
-// the file if the early unlink was refused.
+// processes leak no disk; close unmaps, releases the descriptor and
+// removes the file if the early unlink was refused. close is
+// idempotent.
 type shardSpill struct {
 	f       *os.File
 	path    string // non-empty only when the early unlink failed
 	offsets []int64
-	buf     []byte // encode/decode scratch, guarded by the owner's lock
+	data    []byte // read-only mapping of the whole file; nil = ReadAt fallback
+	wbuf    []byte // write-encode scratch, guarded by the owner's lock
+	closed  bool
+
+	failWrite error // test hook: non-nil fails every write with this error
 }
 
 // newShardSpill creates the spill file in dir ("" = the system temp
-// directory) with one slot per entry of sizes (bytes).
-func newShardSpill(dir string, sizes []int64) (*shardSpill, error) {
+// directory) with one slot per entry of sizes (bytes). useMmap asks
+// for the memory-mapped read path; when the platform refuses (or the
+// build lacks mmap support) the spill silently keeps the portable
+// ReadAt fallback.
+func newShardSpill(dir string, sizes []int64, useMmap bool) (*shardSpill, error) {
 	f, err := os.CreateTemp(dir, "signedteams-shards-*.spill")
 	if err != nil {
 		return nil, fmt.Errorf("compat: creating shard spill file: %w", err)
@@ -44,14 +77,62 @@ func newShardSpill(dir string, sizes []int64) (*shardSpill, error) {
 			maxSize = size
 		}
 	}
-	sp.buf = make([]byte, maxSize)
+	sp.wbuf = make([]byte, maxSize)
+	if useMmap && off > 0 {
+		// The mapping needs the final length up front; WriteAt through
+		// the descriptor stays coherent with a MAP_SHARED mapping of
+		// the same file.
+		if err := f.Truncate(off); err == nil {
+			if data, err := mmapSpill(f, off); err == nil {
+				sp.data = data
+			}
+		}
+	}
 	return sp, nil
 }
 
+// mapped reports whether reads decode out of a memory mapping rather
+// than the ReadAt fallback.
+func (sp *shardSpill) mapped() bool { return sp.data != nil }
+
+// canView reports whether slots can be served as zero-copy views:
+// the file is mapped and the host's byte order matches the on-disk
+// little-endian encoding.
+func (sp *shardSpill) canView() bool { return sp.data != nil && hostLittleEndian }
+
+// view returns slot i reinterpreted in place as shard buffers — no
+// copy, no decode; the slices alias the read-only mapping and are
+// valid until close. Exactly one of d8Len and d32Len is non-zero,
+// matching the active packing. Callers check canView first; view
+// additionally refuses (ok=false) if the slot is not 8-byte aligned,
+// which newShardSpill's slot padding rules out.
+func (sp *shardSpill) view(i int, bitsLen, d8Len, d32Len int) (bits []uint64, d8 []uint8, d32 []int32, ok bool) {
+	off := sp.offsets[i]
+	if !sp.canView() || off&7 != 0 {
+		return nil, nil, nil, false
+	}
+	b := sp.data[off:]
+	if bitsLen > 0 {
+		bits = unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), bitsLen)
+	}
+	b = b[bitsLen*8:]
+	if d8Len > 0 {
+		d8 = b[:d8Len:d8Len]
+	} else if d32Len > 0 {
+		d32 = unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), d32Len)
+	}
+	return bits, d8, d32, true
+}
+
 // write stores shard i's buffers into its slot. Exactly one of dist8
-// and dist32 is non-nil, matching the matrix's active packing.
+// and dist32 is non-nil, matching the matrix's active packing. Callers
+// serialise writes (the matrix lock); reads of other slots may run
+// concurrently.
 func (sp *shardSpill) write(i int, bits []uint64, dist8 []uint8, dist32 []int32) error {
-	b := sp.buf[:0]
+	if sp.failWrite != nil {
+		return fmt.Errorf("compat: spilling shard %d: %w", i, sp.failWrite)
+	}
+	b := sp.wbuf[:0]
 	for _, w := range bits {
 		b = binary.LittleEndian.AppendUint64(b, w)
 	}
@@ -69,17 +150,30 @@ func (sp *shardSpill) write(i int, bits []uint64, dist8 []uint8, dist32 []int32)
 }
 
 // read restores shard i's slot into the caller-allocated buffers,
-// which must match the sizes the slot was written with.
-func (sp *shardSpill) read(i int, bits []uint64, dist8 []uint8, dist32 []int32) error {
+// which must match the sizes the slot was written with. scratch is a
+// caller-owned decode buffer for the ReadAt fallback (grown as needed
+// and returned for reuse; ignored and returned as-is on the mmap
+// path), so concurrent readers of different shards never share state.
+func (sp *shardSpill) read(i int, bits []uint64, dist8 []uint8, dist32 []int32, scratch []byte) ([]byte, error) {
 	size := len(bits) * 8
 	if dist8 != nil {
 		size += len(dist8)
 	} else {
 		size += len(dist32) * 4
 	}
-	b := sp.buf[:size]
-	if _, err := sp.f.ReadAt(b, sp.offsets[i]); err != nil {
-		return fmt.Errorf("compat: reloading shard %d: %w", i, err)
+	var b []byte
+	if sp.data != nil {
+		off := sp.offsets[i]
+		b = sp.data[off : off+int64(size)]
+	} else {
+		if cap(scratch) < size {
+			scratch = make([]byte, size)
+		}
+		scratch = scratch[:size]
+		if _, err := sp.f.ReadAt(scratch, sp.offsets[i]); err != nil {
+			return scratch, fmt.Errorf("compat: reloading shard %d: %w", i, err)
+		}
+		b = scratch
 	}
 	for j := range bits {
 		bits[j] = binary.LittleEndian.Uint64(b[j*8:])
@@ -92,12 +186,24 @@ func (sp *shardSpill) read(i int, bits []uint64, dist8 []uint8, dist32 []int32) 
 			dist32[j] = int32(binary.LittleEndian.Uint32(b[j*4:]))
 		}
 	}
-	return nil
+	return scratch, nil
 }
 
-// close releases the spill file; safe to call once on a valid spill.
+// close unmaps and releases the spill file. It is idempotent: second
+// and later calls are no-ops returning nil.
 func (sp *shardSpill) close() error {
-	err := sp.f.Close()
+	if sp.closed {
+		return nil
+	}
+	sp.closed = true
+	var err error
+	if sp.data != nil {
+		err = munmapSpill(sp.data)
+		sp.data = nil
+	}
+	if cerr := sp.f.Close(); err == nil {
+		err = cerr
+	}
 	if sp.path != "" {
 		if rmErr := os.Remove(sp.path); err == nil {
 			err = rmErr

@@ -46,6 +46,12 @@ type Stats struct {
 	Skills          *SkillMatrix // nil unless requested
 	SourcesScanned  int
 	TotalSources    int
+	// Prefetch snapshots the sharded engine's async-prefetcher
+	// counters as of the end of the scan (a stats sweep is exactly the
+	// sequential access pattern the prefetcher targets); zero for the
+	// other engines and for sharded matrices built without
+	// ShardedOptions.Prefetch.
+	Prefetch PrefetchStats
 }
 
 // UserFraction returns the fraction of scanned pairs that are
@@ -191,6 +197,9 @@ func ComputeStats(rel Relation, opts StatsOptions) (*Stats, error) {
 		if total.Skills != nil {
 			total.Skills.merge(accs[w].skills)
 		}
+	}
+	if sm, ok := rel.(*ShardedMatrix); ok {
+		total.Prefetch = sm.PrefetchStats()
 	}
 	return total, nil
 }

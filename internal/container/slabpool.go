@@ -1,0 +1,56 @@
+package container
+
+// SlabPool is a bounded LIFO free list of equally-shaped slabs (or any
+// other reusable value): Put parks a slab for reuse, Get hands the most
+// recently parked one back, and anything beyond the bound is dropped
+// for the garbage collector. Unlike sync.Pool it never discards under
+// GC pressure on its own, keeps at most max entries, and does no
+// locking — callers that share a pool across goroutines serialise
+// access themselves (the compat package's sharded matrix recycles its
+// prefetch standby slabs under the matrix lock).
+//
+// The zero value is a pool with bound 0 (Put always drops); use
+// NewSlabPool for a useful bound.
+type SlabPool[T any] struct {
+	items []T
+	max   int
+}
+
+// NewSlabPool returns a pool keeping at most max recycled values;
+// max ≤ 0 keeps none.
+func NewSlabPool[T any](max int) *SlabPool[T] {
+	if max < 0 {
+		max = 0
+	}
+	return &SlabPool[T]{max: max}
+}
+
+// Len returns the number of parked values.
+func (p *SlabPool[T]) Len() int { return len(p.items) }
+
+// Cap returns the pool bound.
+func (p *SlabPool[T]) Cap() int { return p.max }
+
+// Get returns the most recently parked value, or the zero value and
+// false when the pool is empty.
+func (p *SlabPool[T]) Get() (T, bool) {
+	if n := len(p.items); n > 0 {
+		v := p.items[n-1]
+		var zero T
+		p.items[n-1] = zero // drop the pool's reference
+		p.items = p.items[:n-1]
+		return v, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Put parks v for reuse. It reports whether the pool kept it; a full
+// (or zero-bound) pool drops the value and returns false.
+func (p *SlabPool[T]) Put(v T) bool {
+	if len(p.items) >= p.max {
+		return false
+	}
+	p.items = append(p.items, v)
+	return true
+}

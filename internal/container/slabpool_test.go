@@ -1,0 +1,54 @@
+package container
+
+import "testing"
+
+func TestSlabPoolGetPut(t *testing.T) {
+	p := NewSlabPool[[]byte](2)
+	if _, ok := p.Get(); ok {
+		t.Fatal("Get on an empty pool must report false")
+	}
+	a, b, c := make([]byte, 4), make([]byte, 4), make([]byte, 4)
+	if !p.Put(a) || !p.Put(b) {
+		t.Fatal("Put within the bound must be kept")
+	}
+	if p.Put(c) {
+		t.Fatal("Put beyond the bound must be dropped")
+	}
+	if p.Len() != 2 || p.Cap() != 2 {
+		t.Fatalf("Len/Cap = %d/%d, want 2/2", p.Len(), p.Cap())
+	}
+	// LIFO: the most recently parked slab comes back first.
+	got, ok := p.Get()
+	if !ok || &got[0] != &b[0] {
+		t.Fatal("Get must return the most recently parked slab")
+	}
+	got, ok = p.Get()
+	if !ok || &got[0] != &a[0] {
+		t.Fatal("second Get must return the earlier slab")
+	}
+	if _, ok := p.Get(); ok {
+		t.Fatal("drained pool must report empty")
+	}
+}
+
+func TestSlabPoolZeroBound(t *testing.T) {
+	for _, p := range []*SlabPool[int]{NewSlabPool[int](0), NewSlabPool[int](-3), {}} {
+		if p.Put(7) {
+			t.Fatal("zero-bound pool must drop every Put")
+		}
+		if _, ok := p.Get(); ok {
+			t.Fatal("zero-bound pool must stay empty")
+		}
+	}
+}
+
+func TestSlabPoolDropsReference(t *testing.T) {
+	p := NewSlabPool[[]byte](1)
+	p.Put(make([]byte, 8))
+	p.Get()
+	// After Get the backing array must be unreachable from the pool:
+	// the internal slot was zeroed (whitebox).
+	if p.items[:1][0] != nil {
+		t.Fatal("Get must zero the vacated slot so the GC can reclaim the slab")
+	}
+}

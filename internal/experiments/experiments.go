@@ -69,6 +69,12 @@ type Config struct {
 	// MaxResidentShards bounds how many shards the sharded engine
 	// keeps in memory (0 = all, never spill); ignored otherwise.
 	MaxResidentShards int
+	// Prefetch enables the sharded engine's async next-shard
+	// prefetcher for sequential sweeps; ignored by the other engines.
+	Prefetch bool
+	// DisableMmap forces the sharded engine's portable ReadAt spill
+	// path instead of the memory-mapped spill file; ignored otherwise.
+	DisableMmap bool
 }
 
 // WithDefaults fills the zero fields with the paper's parameters.
@@ -150,6 +156,8 @@ func newRelation(cfg Config, k compat.Kind, g *sgraph.Graph) (compat.Relation, e
 				Workers:           cfg.Workers,
 				ShardRows:         cfg.ShardRows,
 				MaxResidentShards: cfg.MaxResidentShards,
+				Prefetch:          cfg.Prefetch,
+				DisableMmap:       cfg.DisableMmap,
 			})
 			if err != nil {
 				// A true nil interface, not a typed-nil *ShardedMatrix.

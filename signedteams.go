@@ -62,8 +62,14 @@ type (
 	// exact-SBP budgets, row-cache capacity).
 	RelationOptions = compat.Options
 	// RelationStats aggregates compatible-pair fractions and average
-	// distances, as in the paper's Table 2.
+	// distances, as in the paper's Table 2. On a prefetching sharded
+	// relation it also snapshots the PrefetchStats counters at the end
+	// of the scan.
 	RelationStats = compat.Stats
+	// PrefetchStats counts the sharded engine's async shard
+	// prefetcher: background reloads issued, adopted by demand queries
+	// (hits) and discarded unused (wasted).
+	PrefetchStats = compat.PrefetchStats
 	// StatsOptions controls ComputeRelationStats.
 	StatsOptions = compat.StatsOptions
 	// SkillMatrix records which skill pairs have compatible holders.
@@ -123,14 +129,17 @@ func NewMatrixRelation(kind RelationKind, g *Graph, opts MatrixRelationOptions) 
 }
 
 // ShardedRelationOptions tunes NewShardedRelation: the relation
-// parameters plus build parallelism, shard height (ShardRows) and the
-// resident-shard bound (MaxResidentShards) that triggers disk spill.
+// parameters plus build parallelism, shard height (ShardRows), the
+// resident-shard bound (MaxResidentShards) that triggers disk spill,
+// async next-shard prefetching for sequential sweeps (Prefetch) and
+// the spill read backend (DisableMmap forces the portable ReadAt path
+// instead of the memory-mapped spill file).
 type ShardedRelationOptions = compat.ShardedOptions
 
 // ShardedRelation is the sharded packed engine returned by
 // NewShardedRelation, exposed concretely so callers can reach its
-// observability methods (NumShards, ResidentShards, SpillLoads) and
-// Close.
+// observability methods (NumShards, ResidentShards, SpillLoads,
+// PrefetchStats) and Close.
 type ShardedRelation = compat.ShardedMatrix
 
 // NewShardedRelation precomputes the packed all-pairs engine in
