@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -49,14 +50,11 @@ type config struct {
 	skillPol, userPol, costKind   string
 	topk, maxSeeds                int
 
-	engine            string
-	shardRows         int
-	maxResidentShards int
-	prefetch          bool
-	mmapSpill         bool
-	parallel          int
-	batch             int
-	planCache         int
+	eng       cliflags.Engine
+	srv       cliflags.Serve // only the deadline is registered here
+	parallel  int
+	batch     int
+	planCache int
 }
 
 // validateFlags rejects flag combinations that would silently do
@@ -64,7 +62,10 @@ type config struct {
 // explicitly present on the command line. The sharded-only flag
 // vocabulary is shared with cmd/experiments via internal/cliflags.
 func validateFlags(cfg config, set map[string]bool) error {
-	if err := cliflags.ValidateEngine(cfg.engine, set); err != nil {
+	if err := cfg.eng.Validate(set); err != nil {
+		return err
+	}
+	if err := cfg.srv.ValidateDeadline(); err != nil {
 		return err
 	}
 	if set["task"] && set["k"] {
@@ -99,11 +100,8 @@ func main() {
 	flag.StringVar(&cfg.costKind, "cost", "diameter", "cost objective: diameter or sumdistance")
 	flag.IntVar(&cfg.topk, "topk", 1, "return up to this many distinct teams")
 	flag.IntVar(&cfg.maxSeeds, "maxseeds", 0, "cap Algorithm 2 seeds (0 = all)")
-	flag.StringVar(&cfg.engine, "engine", "lazy", "relation engine: lazy (cached rows, on demand), matrix (packed all-pairs precompute) or sharded (packed rows in spillable shards)")
-	flag.IntVar(&cfg.shardRows, "shard-rows", 0, "sharded engine: rows per shard (0 = default)")
-	flag.IntVar(&cfg.maxResidentShards, "max-resident-shards", 0, "sharded engine: shards kept in memory, rest spilled to disk (0 = all resident)")
-	flag.BoolVar(&cfg.prefetch, "prefetch", false, "sharded engine: async-prefetch the next shard during sequential sweeps")
-	flag.BoolVar(&cfg.mmapSpill, "mmap-spill", true, "sharded engine: serve spill reloads from a read-only mmap of the spill file (false = portable read-back)")
+	cfg.eng.Register(flag.CommandLine)
+	cfg.srv.RegisterDeadline(flag.CommandLine)
 	flag.IntVar(&cfg.parallel, "parallel", 0, "solver workers for the seed loop and batch mode (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.batch, "batch", 0, "batch mode: sample this many random tasks of -k skills and solve them all")
 	flag.IntVar(&cfg.planCache, "plan-cache", 0, "cache up to this many compiled task plans in the solver (0 = no cache); repeated tasks skip plan compilation")
@@ -130,7 +128,14 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	rel, engine, err := buildRelation(kind, d.Graph, cfg)
+	relOpts := compat.Options{}
+	if cfg.batch > 0 {
+		// Batch mode revisits sources across tasks: let the lazy row
+		// cache cover the node set instead of thrashing at the default
+		// capacity. (The packed engines ignore CacheCap.)
+		relOpts.CacheCap = d.Graph.NumNodes() + 1
+	}
+	rel, engine, err := cfg.eng.Build(kind, d.Graph, relOpts)
 	if err != nil {
 		return err
 	}
@@ -142,16 +147,18 @@ func run(cfg config) error {
 		return err
 	}
 	opts.MaxSeeds = cfg.maxSeeds
-	switch strings.ToLower(cfg.costKind) {
-	case "diameter":
-		opts.Cost = team.Diameter
-	case "sumdistance", "sum":
-		opts.Cost = team.SumDistance
-	default:
-		return fmt.Errorf("unknown cost %q (want diameter or sumdistance)", cfg.costKind)
+	opts.Cost, err = cliflags.ParseCost(cfg.costKind)
+	if err != nil {
+		return err
 	}
 	if cfg.topk <= 0 {
 		return fmt.Errorf("-topk must be positive, got %d", cfg.topk)
+	}
+	ctx := context.Background()
+	if cfg.srv.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.srv.Deadline)
+		defer cancel()
 	}
 
 	fmt.Printf("dataset  %s (%d users, %d edges, %d negative)\n",
@@ -162,7 +169,7 @@ func run(cfg config) error {
 	})
 	if cfg.batch > 0 {
 		// Flag-combination errors were rejected up front (validateFlags).
-		return runBatch(cfg, d, rel, solver, kind, engine, opts)
+		return runBatch(ctx, cfg, d, rel, solver, kind, engine, opts)
 	}
 
 	task, err := resolveTask(d.Assign, cfg.taskSpec, cfg.k, cfg.seed)
@@ -176,10 +183,13 @@ func run(cfg config) error {
 	fmt.Printf("task     {%s}\n", strings.Join(names, ", "))
 	fmt.Printf("relation %v (engine=%s), policies %v/%v, cost %v\n\n", kind, engine, opts.Skill, opts.User, opts.Cost)
 
-	teams, err := solver.FormTopK(task, opts, cfg.topk)
+	teams, err := solver.FormTopKContext(ctx, task, opts, cfg.topk)
 	if errors.Is(err, team.ErrNoTeam) {
 		fmt.Println("no compatible team exists for this task under", kind)
 		return nil
+	}
+	if errors.Is(err, team.ErrDeadlineExceeded) {
+		return fmt.Errorf("deadline %v exceeded mid-solve: %w", cfg.srv.Deadline, err)
 	}
 	if err != nil {
 		return err
@@ -205,7 +215,7 @@ func run(cfg config) error {
 
 // runBatch samples cfg.batch random tasks and solves them through the
 // reusable solver, reporting aggregate quality and throughput.
-func runBatch(cfg config, d *datasets.Dataset, rel compat.Relation, solver *team.Solver, kind compat.Kind, engine string, opts team.Options) error {
+func runBatch(ctx context.Context, cfg config, d *datasets.Dataset, rel compat.Relation, solver *team.Solver, kind compat.Kind, engine string, opts team.Options) error {
 	rng := rand.New(rand.NewSource(cfg.seed))
 	tasks := make([]skills.Task, cfg.batch)
 	for i := range tasks {
@@ -219,7 +229,10 @@ func runBatch(cfg config, d *datasets.Dataset, rel compat.Relation, solver *team
 	fmt.Printf("batch    %d random tasks of %d skills\n\n", cfg.batch, cfg.k)
 
 	start := time.Now()
-	teams, err := solver.FormBatch(tasks, opts)
+	teams, err := solver.FormBatchContext(ctx, tasks, opts)
+	if errors.Is(err, team.ErrDeadlineExceeded) {
+		return fmt.Errorf("deadline %v exceeded mid-batch: %w", cfg.srv.Deadline, err)
+	}
 	if err != nil {
 		return err
 	}
@@ -245,57 +258,12 @@ func runBatch(cfg config, d *datasets.Dataset, rel compat.Relation, solver *team
 		fmt.Printf("plans    %d cached (cap %d): %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
 			st.Size, st.Capacity, st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
 	}
-	if m, ok := rel.(*compat.ShardedMatrix); ok && cfg.prefetch {
+	if m, ok := rel.(*compat.ShardedMatrix); ok && cfg.eng.Prefetch {
 		pf := m.PrefetchStats()
 		fmt.Printf("prefetch %d issued: %d hits / %d wasted (%d spill reloads total)\n",
 			pf.Issued, pf.Hits, pf.Wasted, m.SpillLoads())
 	}
 	return nil
-}
-
-// buildRelation constructs the requested engine (the experiment
-// harness's selection, minus its config plumbing). Exact SBP stays on
-// the lazy engine regardless of -engine: its per-source enumeration is
-// budgeted and exponential, so an all-pairs packed build would abort
-// where lazy point queries succeed.
-func buildRelation(kind compat.Kind, g *sgraph.Graph, cfg config) (compat.Relation, string, error) {
-	opts := compat.Options{}
-	if cfg.batch > 0 {
-		// Batch mode revisits sources across tasks: let the lazy row
-		// cache cover the node set instead of thrashing at the default
-		// capacity. (The packed engines ignore CacheCap.)
-		opts.CacheCap = g.NumNodes() + 1
-	}
-	switch cfg.engine {
-	case "", "lazy":
-		rel, err := compat.New(kind, g, opts)
-		return rel, "lazy", err
-	case "matrix", "sharded":
-		if kind == compat.SBP {
-			rel, err := compat.New(kind, g, opts)
-			return rel, "lazy", err
-		}
-		if cfg.engine == "sharded" {
-			m, err := compat.NewSharded(kind, g, compat.ShardedOptions{
-				Options:           opts,
-				ShardRows:         cfg.shardRows,
-				MaxResidentShards: cfg.maxResidentShards,
-				Prefetch:          cfg.prefetch,
-				DisableMmap:       !cfg.mmapSpill,
-			})
-			if err != nil {
-				return nil, "", err
-			}
-			return m, "sharded", nil
-		}
-		m, err := compat.NewMatrix(kind, g, compat.MatrixOptions{Options: opts})
-		if err != nil {
-			return nil, "", err
-		}
-		return m, "matrix", nil
-	default:
-		return nil, "", fmt.Errorf("unknown engine %q (want lazy, matrix or sharded)", cfg.engine)
-	}
 }
 
 func loadData(cfg config) (*datasets.Dataset, error) {
@@ -349,24 +317,15 @@ func resolveTask(assign *skills.Assignment, taskSpec string, k int, seed int64) 
 
 func parsePolicies(skillPol, userPol string, seed int64) (team.Options, error) {
 	var opts team.Options
-	switch strings.ToLower(skillPol) {
-	case "rarest":
-		opts.Skill = team.RarestFirst
-	case "leastcompatible", "lc":
-		opts.Skill = team.LeastCompatibleFirst
-	default:
-		return opts, fmt.Errorf("unknown skill policy %q", skillPol)
+	var err error
+	if opts.Skill, err = cliflags.ParseSkillPolicy(skillPol); err != nil {
+		return opts, err
 	}
-	switch strings.ToLower(userPol) {
-	case "mindistance", "md":
-		opts.User = team.MinDistance
-	case "mostcompatible", "mc":
-		opts.User = team.MostCompatible
-	case "random":
-		opts.User = team.RandomUser
+	if opts.User, err = cliflags.ParseUserPolicy(userPol); err != nil {
+		return opts, err
+	}
+	if opts.User == team.RandomUser {
 		opts.Rng = rand.New(rand.NewSource(seed))
-	default:
-		return opts, fmt.Errorf("unknown user policy %q", userPol)
 	}
 	return opts, nil
 }

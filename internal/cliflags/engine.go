@@ -1,0 +1,94 @@
+// The relation-engine flag group. Engine bundles the -engine knob and
+// its sharded-only satellites into one registerable, validatable,
+// buildable unit, so cmd/tfsn and cmd/tfsnd select relation backends
+// through identical flags, identical rejection rules and an identical
+// construction path (including the exact-SBP-stays-lazy override).
+
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/compat"
+	"repro/internal/sgraph"
+)
+
+// Engine is the relation-engine flag group shared by the serving
+// binaries: which backend to build and the sharded engine's knobs.
+// Register it on a FlagSet, Validate it after parsing, then Build the
+// relation.
+type Engine struct {
+	// Name is the backend: "lazy" (cached rows, on demand), "matrix"
+	// (packed all-pairs precompute) or "sharded" (packed rows in
+	// spillable shards).
+	Name string
+	// ShardRows, MaxResidentShards, Prefetch and MmapSpill mirror
+	// compat.ShardedOptions; they mean nothing unless Name is
+	// "sharded" (Validate rejects them otherwise).
+	ShardRows         int
+	MaxResidentShards int
+	Prefetch          bool
+	MmapSpill         bool
+}
+
+// Register defines the engine flags on fs. The names are the shared
+// vocabulary (ShardedOnly); defaults match the historical tfsn flags.
+func (e *Engine) Register(fs *flag.FlagSet) {
+	fs.StringVar(&e.Name, "engine", "lazy", "relation engine: lazy (cached rows, on demand), matrix (packed all-pairs precompute) or sharded (packed rows in spillable shards)")
+	fs.IntVar(&e.ShardRows, "shard-rows", 0, "sharded engine: rows per shard (0 = default)")
+	fs.IntVar(&e.MaxResidentShards, "max-resident-shards", 0, "sharded engine: shards kept in memory, rest spilled to disk (0 = all resident)")
+	fs.BoolVar(&e.Prefetch, "prefetch", false, "sharded engine: async-prefetch the next shard during sequential sweeps")
+	fs.BoolVar(&e.MmapSpill, "mmap-spill", true, "sharded engine: serve spill reloads from a read-only mmap of the spill file (false = portable read-back)")
+}
+
+// Validate rejects inconsistent engine flags: an unknown engine name,
+// or sharded-only flags under another engine. set holds the names of
+// flags explicitly present on the command line (collect with
+// FlagSet.Visit).
+func (e *Engine) Validate(set map[string]bool) error {
+	switch e.Name {
+	case "", "lazy", "matrix", "sharded":
+	default:
+		return fmt.Errorf("unknown engine %q (want lazy, matrix or sharded)", e.Name)
+	}
+	return ValidateEngine(e.Name, set)
+}
+
+// Build constructs the selected engine over g. Exact SBP stays on the
+// lazy engine regardless of the selection: its per-source enumeration
+// is budgeted and exponential, so an all-pairs packed build would
+// abort where lazy point queries succeed. The returned name is the
+// engine actually built ("lazy" under that override), for reporting.
+func (e *Engine) Build(kind compat.Kind, g *sgraph.Graph, opts compat.Options) (compat.Relation, string, error) {
+	switch e.Name {
+	case "", "lazy":
+		rel, err := compat.New(kind, g, opts)
+		return rel, "lazy", err
+	case "matrix", "sharded":
+		if kind == compat.SBP {
+			rel, err := compat.New(kind, g, opts)
+			return rel, "lazy", err
+		}
+		if e.Name == "sharded" {
+			m, err := compat.NewSharded(kind, g, compat.ShardedOptions{
+				Options:           opts,
+				ShardRows:         e.ShardRows,
+				MaxResidentShards: e.MaxResidentShards,
+				Prefetch:          e.Prefetch,
+				DisableMmap:       !e.MmapSpill,
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			return m, "sharded", nil
+		}
+		m, err := compat.NewMatrix(kind, g, compat.MatrixOptions{Options: opts})
+		if err != nil {
+			return nil, "", err
+		}
+		return m, "matrix", nil
+	default:
+		return nil, "", fmt.Errorf("unknown engine %q (want lazy, matrix or sharded)", e.Name)
+	}
+}

@@ -1,0 +1,59 @@
+// Policy-name parsing shared by the binaries and the serving layer:
+// one spelling table for skill policies, user policies and cost
+// objectives, whether the string arrives on a command line (tfsn,
+// experiments) or in a request body (tfsnd). Parsers accept the same
+// spellings everywhere, so a policy that works in a curl request works
+// verbatim as a flag value.
+
+package cliflags
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/team"
+)
+
+// ParseSkillPolicy maps a skill-policy spelling ("rarest",
+// "leastcompatible"/"lc") to the team constant.
+func ParseSkillPolicy(s string) (team.SkillPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "leastcompatible", "lc":
+		return team.LeastCompatibleFirst, nil
+	case "rarest":
+		return team.RarestFirst, nil
+	default:
+		return 0, fmt.Errorf("unknown skill policy %q (want rarest or leastcompatible)", s)
+	}
+}
+
+// ParseUserPolicy maps a user-policy spelling ("mindistance"/"md",
+// "mostcompatible"/"mc", "random") to the team constant. Callers that
+// accept RandomUser must attach Options.Rng themselves; serving
+// callers typically reject it instead (it is uncacheable and
+// non-deterministic).
+func ParseUserPolicy(s string) (team.UserPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "mindistance", "md":
+		return team.MinDistance, nil
+	case "mostcompatible", "mc":
+		return team.MostCompatible, nil
+	case "random":
+		return team.RandomUser, nil
+	default:
+		return 0, fmt.Errorf("unknown user policy %q (want mindistance, mostcompatible or random)", s)
+	}
+}
+
+// ParseCost maps a cost-objective spelling ("diameter",
+// "sumdistance"/"sum") to the team constant.
+func ParseCost(s string) (team.CostKind, error) {
+	switch strings.ToLower(s) {
+	case "", "diameter":
+		return team.Diameter, nil
+	case "sumdistance", "sum":
+		return team.SumDistance, nil
+	default:
+		return 0, fmt.Errorf("unknown cost %q (want diameter or sumdistance)", s)
+	}
+}

@@ -1,0 +1,82 @@
+// The serving flag group. Serve bundles tfsnd's request-lifecycle
+// knobs — the default per-request deadline, the admission bound, the
+// coalescing window and the drain grace period — with the conflict
+// validation both binaries apply before running (exit-2 discipline in
+// the mains). cmd/tfsn registers only the deadline (one-shot runs have
+// no queue to bound or drain), via RegisterDeadline.
+
+package cliflags
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"time"
+)
+
+// Serve is the request-lifecycle flag group of the serving daemon.
+type Serve struct {
+	// Deadline is the default per-request time budget; 0 means no
+	// deadline. Requests may lower (never raise) it per call.
+	Deadline time.Duration
+	// Queue bounds admitted-but-unfinished requests; beyond it the
+	// daemon sheds with 429 instead of queueing unboundedly.
+	Queue int
+	// CoalesceWait is how long a single-task request waits for
+	// companions before solving; 0 disables coalescing.
+	CoalesceWait time.Duration
+	// CoalesceBatch closes a coalescing window early once this many
+	// requests have gathered; 0 means no count trigger.
+	CoalesceBatch int
+	// DrainTimeout bounds graceful shutdown: how long in-flight
+	// requests get to finish after SIGTERM before being canceled.
+	DrainTimeout time.Duration
+}
+
+// RegisterDeadline defines only the -deadline flag on fs — the subset
+// that makes sense for one-shot runs (tfsn).
+func (s *Serve) RegisterDeadline(fs *flag.FlagSet) {
+	fs.DurationVar(&s.Deadline, "deadline", 0, "per-solve time budget, e.g. 250ms (0 = none)")
+}
+
+// Register defines the full serving flag group on fs (tfsnd).
+func (s *Serve) Register(fs *flag.FlagSet) {
+	s.RegisterDeadline(fs)
+	fs.IntVar(&s.Queue, "queue", 64, "admission bound: max admitted-but-unfinished requests before shedding with 429")
+	fs.DurationVar(&s.CoalesceWait, "coalesce-wait", 0, "hold single-task requests this long to batch them with companions (0 = no coalescing)")
+	fs.IntVar(&s.CoalesceBatch, "coalesce-batch", 0, "close a coalescing window early at this many requests (0 = wait the full window)")
+	fs.DurationVar(&s.DrainTimeout, "drain-timeout", 10*time.Second, "graceful-shutdown grace period for in-flight requests")
+}
+
+// ValidateDeadline checks only the -deadline knob — the validation
+// matching RegisterDeadline's subset (tfsn).
+func (s *Serve) ValidateDeadline() error {
+	if s.Deadline < 0 {
+		return fmt.Errorf("-deadline must be ≥ 0, got %v", s.Deadline)
+	}
+	return nil
+}
+
+// Validate rejects contradictory serving flags — the full group, as
+// registered by Register (tfsnd).
+func (s *Serve) Validate() error {
+	if err := s.ValidateDeadline(); err != nil {
+		return err
+	}
+	if s.Queue < 1 {
+		return fmt.Errorf("-queue must be ≥ 1, got %d", s.Queue)
+	}
+	if s.CoalesceWait < 0 {
+		return fmt.Errorf("-coalesce-wait must be ≥ 0, got %v", s.CoalesceWait)
+	}
+	if s.CoalesceBatch < 0 {
+		return fmt.Errorf("-coalesce-batch must be ≥ 0, got %d", s.CoalesceBatch)
+	}
+	if s.CoalesceBatch > 0 && s.CoalesceWait <= 0 {
+		return errors.New("-coalesce-batch needs -coalesce-wait > 0 (the count trigger closes a time window early; without a window there is nothing to close)")
+	}
+	if s.DrainTimeout < 0 {
+		return fmt.Errorf("-drain-timeout must be ≥ 0, got %v", s.DrainTimeout)
+	}
+	return nil
+}

@@ -51,10 +51,15 @@ type shardSlabs struct {
 }
 
 // PrefetchStats snapshots the prefetcher counters; see the type.
+// Lock-free (the counters are atomics), so a live /stats scrape never
+// contends with queries or an in-flight background read. Issued is
+// loaded last: every hit or waste is preceded by its issue, so this
+// order keeps the Issued ≥ Hits + Wasted invariant visible in every
+// snapshot even with prefetches completing mid-scrape.
 func (m *ShardedMatrix) PrefetchStats() PrefetchStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return PrefetchStats{Issued: m.pfIssued, Hits: m.pfHits, Wasted: m.pfWasted}
+	hits := m.pfHits.Load()
+	wasted := m.pfWasted.Load()
+	return PrefetchStats{Issued: m.pfIssued.Load(), Hits: hits, Wasted: wasted}
 }
 
 // noteAccessLocked feeds the sequential-sweep detector with one
@@ -115,7 +120,7 @@ func (m *ShardedMatrix) maybePrefetchLocked(next int) bool {
 	m.dropStandbyLocked()
 	m.lastPredicted = next
 	if m.syncPrefetch {
-		m.pfIssued++
+		m.pfIssued.Add(1)
 		slab, ok := m.viewSlabLocked(next)
 		if !ok {
 			slab = m.takeSlabLocked(next)
@@ -124,11 +129,11 @@ func (m *ShardedMatrix) maybePrefetchLocked(next int) bool {
 			if err != nil {
 				// The demand path will hit the same error with context.
 				m.recycleSlabLocked(slab)
-				m.pfWasted++
+				m.pfWasted.Add(1)
 				return false
 			}
 		}
-		m.spillLoads++
+		m.spillLoads.Add(1)
 		m.standby, m.standbyShard = slab, next
 		return false // nothing to yield to
 	}
@@ -138,7 +143,7 @@ func (m *ShardedMatrix) maybePrefetchLocked(next int) bool {
 		go m.prefetchLoop(m.prefetchCh)
 	}
 	m.inflight = next
-	m.pfIssued++
+	m.pfIssued.Add(1)
 	m.prefetchCh <- next
 	return true
 }
@@ -157,7 +162,7 @@ func (m *ShardedMatrix) prefetchLoop(ch <-chan int) {
 		m.mu.Lock()
 		if m.closed || m.spill == nil || m.shards[s].bits != nil {
 			m.inflight = -1
-			m.pfWasted++
+			m.pfWasted.Add(1)
 			m.mu.Unlock()
 			continue
 		}
@@ -178,7 +183,7 @@ func (m *ShardedMatrix) prefetchLoop(ch <-chan int) {
 		m.mu.Lock()
 		m.inflight = -1
 		if err == nil {
-			m.spillLoads++
+			m.spillLoads.Add(1)
 		}
 		if err != nil || m.closed || m.shards[s].bits != nil {
 			// Failed, closing, or the demand path loaded the shard
@@ -186,7 +191,7 @@ func (m *ShardedMatrix) prefetchLoop(ch <-chan int) {
 			// exposed, so heap slabs go straight back to the free
 			// list and views are simply dropped.
 			m.recycleSlabLocked(slab)
-			m.pfWasted++
+			m.pfWasted.Add(1)
 		} else {
 			m.dropStandbyLocked() // unreachable in practice; keeps the single-standby invariant
 			m.standby, m.standbyShard = slab, s
@@ -247,5 +252,5 @@ func (m *ShardedMatrix) dropStandbyLocked() {
 	}
 	m.recycleSlabLocked(m.standby)
 	m.standby, m.standbyShard = shardSlabs{}, -1
-	m.pfWasted++
+	m.pfWasted.Add(1)
 }

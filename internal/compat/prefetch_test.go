@@ -261,3 +261,71 @@ func TestShardedStatsSurfacePrefetch(t *testing.T) {
 		t.Fatalf("stats diverge: sharded %+v matrix %+v", st, full)
 	}
 }
+
+// TestShardedLiveStatsScrape: a /stats scrape must be safe while
+// queries (and the prefetcher) are running — the serving daemon reads
+// LiveStats from its HTTP handler with solves in flight. Run under
+// -race: the counters are atomics, the residency gauge takes the lock
+// briefly, so no torn reads and no contention with the demand path.
+func TestShardedLiveStatsScrape(t *testing.T) {
+	rng := rand.New(rand.NewSource(413))
+	n := 64
+	g := randomSignedGraph(rng, n, 280, 0.3)
+	m := MustNewSharded(SPO, g, ShardedOptions{
+		ShardRows: 4, MaxResidentShards: 2, Prefetch: true,
+		SpillDir: t.TempDir(),
+	})
+	defer m.Close()
+	forceAsyncPrefetch(m)
+
+	stop := make(chan struct{})
+	var scraper, traffic sync.WaitGroup
+	scraper.Add(1)
+	go func() { // the scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := m.LiveStats()
+			if st.NumShards != m.NumShards() || st.ShardRows != 4 ||
+				st.MaxResidentShards != m.MaxResidentShards() {
+				t.Errorf("snapshot geometry wrong: %+v", st)
+				return
+			}
+			if st.ResidentShards > st.MaxResidentShards {
+				t.Errorf("snapshot residency %d over bound %d", st.ResidentShards, st.MaxResidentShards)
+				return
+			}
+			if st.Prefetch.Hits+st.Prefetch.Wasted > st.Prefetch.Issued {
+				t.Errorf("snapshot counter conservation violated: %+v", st.Prefetch)
+				return
+			}
+		}
+	}()
+	for workers := 0; workers < 2; workers++ { // the traffic
+		traffic.Add(1)
+		go func(seed int64) {
+			defer traffic.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 4*n; i++ {
+				u := sgraph.NodeID(r.Intn(n))
+				if i%2 == 0 { // sequential stretches wake the prefetcher
+					u = sgraph.NodeID(i % n)
+				}
+				if _, err := m.Compatible(u, sgraph.NodeID(r.Intn(n))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(414 + workers))
+	}
+	traffic.Wait()
+	close(stop)
+	scraper.Wait()
+	if st := m.LiveStats(); st.SpillLoads == 0 {
+		t.Fatal("traffic over a spilled matrix recorded no spill loads")
+	}
+}

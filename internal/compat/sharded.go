@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/balance"
 	"repro/internal/container"
@@ -149,12 +150,17 @@ type ShardedMatrix struct {
 	slabPool      *container.SlabPool[shardSlabs]
 	prefetchCh    chan int
 	prefetchWG    sync.WaitGroup
-	pfIssued      int64
-	pfHits        int64
-	pfWasted      int64
 
-	// Observability and test hooks.
-	spillLoads      int64
+	// Observability counters. These are atomics — written under mu on
+	// their mutation paths but loaded lock-free — so a live /stats
+	// scrape never contends with the query path's lock and sees no
+	// torn values while builds or prefetches are in flight.
+	pfIssued   atomic.Int64
+	pfHits     atomic.Int64
+	pfWasted   atomic.Int64
+	spillLoads atomic.Int64
+
+	// Test hooks, mutated and read under mu.
 	peakResident    int
 	symSnapshotPeak int // bytes of the largest symmetrise snapshot
 }
@@ -275,11 +281,35 @@ func (m *ShardedMatrix) ResidentShards() int {
 }
 
 // SpillLoads returns how many shard reloads the matrix has performed —
-// zero when everything stayed resident.
-func (m *ShardedMatrix) SpillLoads() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.spillLoads
+// zero when everything stayed resident. Lock-free, safe to scrape
+// while queries, builds and prefetches are in flight.
+func (m *ShardedMatrix) SpillLoads() int64 { return m.spillLoads.Load() }
+
+// EngineStats is the sharded engine's live observability snapshot: the
+// shard geometry, current residency, spill-reload count and prefetcher
+// counters, gathered for serving-time scrapes (/stats). The counters
+// are atomics, so taking a snapshot barely touches the engine lock
+// (one brief acquisition for the residency gauge) and never blocks a
+// build or prefetch in flight.
+type EngineStats struct {
+	NumShards         int
+	ShardRows         int
+	ResidentShards    int
+	MaxResidentShards int
+	SpillLoads        int64
+	Prefetch          PrefetchStats
+}
+
+// LiveStats snapshots the engine's live counters; see EngineStats.
+func (m *ShardedMatrix) LiveStats() EngineStats {
+	return EngineStats{
+		NumShards:         m.numShards,
+		ShardRows:         m.shardRows,
+		ResidentShards:    m.ResidentShards(),
+		MaxResidentShards: m.maxRes,
+		SpillLoads:        m.spillLoads.Load(),
+		Prefetch:          m.PrefetchStats(),
+	}
 }
 
 // Close stops the prefetcher and releases the spill file. Resident
@@ -451,7 +481,7 @@ func (m *ShardedMatrix) residentLocked(s int) (*shardState, error) {
 			}
 			sh.bits, sh.dist8, sh.dist32 = m.standby.bits, m.standby.dist8, m.standby.dist32
 			m.standby, m.standbyShard = shardSlabs{}, -1
-			m.pfHits++
+			m.pfHits.Add(1)
 			m.admitLocked()
 		} else {
 			if m.spill == nil {
@@ -471,7 +501,7 @@ func (m *ShardedMatrix) residentLocked(s int) (*shardState, error) {
 					return nil, err
 				}
 			}
-			m.spillLoads++
+			m.spillLoads.Add(1)
 			m.admitLocked()
 		}
 	}
@@ -640,7 +670,7 @@ func (m *ShardedMatrix) build(workers int, wide bool) error {
 	}
 	m.lru = container.NewIndexLRU(m.numShards)
 	m.resident = 0
-	m.spillLoads = 0
+	m.spillLoads.Store(0)
 	m.peakResident = 0
 	m.symSnapshotPeak = 0
 	m.views = false // build-time reloads are written into; no views yet
@@ -653,7 +683,9 @@ func (m *ShardedMatrix) build(workers int, wide bool) error {
 	m.standbyShard = -1
 	m.standby = shardSlabs{}
 	m.slabPool = container.NewSlabPool[shardSlabs](2)
-	m.pfIssued, m.pfHits, m.pfWasted = 0, 0, 0
+	m.pfIssued.Store(0)
+	m.pfHits.Store(0)
+	m.pfWasted.Store(0)
 	m.mu.Unlock()
 	if m.n == 0 {
 		return nil

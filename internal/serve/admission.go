@@ -1,0 +1,31 @@
+// The admission gate: a counting semaphore with a non-blocking
+// acquire. The daemon's backpressure story is deliberately boring —
+// a fixed number of slots, a try-acquire that fails instantly when
+// they are gone, and a 429 + Retry-After for the caller. No request
+// ever waits for a slot, so admission latency is O(1) regardless of
+// how slow the solves behind the gate are, and memory held by pending
+// work is bounded by the slot count.
+
+package serve
+
+// gate is the bounded admission semaphore.
+type gate struct {
+	slots chan struct{}
+}
+
+func newGate(n int) gate {
+	return gate{slots: make(chan struct{}, n)}
+}
+
+// tryAcquire takes a slot if one is free, without blocking.
+func (g gate) tryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a slot taken by tryAcquire.
+func (g gate) release() { <-g.slots }

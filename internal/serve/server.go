@@ -1,0 +1,455 @@
+// The HTTP server: endpoint wiring, request parsing, the admission
+// prologue shared by the solve endpoints, deadline plumbing and the
+// drain contract. See doc.go for the request lifecycle.
+
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/compat"
+	"repro/internal/sgraph"
+	"repro/internal/skills"
+	"repro/internal/team"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers and PlanCache configure the owned Solver
+	// (team.SolverOptions); PlanCache should be positive in any real
+	// deployment — it is what makes warm solves allocation-free.
+	Workers   int
+	PlanCache int
+	// Deadline is the default per-request time budget; 0 means none.
+	// A request's deadline_ms can lower it, never raise it.
+	Deadline time.Duration
+	// Queue bounds admitted-but-unfinished requests; ≤0 defaults to 64.
+	// Beyond the bound, requests are shed with 429.
+	Queue int
+	// CoalesceWait opens batch windows for /form requests (0 disables
+	// coalescing); CoalesceBatch closes a window early at that many
+	// callers. See coalesce.go.
+	CoalesceWait  time.Duration
+	CoalesceBatch int
+	// Engine names the relation backend for /stats ("lazy", "matrix",
+	// "sharded").
+	Engine string
+	// Relation, when non-nil, is a startup relation scan (Table 2
+	// numbers) surfaced verbatim on /stats. Computing one costs a full
+	// all-pairs sweep, so the owner decides (tfsnd gates it behind a
+	// flag); nil omits the section.
+	Relation *compat.Stats
+}
+
+// Server is the serving layer: one engine, one solver, one admission
+// gate, an optional coalescer, and the drain state machine.
+type Server struct {
+	rel    compat.Relation
+	assign *skills.Assignment
+	solver *team.Solver
+	opts   Options
+
+	gate     gate
+	co       *coalescer // nil when coalescing is disabled
+	mux      *http.ServeMux
+	counters counters
+	draining atomic.Bool
+
+	// baseCtx outlives individual requests (batch windows solve on it)
+	// and dies with the server: Wait cancels it once runners finished
+	// (or its grace period expired).
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	teams    sync.Pool // *team.Team, reused across direct solves
+	relStats *RelationStats
+}
+
+// New builds a Server over rel and assign. The relation must outlive
+// the server; close it only after Wait returns.
+func New(rel compat.Relation, assign *skills.Assignment, opts Options) *Server {
+	if opts.Queue <= 0 {
+		opts.Queue = 64
+	}
+	s := &Server{
+		rel:    rel,
+		assign: assign,
+		solver: team.NewSolver(rel, assign, team.SolverOptions{
+			Workers:   opts.Workers,
+			PlanCache: opts.PlanCache,
+		}),
+		opts: opts,
+		gate: newGate(opts.Queue),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	if opts.CoalesceWait > 0 {
+		s.co = newCoalescer(s, opts.CoalesceWait, opts.CoalesceBatch)
+	}
+	if opts.Relation != nil {
+		s.relStats = summarizeRelation(opts.Relation)
+	}
+	s.teams.New = func() any { return new(team.Team) }
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/form", s.handleForm)
+	s.mux.HandleFunc("/formtopk", s.handleTopK)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Solver exposes the owned solver (benchmarks, stats).
+func (s *Server) Solver() *team.Solver { return s.solver }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// BeginDrain stops admission — new requests answer 503, /healthz flips
+// to draining — and flushes open coalescing windows so no request
+// waits for a timer that no longer matters. It does not wait for
+// anything; the owner shuts down its http.Server (which drains
+// in-flight handlers) and then calls Wait.
+func (s *Server) BeginDrain() {
+	if s.draining.Swap(true) {
+		return // idempotent
+	}
+	if s.co != nil {
+		s.co.flush()
+	}
+}
+
+// Wait blocks until background batch runners have finished, then
+// cancels the server's root context and returns nil — after which
+// closing the relation engine is safe. If ctx expires first, the root
+// context is canceled (aborting runners at their next cooperative
+// check) and Wait returns the deadline error WITHOUT waiting for them
+// to unwind: a runner stuck in a non-cooperative call would otherwise
+// hang shutdown forever. On that error path the owner should exit the
+// process rather than Close the engine — a straggler may still be
+// touching it.
+func (s *Server) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		if s.co != nil {
+			s.co.wg.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		return fmt.Errorf("serve: drain grace period expired: %w", ctx.Err())
+	}
+}
+
+// teamResult is the JSON shape of one formed team.
+type teamResult struct {
+	Found          bool            `json:"found"`
+	Members        []sgraph.NodeID `json:"members,omitempty"`
+	Cost           int32           `json:"cost,omitempty"`
+	SeedsTried     int             `json:"seeds_tried,omitempty"`
+	SeedsSucceeded int             `json:"seeds_succeeded,omitempty"`
+}
+
+func resultOf(tm *team.Team) teamResult {
+	return teamResult{
+		Found:          true,
+		Members:        tm.Members,
+		Cost:           tm.Cost,
+		SeedsTried:     tm.SeedsTried,
+		SeedsSucceeded: tm.SeedsSucceeded,
+	}
+}
+
+type errorResult struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// admit runs the shared solve-endpoint prologue: draining check, then
+// the bounded gate. On false the response has been written. The
+// returned release must be deferred when admit succeeds.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResult{Error: "draining"})
+		return nil, false
+	}
+	if !s.gate.tryAcquire() {
+		s.counters.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResult{Error: "admission queue full"})
+		return nil, false
+	}
+	s.counters.admitted.Add(1)
+	s.counters.inFlight.Add(1)
+	return func() {
+		s.counters.inFlight.Add(-1)
+		s.gate.release()
+	}, true
+}
+
+// parseTask resolves the comma-separated skill names of the task
+// query parameter.
+func (s *Server) parseTask(r *http.Request) (skills.Task, error) {
+	spec := r.URL.Query().Get("task")
+	if spec == "" {
+		return nil, errors.New("missing task parameter (comma-separated skill names)")
+	}
+	var ids []skills.SkillID
+	for _, name := range strings.Split(spec, ",") {
+		id, ok := s.assign.Universe().Lookup(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown skill %q", name)
+		}
+		ids = append(ids, id)
+	}
+	return skills.NewTask(ids...), nil
+}
+
+// parseOpts resolves the policy parameters, sharing the spelling
+// tables with the command lines (internal/cliflags). RandomUser is
+// rejected: it is uncacheable, consumes a shared Rng, and has no place
+// in a deterministic serving path.
+func parseOpts(r *http.Request) (team.Options, error) {
+	q := r.URL.Query()
+	var opts team.Options
+	var err error
+	if opts.Skill, err = cliflags.ParseSkillPolicy(q.Get("skill")); err != nil {
+		return opts, err
+	}
+	if opts.User, err = cliflags.ParseUserPolicy(q.Get("user")); err != nil {
+		return opts, err
+	}
+	if opts.User == team.RandomUser {
+		return opts, errors.New("the random user policy is not servable (non-deterministic, uncacheable); use mindistance or mostcompatible")
+	}
+	if opts.Cost, err = cliflags.ParseCost(q.Get("cost")); err != nil {
+		return opts, err
+	}
+	if v := q.Get("maxseeds"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("bad maxseeds %q", v)
+		}
+		opts.MaxSeeds = n
+	}
+	return opts, nil
+}
+
+// requestCtx applies the effective deadline: the server default,
+// lowered (never raised) by the request's deadline_ms.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.opts.Deadline
+	if v := r.URL.Query().Get("deadline_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("bad deadline_ms %q", v)
+		}
+		if rd := time.Duration(ms) * time.Millisecond; d == 0 || rd < d {
+			d = rd
+		}
+	}
+	if d > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		return ctx, cancel, nil
+	}
+	return r.Context(), func() {}, nil
+}
+
+// writeSolveError maps solver errors onto responses: no team is a
+// successful "found: false", a deadline abort is 504, a cancellation
+// (client gone, server hard-stopped) is 503.
+func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, team.ErrNoTeam):
+		writeJSON(w, http.StatusOK, teamResult{Found: false})
+	case errors.Is(err, team.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
+		s.counters.deadlineExceeded.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResult{Error: "deadline exceeded"})
+	case errors.Is(err, team.ErrCanceled) || errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusServiceUnavailable, errorResult{Error: "canceled"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResult{Error: err.Error()})
+	}
+}
+
+// solveOne is the direct (uncoalesced) solve path into a pooled Team —
+// kept as its own method so the alloc benchmark measures exactly what
+// a warm /form request runs between parse and response.
+func (s *Server) solveOne(ctx context.Context, task skills.Task, opts team.Options, dst *team.Team) error {
+	return s.solver.FormIntoContext(ctx, task, opts, dst)
+}
+
+// handleForm answers a single-task query, through a coalescing window
+// when one is configured.
+func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	task, err := s.parseTask(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
+		return
+	}
+	opts, err := parseOpts(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
+		return
+	}
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
+		return
+	}
+	defer cancel()
+
+	if s.co != nil {
+		tm, err := s.co.solve(ctx, task, opts)
+		if err != nil {
+			s.writeSolveError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resultOf(tm))
+		return
+	}
+	tm := s.teams.Get().(*team.Team)
+	defer s.teams.Put(tm)
+	if err := s.solveOne(ctx, task, opts, tm); err != nil {
+		s.writeSolveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultOf(tm))
+}
+
+// handleTopK answers a top-k query (never coalesced: result shapes
+// differ per k, and top-k traffic is not the hot path).
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	task, err := s.parseTask(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
+		return
+	}
+	opts, err := parseOpts(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
+		return
+	}
+	k := 1
+	if v := r.URL.Query().Get("k"); v != "" {
+		if k, err = strconv.Atoi(v); err != nil || k <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResult{Error: fmt.Sprintf("bad k %q", v)})
+			return
+		}
+	}
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
+		return
+	}
+	defer cancel()
+
+	teams, err := s.solver.FormTopKContext(ctx, task, opts, k)
+	if err != nil {
+		s.writeSolveError(w, err)
+		return
+	}
+	results := make([]teamResult, len(teams))
+	for i, tm := range teams {
+		results[i] = resultOf(tm)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Found bool         `json:"found"`
+		Teams []teamResult `json:"teams"`
+	}{Found: true, Teams: results})
+}
+
+// handleHealthz reports ready (200) or draining (503) — the signal a
+// load balancer or the CI smoke uses to stop sending traffic.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}
+
+// RelationStats is the /stats summary of a startup relation scan.
+type RelationStats struct {
+	Kind            string  `json:"kind"`
+	Pairs           int64   `json:"pairs"`
+	CompatiblePairs int64   `json:"compatible_pairs"`
+	UserFraction    float64 `json:"user_fraction"`
+	AvgDistance     float64 `json:"avg_distance"`
+}
+
+func summarizeRelation(st *compat.Stats) *RelationStats {
+	return &RelationStats{
+		Kind:            st.Kind.String(),
+		Pairs:           st.Pairs,
+		CompatiblePairs: st.CompatiblePairs,
+		UserFraction:    st.UserFraction(),
+		AvgDistance:     st.AvgDistance(),
+	}
+}
+
+// statsPayload is the /stats JSON document.
+type statsPayload struct {
+	Engine    string              `json:"engine"`
+	Draining  bool                `json:"draining"`
+	Server    ServerStats         `json:"server"`
+	PlanCache team.PlanCacheStats `json:"plan_cache"`
+	// Sharded carries the sharded engine's live counters; omitted on
+	// the other engines.
+	Sharded *compat.EngineStats `json:"sharded,omitempty"`
+	// Relation is the optional startup scan (Options.Relation).
+	Relation *RelationStats `json:"relation,omitempty"`
+}
+
+// handleStats snapshots every counter surface. All reads are safe
+// while solves, builds and prefetches are in flight — that is the
+// point of the atomic counters underneath.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	p := statsPayload{
+		Engine:    s.opts.Engine,
+		Draining:  s.draining.Load(),
+		Server:    s.counters.snapshot(),
+		PlanCache: s.solver.PlanCacheStats(),
+		Relation:  s.relStats,
+	}
+	if m, ok := s.rel.(*compat.ShardedMatrix); ok {
+		live := m.LiveStats()
+		p.Sharded = &live
+	}
+	writeJSON(w, http.StatusOK, p)
+}

@@ -1,0 +1,47 @@
+// The server's own counters. Like the engine counters (compat) and the
+// plan-cache counters (team), these are atomics so a /stats scrape
+// observes no torn values and contends with nothing while requests are
+// in flight.
+
+package serve
+
+import "sync/atomic"
+
+// ServerStats is a snapshot of the serving counters, shaped for JSON.
+type ServerStats struct {
+	// Admitted counts requests that passed the admission gate
+	// (including ones that later failed or timed out).
+	Admitted int64 `json:"admitted"`
+	// Shed counts requests rejected with 429 because the gate was full.
+	Shed int64 `json:"shed"`
+	// Coalesced counts requests served through a multi-request batch
+	// window (a window of one is a plain solve and counts nothing).
+	Coalesced int64 `json:"coalesced"`
+	// DeadlineExceeded counts requests answered 504: the solve aborted
+	// on its deadline, or the caller's deadline fired while its batch
+	// window was still solving.
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// InFlight is the live gauge of admitted-but-unfinished requests.
+	InFlight int64 `json:"in_flight"`
+}
+
+// counters is the live, atomically updated form of ServerStats.
+type counters struct {
+	admitted         atomic.Int64
+	shed             atomic.Int64
+	coalesced        atomic.Int64
+	deadlineExceeded atomic.Int64
+	inFlight         atomic.Int64
+}
+
+// snapshot reads the counters; each load is atomic, and the gauge is
+// loaded last so it refers to the freshest moment of the scrape.
+func (c *counters) snapshot() ServerStats {
+	return ServerStats{
+		Admitted:         c.admitted.Load(),
+		Shed:             c.shed.Load(),
+		Coalesced:        c.coalesced.Load(),
+		DeadlineExceeded: c.deadlineExceeded.Load(),
+		InFlight:         c.inFlight.Load(),
+	}
+}

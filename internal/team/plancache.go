@@ -7,7 +7,10 @@
 // bounds them with container.IndexLRU over a fixed slot array (no
 // per-operation allocations, so a cache hit stays on the solver's
 // zero-allocation serving path) and counts hits, misses and evictions,
-// exposed through Solver.PlanCacheStats.
+// exposed through Solver.PlanCacheStats. Deterministic plan-time
+// ErrNoTeam failures are cached too, as negative entries (a stub
+// TaskPlan carrying planErr), so a serving workload's repeated
+// infeasible tasks cost one map probe instead of a recompilation.
 
 package team
 
@@ -26,8 +29,13 @@ import (
 // queries bypass the cache and appear in no counter.
 type PlanCacheStats struct {
 	Hits, Misses, Evictions int64
-	// Size is the number of cached plans; Capacity the LRU bound
-	// (0 when the solver has no cache).
+	// NegativeHits counts the subset of Hits served from a negative
+	// entry — a cached plan-time ErrNoTeam (a task skill with no
+	// holders), rejected without recompiling. The serving layer's
+	// cheap answer to repeated infeasible tasks.
+	NegativeHits int64
+	// Size is the number of cached plans (negative entries included);
+	// Capacity the LRU bound (0 when the solver has no cache).
 	Size, Capacity int
 }
 
@@ -62,7 +70,7 @@ type planCache struct {
 	free   []int32
 	canon  []skills.SkillID // reused canonicalisation buffer
 
-	hits, misses, evictions int64
+	hits, misses, evictions, negativeHits int64
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -149,6 +157,9 @@ func (c *planCache) lookup(task skills.Task, opts Options) (*TaskPlan, bool) {
 		if planMatches(c.slots[idx].plan, canonical, opts) {
 			c.lru.Touch(int(idx))
 			c.hits++
+			if c.slots[idx].plan.planErr != nil {
+				c.negativeHits++
+			}
 			return c.slots[idx].plan, true
 		}
 	}
@@ -214,10 +225,11 @@ func (c *planCache) stats() PlanCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return PlanCacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Size:      c.lru.Len(),
-		Capacity:  len(c.slots),
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Evictions:    c.evictions,
+		NegativeHits: c.negativeHits,
+		Size:         c.lru.Len(),
+		Capacity:     len(c.slots),
 	}
 }

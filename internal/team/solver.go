@@ -16,6 +16,7 @@ package team
 import (
 	"bytes"
 	"cmp"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -47,8 +48,11 @@ type SolverOptions struct {
 	// serving path. Cache hits are shared plans: immutable, safe for
 	// concurrent solves, and allocation-free to retrieve. RandomUser
 	// queries bypass the cache (their solves consume the caller's
-	// Rng); plan-time failures (e.g. a holderless skill) are not
-	// cached and recompile on every request. 0 disables the cache.
+	// Rng). Plan-time ErrNoTeam failures (a holderless task skill) are
+	// cached as negative entries, so repeated infeasible tasks are
+	// rejected without recompiling (PlanCacheStats.NegativeHits);
+	// other plan errors recompile on every request. 0 disables the
+	// cache.
 	PlanCache int
 }
 
@@ -114,8 +118,17 @@ func (s *Solver) PlanCacheStats() PlanCacheStats {
 // workers to spare. Identical to the package-level Form. With a plan
 // cache enabled, repeated tasks reuse the cached plan.
 func (s *Solver) Form(task skills.Task, opts Options) (*Team, error) {
+	return s.FormContext(context.Background(), task, opts)
+}
+
+// FormContext is Form bounded by ctx: the solve checks the context
+// cooperatively — once per seed (and per worker-pool item) — and
+// aborts with ErrDeadlineExceeded or ErrCanceled when it fires. An
+// abort leaves the solver fully reusable: scratch is pooled as usual
+// and cached plans are unaffected.
+func (s *Solver) FormContext(ctx context.Context, task skills.Task, opts Options) (*Team, error) {
 	var tm Team
-	if err := s.FormInto(task, opts, &tm); err != nil {
+	if err := s.FormIntoContext(ctx, task, opts, &tm); err != nil {
 		return nil, err
 	}
 	return &tm, nil
@@ -127,11 +140,18 @@ func (s *Solver) Form(task skills.Task, opts Options) (*Team, error) {
 // whose plan is served from the cache performs no allocations at all
 // (the CI alloc smoke asserts this via BenchmarkPlanCacheServe).
 func (s *Solver) FormInto(task skills.Task, opts Options, dst *Team) error {
-	p, err := s.planFor(task, opts, nil)
+	return s.FormIntoContext(context.Background(), task, opts, dst)
+}
+
+// FormIntoContext is FormInto bounded by ctx (see FormContext). The
+// context check is one Err call per seed, so a warm cache hit under
+// context.Background stays on the zero-allocation path.
+func (s *Solver) FormIntoContext(ctx context.Context, task skills.Task, opts Options, dst *Team) error {
+	p, err := s.planFor(ctx, task, opts, nil)
 	if err != nil {
 		return err
 	}
-	return p.FormInto(dst)
+	return p.FormIntoContext(ctx, dst)
 }
 
 // FormTopK compiles a plan and returns up to k distinct teams in
@@ -139,14 +159,19 @@ func (s *Solver) FormInto(task skills.Task, opts Options, dst *Team) error {
 // including the aggregate SeedsTried/SeedsSucceeded stamping (see
 // that function's doc).
 func (s *Solver) FormTopK(task skills.Task, opts Options, k int) ([]*Team, error) {
+	return s.FormTopKContext(context.Background(), task, opts, k)
+}
+
+// FormTopKContext is FormTopK bounded by ctx (see FormContext).
+func (s *Solver) FormTopKContext(ctx context.Context, task skills.Task, opts Options, k int) ([]*Team, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("team: FormTopK k = %d, want > 0", k)
 	}
-	p, err := s.planFor(task, opts, nil)
+	p, err := s.planFor(ctx, task, opts, nil)
 	if err != nil {
 		return nil, err
 	}
-	return p.FormTopK(k)
+	return p.FormTopKContext(ctx, k)
 }
 
 // FormBatch forms one team per task, amortising the solver's scratch
@@ -159,6 +184,17 @@ func (s *Solver) FormTopK(task skills.Task, opts Options, k int) ([]*Team, error
 // Options.Rng is consumed in task order, exactly as a sequential Form
 // loop would.
 func (s *Solver) FormBatch(tasks []skills.Task, opts Options) ([]*Team, error) {
+	return s.FormBatchContext(context.Background(), tasks, opts)
+}
+
+// FormBatchContext is FormBatch bounded by ctx: the context is checked
+// once per task (and per worker-pool item), so an expiring deadline
+// aborts the batch at the next task boundary with ErrDeadlineExceeded
+// (or ErrCanceled) wrapped in the lowest-indexed unfinished task's
+// batch error. Tasks already solved are discarded with the batch —
+// coalescing layers that need partial results should bound their
+// windows instead. The solver remains fully reusable after an abort.
+func (s *Solver) FormBatchContext(ctx context.Context, tasks []skills.Task, opts Options) ([]*Team, error) {
 	out := make([]*Team, len(tasks))
 	workers := s.workers
 	if workers > len(tasks) {
@@ -168,7 +204,10 @@ func (s *Solver) FormBatch(tasks []skills.Task, opts Options) ([]*Team, error) {
 		sc := s.getScratch()
 		defer s.putScratch(sc)
 		for i, task := range tasks {
-			tm, err := s.formOne(sc, task, opts)
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("team: batch task %d: %w", i, ctxErr(err))
+			}
+			tm, err := s.formOne(ctx, sc, task, opts)
 			if err != nil {
 				return nil, fmt.Errorf("team: batch task %d: %w", i, err)
 			}
@@ -176,8 +215,8 @@ func (s *Solver) FormBatch(tasks []skills.Task, opts Options) ([]*Team, error) {
 		}
 		return out, nil
 	}
-	err := s.runPool(workers, len(tasks), func(sc *scratch, i int) error {
-		tm, err := s.formOne(sc, tasks[i], opts)
+	err := s.runPool(ctx, workers, len(tasks), func(sc *scratch, i int) error {
+		tm, err := s.formOne(ctx, sc, tasks[i], opts)
 		if err != nil {
 			return fmt.Errorf("team: batch task %d: %w", i, err)
 		}
@@ -192,8 +231,8 @@ func (s *Solver) FormBatch(tasks []skills.Task, opts Options) ([]*Team, error) {
 
 // formOne is one batch element: plan + sequential solve on the
 // worker's scratch, with ErrNoTeam mapped to a nil team.
-func (s *Solver) formOne(sc *scratch, task skills.Task, opts Options) (*Team, error) {
-	p, err := s.planFor(task, opts, sc)
+func (s *Solver) formOne(ctx context.Context, sc *scratch, task skills.Task, opts Options) (*Team, error) {
+	p, err := s.planFor(ctx, task, opts, sc)
 	if err != nil {
 		if errors.Is(err, ErrNoTeam) {
 			return nil, nil
@@ -201,7 +240,7 @@ func (s *Solver) formOne(sc *scratch, task skills.Task, opts Options) (*Team, er
 		return nil, err
 	}
 	var tm Team
-	if err := p.formSeq(sc, &tm); err != nil {
+	if err := p.formSeq(ctx, sc, &tm); err != nil {
 		if errors.Is(err, ErrNoTeam) {
 			return nil, nil
 		}
@@ -226,6 +265,11 @@ type TaskPlan struct {
 	opts  Options
 	task  skills.Task // canonical (sorted, distinct), copied
 	empty bool
+	// planErr marks a negative cache entry: the plan-time ErrNoTeam
+	// this (task, options) key deterministically produces. Negative
+	// entries never reach the solve paths — planFor returns the error
+	// instead of the stub plan.
+	planErr error
 
 	order    []skills.SkillID // task skills, best-ranked first
 	orderPos []int32          // orderPos[i] = index of order[i] in task
@@ -246,7 +290,7 @@ type TaskPlan struct {
 // plan cache, Plan serves repeated (task, options) queries from it —
 // see SolverOptions.PlanCache.
 func (s *Solver) Plan(task skills.Task, opts Options) (*TaskPlan, error) {
-	return s.planFor(task, opts, nil)
+	return s.planFor(context.Background(), task, opts, nil)
 }
 
 // planFor is the cache-aware plan entry point behind Plan, Form,
@@ -255,15 +299,33 @@ func (s *Solver) Plan(task skills.Task, opts Options) (*TaskPlan, error) {
 // planWith and publishes the result. RandomUser plans bypass the cache
 // entirely (their solves consume the caller's Rng, so sharing one
 // across requests would entangle their random streams).
-func (s *Solver) planFor(task skills.Task, opts Options, sc *scratch) (*TaskPlan, error) {
+//
+// Plan-time ErrNoTeam failures — a task skill with no holders — are
+// deterministic for a fixed assignment, so they are cached too as
+// negative entries: the repeated infeasible task is rejected from the
+// cache without recompiling, and the hit is counted in
+// PlanCacheStats.NegativeHits. Other plan errors (unknown policy, a
+// missing Rng, context aborts) stay uncached.
+func (s *Solver) planFor(ctx context.Context, task skills.Task, opts Options, sc *scratch) (*TaskPlan, error) {
 	if s.plans == nil || opts.User == RandomUser {
-		return s.planWith(task, opts, sc)
+		return s.planWith(ctx, task, opts, sc)
 	}
 	if p, ok := s.plans.lookup(task, opts); ok {
+		if p.planErr != nil {
+			return nil, p.planErr
+		}
 		return p, nil
 	}
-	p, err := s.planWith(task, opts, sc)
+	p, err := s.planWith(ctx, task, opts, sc)
 	if err != nil {
+		if errors.Is(err, ErrNoTeam) {
+			s.plans.insert(&TaskPlan{
+				s:       s,
+				opts:    opts,
+				task:    skills.NewTask(task...),
+				planErr: err,
+			})
+		}
 		return nil, err
 	}
 	return s.plans.insert(p), nil
@@ -273,7 +335,10 @@ func (s *Solver) planFor(task skills.Task, opts Options, sc *scratch) (*TaskPlan
 // degree accumulators, the pool bitset), borrowing a worker scratch
 // when the caller holds none — the reuse that keeps cold plans in a
 // batch from re-allocating compilation scratch for every task.
-func (s *Solver) planWith(task skills.Task, opts Options, sc *scratch) (*TaskPlan, error) {
+func (s *Solver) planWith(ctx context.Context, task skills.Task, opts Options, sc *scratch) (*TaskPlan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
 	if sc == nil {
 		sc = s.getScratch()
 		defer s.putScratch(sc)
@@ -535,8 +600,10 @@ func (s *Solver) putScratch(sc *scratch) {
 // item; finish (optional) runs once per worker before its scratch is
 // released, for merging worker-local state. The first error aborts the
 // sweep; when several workers error, the lowest-indexed item's error
-// is returned, so error reporting is deterministic.
-func (s *Solver) runPool(workers, count int, fn func(sc *scratch, i int) error, start, finish func(sc *scratch)) error {
+// is returned, so error reporting is deterministic. The context is
+// checked before every item, so a firing deadline stops all workers at
+// their next item boundary with the typed context error.
+func (s *Solver) runPool(ctx context.Context, workers, count int, fn func(sc *scratch, i int) error, start, finish func(sc *scratch)) error {
 	if workers > count {
 		workers = count
 	}
@@ -562,7 +629,13 @@ func (s *Solver) runPool(workers, count int, fn func(sc *scratch, i int) error, 
 				if i >= count {
 					break
 				}
-				if err := fn(sc, i); err != nil {
+				err := ctx.Err()
+				if err != nil {
+					err = ctxErr(err)
+				} else {
+					err = fn(sc, i)
+				}
+				if err != nil {
 					mu.Lock()
 					if i < errIdx {
 						firstErr, errIdx = err, i
@@ -796,16 +869,23 @@ func (p *TaskPlan) pickMinDistancePacked(sc *scratch) (sgraph.NodeID, bool) {
 // pay per-call goroutine bookkeeping to parallelise the seed loop
 // instead. It returns ErrNoTeam when every seed fails.
 func (p *TaskPlan) FormInto(dst *Team) error {
+	return p.FormIntoContext(context.Background(), dst)
+}
+
+// FormIntoContext is FormInto bounded by ctx: the seed loop checks the
+// context once per seed and aborts with ErrDeadlineExceeded or
+// ErrCanceled, leaving scratch pooled and reusable.
+func (p *TaskPlan) FormIntoContext(ctx context.Context, dst *Team) error {
 	if p.empty {
 		*dst = Team{Members: dst.Members[:0]}
 		return nil
 	}
 	if p.s.workers > 1 && len(p.seeds) > 1 && p.opts.User != RandomUser {
-		return p.formPar(dst)
+		return p.formPar(ctx, dst)
 	}
 	sc := p.s.getScratch()
 	defer p.s.putScratch(sc)
-	return p.formSeq(sc, dst)
+	return p.formSeq(ctx, sc, dst)
 }
 
 // Form solves the plan into a fresh Team.
@@ -820,7 +900,9 @@ func (p *TaskPlan) Form() (*Team, error) {
 // formSeq is the sequential solve: Algorithm 2's outer loop on one
 // scratch. It keeps the cheapest team (first seed wins ties, as the
 // loop order dictates) in sc.best and copies it into dst at the end.
-func (p *TaskPlan) formSeq(sc *scratch, dst *Team) error {
+// The context is checked once per seed — cooperative cancellation at
+// the granularity of one grow-and-price step.
+func (p *TaskPlan) formSeq(ctx context.Context, sc *scratch, dst *Team) error {
 	if p.empty {
 		*dst = Team{Members: dst.Members[:0]}
 		return nil
@@ -830,6 +912,9 @@ func (p *TaskPlan) formSeq(sc *scratch, dst *Team) error {
 	succeeded := 0
 	sc.best = sc.best[:0]
 	for _, seed := range p.seeds {
+		if err := ctx.Err(); err != nil {
+			return ctxErr(err)
+		}
 		ok, err := p.grow(sc, seed)
 		if err != nil {
 			return err
@@ -866,7 +951,7 @@ func (p *TaskPlan) formSeq(sc *scratch, dst *Team) error {
 // minimum under the same order, so the result equals formSeq's
 // regardless of scheduling. The lowest-seed-index error wins, also for
 // determinism.
-func (p *TaskPlan) formPar(dst *Team) error {
+func (p *TaskPlan) formPar(ctx context.Context, dst *Team) error {
 	var (
 		succeeded   int64
 		mu          sync.Mutex
@@ -875,7 +960,7 @@ func (p *TaskPlan) formPar(dst *Team) error {
 		bestSeed    int
 		bestMembers []sgraph.NodeID
 	)
-	err := p.s.runPool(p.s.workers, len(p.seeds),
+	err := p.s.runPool(ctx, p.s.workers, len(p.seeds),
 		func(sc *scratch, i int) error {
 			ok, err := p.grow(sc, p.seeds[i])
 			if err != nil || !ok {
@@ -924,13 +1009,19 @@ func (p *TaskPlan) formPar(dst *Team) error {
 // increasing cost order (the same aggregate telemetry stamping as the
 // package-level FormTopK).
 func (p *TaskPlan) FormTopK(k int) ([]*Team, error) {
+	return p.FormTopKContext(context.Background(), k)
+}
+
+// FormTopKContext is FormTopK bounded by ctx (one context check per
+// seed, like FormIntoContext).
+func (p *TaskPlan) FormTopKContext(ctx context.Context, k int) ([]*Team, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("team: FormTopK k = %d, want > 0", k)
 	}
 	if p.empty {
 		return []*Team{{Members: nil, Cost: 0}}, nil
 	}
-	teams, err := p.allTeams()
+	teams, err := p.allTeams(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -953,7 +1044,7 @@ func (p *TaskPlan) FormTopK(k int) ([]*Team, error) {
 // allTeams grows every seed and returns the successful teams in seed
 // order (the legacy formAll), using the worker pool for deterministic
 // parallel exploration when available.
-func (p *TaskPlan) allTeams() ([]*Team, error) {
+func (p *TaskPlan) allTeams(ctx context.Context) ([]*Team, error) {
 	results := make([]*Team, len(p.seeds))
 	collect := func(sc *scratch, i int) (bool, error) {
 		ok, err := p.grow(sc, p.seeds[i])
@@ -968,7 +1059,7 @@ func (p *TaskPlan) allTeams() ([]*Team, error) {
 		return true, nil
 	}
 	if p.s.workers > 1 && len(p.seeds) > 1 && p.opts.User != RandomUser {
-		err := p.s.runPool(p.s.workers, len(p.seeds), func(sc *scratch, i int) error {
+		err := p.s.runPool(ctx, p.s.workers, len(p.seeds), func(sc *scratch, i int) error {
 			_, err := collect(sc, i)
 			return err
 		}, nil, nil)
@@ -979,6 +1070,9 @@ func (p *TaskPlan) allTeams() ([]*Team, error) {
 		sc := p.s.getScratch()
 		defer p.s.putScratch(sc)
 		for i := range p.seeds {
+			if err := ctx.Err(); err != nil {
+				return nil, ctxErr(err)
+			}
 			if _, err := collect(sc, i); err != nil {
 				return nil, err
 			}

@@ -4,6 +4,7 @@
 package team
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -16,6 +17,30 @@ import (
 // ErrNoTeam reports that no compatible team covering the task exists
 // (or that the algorithm could not find one).
 var ErrNoTeam = errors.New("team: no compatible team found")
+
+// ErrDeadlineExceeded reports a solve aborted because its context's
+// deadline expired — the serving path's per-request deadline. The
+// solver checks cooperatively (once per seed, per batch task and per
+// worker-pool item), so an abort leaves every scratch and cached plan
+// reusable: the next request on the same solver is unaffected. Errors
+// returned by the *Context entry points wrap both this sentinel and
+// the originating context error, so errors.Is matches either.
+var ErrDeadlineExceeded = errors.New("team: deadline exceeded")
+
+// ErrCanceled is ErrDeadlineExceeded's sibling for contexts canceled
+// for any other reason (client gone, server draining past its grace
+// period).
+var ErrCanceled = errors.New("team: solve canceled")
+
+// ctxErr maps a non-nil context error onto the package's typed
+// serving errors, wrapping the original so errors.Is works against
+// both the team sentinel and the context cause.
+func ctxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, err)
+}
 
 // SkillPolicy selects which uncovered skill to satisfy next.
 type SkillPolicy int
