@@ -906,3 +906,52 @@ func BenchmarkFormTeamLCMD(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMutateThenQuery measures the point of the epoch/dirty-shard
+// machinery: after a single sign flip, answering a query by lazily
+// rebuilding only the dirtied shard(s) versus rebuilding the whole
+// sharded engine from scratch. The workload is the bench-standard
+// Epinions stand-in (1,154 users) on the sharded SPO engine at 64-row
+// shards (19 shards); the post-mutation query reads one distance row,
+// which is what a Form seed evaluation does per candidate. The
+// incremental path must beat the full rebuild by ≥10× (tracked in
+// BENCH_form.json).
+func BenchmarkMutateThenQuery(b *testing.B) {
+	d, err := datasets.EpinionsSim(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Graph
+	// The edge to flip: the first edge of node 0.
+	var eu, ev sgraph.NodeID
+	g.Neighbors(0, func(v sgraph.NodeID, s sgraph.Sign) bool {
+		eu, ev = 0, v
+		return false
+	})
+	if eu == ev {
+		b.Fatal("node 0 has no edges")
+	}
+	shardOpts := compat.ShardedOptions{ShardRows: 64}
+	row := sgraph.NodeID(g.NumNodes() - 1) // last shard: far from the flip row
+	var buf []int32
+
+	b.Run("flip-requery", func(b *testing.B) {
+		m := compat.MustNewSharded(compat.SPO, g, shardOpts)
+		defer m.Close()
+		buf = m.DistanceRowInto(row, buf) // warm build outside the loop
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Mutate(sgraph.Mutation{Op: sgraph.MutFlip, U: eu, V: ev}); err != nil {
+				b.Fatal(err)
+			}
+			buf = m.DistanceRowInto(row, buf)
+		}
+	})
+	b.Run("rebuild-requery", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := compat.MustNewSharded(compat.SPO, g, shardOpts)
+			buf = m.DistanceRowInto(row, buf)
+			m.Close()
+		}
+	})
+}

@@ -11,7 +11,10 @@
 // fraction, average cost and throughput — and -plan-cache bounds the
 // solver's compiled-plan LRU, whose hit/miss/eviction counters the
 // batch report prints (repeated tasks are served without recompiling
-// their plans).
+// their plans). -mutate applies a comma-separated list of edge
+// mutations (op:u:v[:sign], e.g. flip:1:2,add:3:4:-) after the engine
+// is built and before solving — a what-if probe of how a team changes
+// when relationships do.
 //
 // Usage:
 //
@@ -20,6 +23,7 @@
 //	tfsn -edges g.edges -skills g.skills -relation NNE -k 3
 //	tfsn -dataset epinions -relation SPM -engine matrix -k 5 \
 //	    -batch 200 -parallel 8 -plan-cache 256
+//	tfsn -dataset epinions -relation SPO -k 5 -mutate flip:17:42
 package main
 
 import (
@@ -55,6 +59,7 @@ type config struct {
 	parallel  int
 	batch     int
 	planCache int
+	mutate    string
 }
 
 // validateFlags rejects flag combinations that would silently do
@@ -105,6 +110,7 @@ func main() {
 	flag.IntVar(&cfg.parallel, "parallel", 0, "solver workers for the seed loop and batch mode (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.batch, "batch", 0, "batch mode: sample this many random tasks of -k skills and solve them all")
 	flag.IntVar(&cfg.planCache, "plan-cache", 0, "cache up to this many compiled task plans in the solver (0 = no cache); repeated tasks skip plan compilation")
+	flag.StringVar(&cfg.mutate, "mutate", "", "comma-separated graph mutations applied after load, before solving (op:u:v[:sign], e.g. flip:1:2,add:3:4:-)")
 	flag.Parse()
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -141,6 +147,11 @@ func run(cfg config) error {
 	}
 	if c, ok := rel.(interface{ Close() error }); ok {
 		defer c.Close()
+	}
+	if cfg.mutate != "" {
+		if err := applyMutations(rel, cfg.mutate); err != nil {
+			return err
+		}
 	}
 	opts, err := parsePolicies(cfg.skillPol, cfg.userPol, cfg.seed)
 	if err != nil {
@@ -210,6 +221,29 @@ func run(cfg config) error {
 			fmt.Printf("  user %-6d covers %s\n", m, strings.Join(covers, ", "))
 		}
 	}
+	return nil
+}
+
+// applyMutations parses and applies a -mutate spec against the built
+// relation, printing the resulting epoch so a scripted run can assert
+// on it. Only the mutable engines accept mutations.
+func applyMutations(rel compat.Relation, spec string) error {
+	muts, err := cliflags.ParseMutations(spec)
+	if err != nil {
+		return err
+	}
+	mr, ok := rel.(compat.MutableRelation)
+	if !ok {
+		return fmt.Errorf("-mutate: engine does not support mutations")
+	}
+	for _, mut := range muts {
+		if _, err := mr.Mutate(mut); err != nil {
+			return fmt.Errorf("-mutate: %w", err)
+		}
+	}
+	st := mr.MutationStats()
+	fmt.Printf("mutated  %d mutations applied, graph epoch %d, %d shards stale\n",
+		st.Mutations, st.Epoch, st.StaleShards)
 	return nil
 }
 

@@ -4,8 +4,11 @@
 // deadlines, bounded admission with 429 backpressure, optional request
 // coalescing, and graceful drain on SIGINT/SIGTERM.
 //
-// Endpoints: /form, /formtopk, /healthz, /stats. See internal/serve
-// for the request lifecycle and README.md for a curl walkthrough.
+// Endpoints: /form, /formtopk, /healthz, /stats, and — with
+// -mutations on a mutable engine — POST /mutate for live edge
+// mutations (epoch-versioned, dirty-shard invalidation). See
+// internal/serve for the request lifecycle and README.md for a curl
+// walkthrough.
 //
 // Usage:
 //
@@ -49,6 +52,7 @@ type config struct {
 	parallel                      int
 	planCache                     int
 	relationStats                 bool
+	mutations                     bool
 
 	eng cliflags.Engine
 	srv cliflags.Serve
@@ -79,6 +83,7 @@ func main() {
 	flag.IntVar(&cfg.parallel, "parallel", 0, "solver workers for coalesced batches and top-k seeds (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.planCache, "plan-cache", 256, "cache up to this many compiled task plans (0 = no cache)")
 	flag.BoolVar(&cfg.relationStats, "relation-stats", false, "scan the relation at startup and surface Table 2 numbers on /stats (costs a full all-pairs sweep)")
+	flag.BoolVar(&cfg.mutations, "mutations", false, "expose POST /mutate for live graph mutations (requires a mutable engine)")
 	cfg.eng.Register(flag.CommandLine)
 	cfg.srv.Register(flag.CommandLine)
 	flag.Parse()
@@ -111,6 +116,11 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.mutations {
+		if _, ok := rel.(compat.MutableRelation); !ok {
+			return fmt.Errorf("-mutations: engine %s does not support mutations", engine)
+		}
+	}
 	fmt.Printf("dataset  %s (%d users, %d edges, %d negative)\n",
 		d.Name, d.Graph.NumNodes(), d.Graph.NumEdges(), d.Graph.NumNegativeEdges())
 	fmt.Printf("relation %v (engine=%s), plan cache %d, queue %d, deadline %v\n",
@@ -127,14 +137,15 @@ func run(cfg config) error {
 	}
 
 	s := serve.New(rel, d.Assign, serve.Options{
-		Workers:       cfg.parallel,
-		PlanCache:     cfg.planCache,
-		Deadline:      cfg.srv.Deadline,
-		Queue:         cfg.srv.Queue,
-		CoalesceWait:  cfg.srv.CoalesceWait,
-		CoalesceBatch: cfg.srv.CoalesceBatch,
-		Engine:        engine,
-		Relation:      scan,
+		Workers:         cfg.parallel,
+		PlanCache:       cfg.planCache,
+		Deadline:        cfg.srv.Deadline,
+		Queue:           cfg.srv.Queue,
+		CoalesceWait:    cfg.srv.CoalesceWait,
+		CoalesceBatch:   cfg.srv.CoalesceBatch,
+		Engine:          engine,
+		Relation:        scan,
+		EnableMutations: cfg.mutations,
 	})
 
 	ln, err := net.Listen("tcp", cfg.addr)

@@ -1,0 +1,83 @@
+// Mutation-spec parsing shared by the binaries and the serving layer:
+// one spelling for graph mutations, whether it arrives as a -mutate
+// flag value (tfsn, tfsnd) or in a /mutate request. A spec that works
+// in a curl request works verbatim on a command line.
+
+package cliflags
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sgraph"
+)
+
+// ParseMutation parses one mutation spec:
+//
+//	add:U:V[:SIGN]   add edge {U,V}; SIGN is "+" (default) or "-"
+//	remove:U:V       remove edge {U,V}
+//	flip:U:V         flip the sign of edge {U,V}
+//
+// Node IDs are decimal. The spec deliberately carries no epoch — the
+// engine assigns one on application.
+func ParseMutation(spec string) (sgraph.Mutation, error) {
+	var mut sgraph.Mutation
+	parts := strings.Split(spec, ":")
+	if len(parts) < 3 {
+		return mut, fmt.Errorf("bad mutation %q (want op:u:v[:sign])", spec)
+	}
+	switch strings.ToLower(parts[0]) {
+	case "add":
+		mut.Op = sgraph.MutAdd
+		mut.Sign = sgraph.Positive
+	case "remove", "rm":
+		mut.Op = sgraph.MutRemove
+	case "flip":
+		mut.Op = sgraph.MutFlip
+	default:
+		return mut, fmt.Errorf("unknown mutation op %q (want add, remove or flip)", parts[0])
+	}
+	u, err := strconv.ParseInt(parts[1], 10, 32)
+	if err != nil || u < 0 {
+		return mut, fmt.Errorf("bad mutation node %q in %q", parts[1], spec)
+	}
+	v, err := strconv.ParseInt(parts[2], 10, 32)
+	if err != nil || v < 0 {
+		return mut, fmt.Errorf("bad mutation node %q in %q", parts[2], spec)
+	}
+	mut.U, mut.V = sgraph.NodeID(u), sgraph.NodeID(v)
+	if len(parts) == 4 {
+		if mut.Op != sgraph.MutAdd {
+			return mut, fmt.Errorf("mutation %q: only add takes a sign", spec)
+		}
+		switch parts[3] {
+		case "+", "pos":
+			mut.Sign = sgraph.Positive
+		case "-", "neg":
+			mut.Sign = sgraph.Negative
+		default:
+			return mut, fmt.Errorf("bad mutation sign %q in %q (want + or -)", parts[3], spec)
+		}
+	} else if len(parts) > 4 {
+		return mut, fmt.Errorf("bad mutation %q (want op:u:v[:sign])", spec)
+	}
+	return mut, nil
+}
+
+// ParseMutations parses a comma-separated mutation list — the -mutate
+// flag shape ("flip:1:2,add:3:4:-"). An empty spec is an empty list.
+func ParseMutations(spec string) ([]sgraph.Mutation, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var muts []sgraph.Mutation
+	for _, one := range strings.Split(spec, ",") {
+		mut, err := ParseMutation(strings.TrimSpace(one))
+		if err != nil {
+			return nil, err
+		}
+		muts = append(muts, mut)
+	}
+	return muts, nil
+}

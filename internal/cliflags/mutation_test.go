@@ -1,0 +1,66 @@
+package cliflags
+
+import (
+	"testing"
+
+	"repro/internal/sgraph"
+)
+
+func TestParseMutation(t *testing.T) {
+	cases := []struct {
+		spec string
+		want sgraph.Mutation
+	}{
+		{"add:1:2", sgraph.Mutation{Op: sgraph.MutAdd, U: 1, V: 2, Sign: sgraph.Positive}},
+		{"add:1:2:+", sgraph.Mutation{Op: sgraph.MutAdd, U: 1, V: 2, Sign: sgraph.Positive}},
+		{"add:1:2:-", sgraph.Mutation{Op: sgraph.MutAdd, U: 1, V: 2, Sign: sgraph.Negative}},
+		{"add:1:2:neg", sgraph.Mutation{Op: sgraph.MutAdd, U: 1, V: 2, Sign: sgraph.Negative}},
+		{"remove:3:4", sgraph.Mutation{Op: sgraph.MutRemove, U: 3, V: 4}},
+		{"rm:3:4", sgraph.Mutation{Op: sgraph.MutRemove, U: 3, V: 4}},
+		{"FLIP:0:9", sgraph.Mutation{Op: sgraph.MutFlip, U: 0, V: 9}},
+	}
+	for _, c := range cases {
+		got, err := ParseMutation(c.spec)
+		if err != nil {
+			t.Fatalf("ParseMutation(%q): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseMutation(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	bad := []string{
+		"", "flip", "flip:1", "frob:1:2", "flip:x:2", "flip:1:y",
+		"flip:-1:2", "flip:1:2:+", "remove:1:2:-", "add:1:2:?", "add:1:2:+:extra",
+	}
+	for _, spec := range bad {
+		if _, err := ParseMutation(spec); err == nil {
+			t.Fatalf("ParseMutation(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestParseMutations(t *testing.T) {
+	muts, err := ParseMutations("flip:1:2, add:3:4:-,remove:5:6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sgraph.Mutation{
+		{Op: sgraph.MutFlip, U: 1, V: 2},
+		{Op: sgraph.MutAdd, U: 3, V: 4, Sign: sgraph.Negative},
+		{Op: sgraph.MutRemove, U: 5, V: 6},
+	}
+	if len(muts) != len(want) {
+		t.Fatalf("got %d mutations, want %d", len(muts), len(want))
+	}
+	for i := range want {
+		if muts[i] != want[i] {
+			t.Fatalf("mutation %d = %+v, want %+v", i, muts[i], want[i])
+		}
+	}
+	if muts, err := ParseMutations(""); err != nil || muts != nil {
+		t.Fatalf("empty spec: (%v, %v), want empty list", muts, err)
+	}
+	if _, err := ParseMutations("flip:1:2,bogus"); err == nil {
+		t.Fatal("a bad element must fail the whole list")
+	}
+}

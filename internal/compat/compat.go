@@ -115,15 +115,17 @@ func New(k Kind, g *sgraph.Graph, opts Options) (Relation, error) {
 	if cap <= 0 {
 		cap = DefaultCacheCap
 	}
-	base := baseRelation{g: g, kind: k}
+	dyn := sgraph.NewDynamic(g)
 	switch k {
 	case DPE, NNE:
-		r := &edgeRelation{baseRelation: base}
+		r := &edgeRelation{}
+		r.dyn, r.kind = dyn, k
 		r.cache = newRowCache(cap, r.computeRow)
 		r.cache.computeScratch = r.computeRowFresh
 		return r, nil
 	case SPA, SPM, SPO:
-		r := &spRelation{baseRelation: base}
+		r := &spRelation{}
+		r.dyn, r.kind = dyn, k
 		r.cache = newRowCache(cap, r.computeRow)
 		r.cache.computeScratch = r.computeRowFresh
 		return r, nil
@@ -132,12 +134,14 @@ func New(k Kind, g *sgraph.Graph, opts Options) (Relation, error) {
 		if beam <= 0 {
 			beam = balance.DefaultBeamWidth
 		}
-		r := &sbphRelation{baseRelation: base, beam: beam}
+		r := &sbphRelation{beam: beam}
+		r.dyn, r.kind = dyn, k
 		r.canonical = true // see baseRelation: SBPH is not row-symmetric
 		r.cache = newRowCache(cap, r.computeRow)
 		return r, nil
 	case SBP:
-		r := &sbpRelation{baseRelation: base, opts: opts.Exact}
+		r := &sbpRelation{opts: opts.Exact}
+		r.dyn, r.kind = dyn, k
 		r.cache = newRowCache(cap, r.computeRow)
 		return r, nil
 	default:

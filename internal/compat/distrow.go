@@ -70,11 +70,14 @@ func (r DistRow) distRowInto(dst []int32) []int32 {
 }
 
 // DistanceRow returns u's packed distance row as an immutable view.
+// The view is frozen at its epoch: it stays valid (with its old
+// values) across later mutations.
 func (m *CompatMatrix) DistanceRow(u sgraph.NodeID) DistRow {
-	if m.dist32 != nil {
-		return DistRow{d32: m.dist32[int(u)*m.n : (int(u)+1)*m.n]}
+	st := m.curPacked()
+	if st.dist32 != nil {
+		return DistRow{d32: st.dist32[int(u)*m.n : (int(u)+1)*m.n]}
 	}
-	return DistRow{d8: m.dist8[int(u)*m.n : (int(u)+1)*m.n]}
+	return DistRow{d8: st.dist8[int(u)*m.n : (int(u)+1)*m.n]}
 }
 
 // DistanceRowInto widens u's distance row into dst (reusing its

@@ -66,6 +66,30 @@
 // scan instead of paying a per-pair lookup (and, on sharded, a lock)
 // for every (candidate, member) pair.
 //
+// # Mutations
+//
+// All three engines additionally implement MutableRelation: live edge
+// mutations (add / remove / flip, sgraph.Mutation) against a serving
+// engine. Mutate derives a fresh immutable graph through an
+// epoch-versioned sgraph.Dynamic and invalidates only the derived
+// state the mutation can have perturbed: the lazy engine drops its row
+// cache, the matrix engine stales its monolithic slab (one shard) and
+// rebuilds it on the next read, and the sharded engine marks only
+// shards whose rows the mutation can have changed *stale* — a row's
+// BFS answers can only change if the search visited an endpoint of the
+// mutated edge, so each shard records the vertex set its rows' BFS
+// traversals touched and shards that miss both endpoints keep serving
+// without rebuild; stale ones rebuild on first access (flip+re-query
+// is ~460× cheaper than a full rebuild at bench scale,
+// BenchmarkMutateThenQuery). Concurrent
+// readers are protected by AcquireSnapshot: a Snapshot pins the
+// current epoch for a batch of queries (mutations wait), and the
+// zero-value Snapshot makes the same code a no-op on immutable use.
+// MutationStats exposes the epoch and the stale/rebuild counters.
+// Correctness is pinned by a mutation-oracle property suite (every
+// engine vs a fresh build after random mutation programs), repeated
+// race runs of mutator-vs-reader traffic, and native fuzz targets.
+//
 // # The SBPH statistics caveat
 //
 // The SBPH heuristic is directional: its search from u may reach v

@@ -36,6 +36,20 @@ func relationRowFiller(g *sgraph.Graph, kind Kind, beam int, exact balance.Exact
 		}
 		return nil
 	}
+	// recordReach ORs the row's plain-BFS reachable set into the armed
+	// scratch accumulator (see rowScratch.reach); every relation's
+	// search only traverses graph edges, so this is a superset of any
+	// vertex the row's computation could have relaxed through.
+	recordReach := func(s *rowScratch, dist []int32) {
+		if s.reach == nil {
+			return
+		}
+		for v, d := range dist {
+			if d != signedbfs.Unreachable {
+				s.reach[v>>6] |= 1 << uint(v&63)
+			}
+		}
+	}
 
 	switch kind {
 	case DPE, NNE:
@@ -64,6 +78,7 @@ func relationRowFiller(g *sgraph.Graph, kind Kind, beam int, exact balance.Exact
 			}
 			setWordBit(row, u) // reflexivity
 			s.dist = signedbfs.DistancesInto(g, u, s.dist, s.bfs)
+			recordReach(s, s.dist)
 			return distRow(u, s.dist)
 		}
 	case SPA, SPM, SPO:
@@ -86,6 +101,7 @@ func relationRowFiller(g *sgraph.Graph, kind Kind, beam int, exact balance.Exact
 				}
 			}
 			setWordBit(row, u)
+			recordReach(s, s.res.Dist)
 			return distRow(u, s.res.Dist)
 		}
 	case SBPH, SBP:
@@ -111,6 +127,13 @@ func relationRowFiller(g *sgraph.Graph, kind Kind, beam int, exact balance.Exact
 				}
 			}
 			setWordBit(row, u)
+			if s.reach != nil {
+				// The balance searches keep no plain-distance output, so
+				// the footprint takes one extra BFS per row — only when
+				// reach tracking is armed (sharded builds and rebuilds).
+				s.dist = signedbfs.DistancesInto(g, u, s.dist, s.bfs)
+				recordReach(s, s.dist)
+			}
 			return sink.setDist(u, u, 0)
 		}
 	default:

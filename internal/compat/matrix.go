@@ -14,6 +14,16 @@
 // whose relation distances exceed 254. The engine therefore targets
 // moderate node counts — for full-scale sparse graphs the lazy engine
 // remains the right backend.
+//
+// Mutation model: the matrix is one monolithic slab, so the engine is
+// the degenerate single-shard case of the sharded engine's dirty-shard
+// scheme — any mutation stales the whole slab. The filled matrices
+// live in an immutable matrixState published through an atomic
+// pointer; a read that observes an epoch ahead of its state rebuilds
+// into entirely fresh slabs and republishes. Rows and distance views
+// handed out earlier keep aliasing the old state, which the garbage
+// collector retains for as long as anyone points at it — mutations
+// never tear an exposed row.
 
 package compat
 
@@ -21,6 +31,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/balance"
 	"repro/internal/sgraph"
@@ -36,7 +48,7 @@ const (
 )
 
 // errDistOverflow aborts a uint8 build when a relation distance
-// exceeds maxDist8; NewMatrix retries with int32 storage.
+// exceeds maxDist8; the builder retries with int32 storage.
 var errDistOverflow = errors.New("compat: distance exceeds uint8 packing")
 
 // MatrixOptions tunes CompatMatrix construction.
@@ -48,11 +60,24 @@ type MatrixOptions struct {
 	Workers int
 }
 
+// matrixState is one epoch's fully built matrix: the graph snapshot it
+// was computed from plus the packed slabs. States are immutable once
+// published; rebuilds allocate fresh slabs, so views into an old state
+// stay valid across mutations.
+type matrixState struct {
+	g      *sgraph.Graph
+	epoch  uint64
+	bits   []uint64 // n rows × stride words
+	dist8  []uint8  // n×n packed distances; nil when dist32 is active
+	dist32 []int32  // exact distances; non-nil only after uint8 overflow
+}
+
 // CompatMatrix is a fully precomputed compatibility relation: row u is
 // a bitset over all nodes (bit v set ⇔ Compatible(u,v)) and the
 // distance matrix packs the relation-distance of every ordered pair.
 // It implements Relation, so every consumer of the lazy engine works
-// unchanged, and point queries never error.
+// unchanged, and point queries only error when a post-mutation rebuild
+// fails (possible only for the budgeted exact SBP relation).
 //
 // Rows agree with the lazy relation of the same kind on every pair,
 // including SBPH's canonicalised symmetry (entry (u,v) is the
@@ -64,16 +89,21 @@ type MatrixOptions struct {
 // rows are already symmetrised, so directed-asymmetric pairs can count
 // differently. All other kinds have symmetric rows and agree exactly.
 type CompatMatrix struct {
-	g      *sgraph.Graph
-	kind   Kind
-	n      int
-	stride int      // uint64 words per bit row
-	bits   []uint64 // n rows × stride words
-	dist8  []uint8  // n×n packed distances; nil when dist32 is active
-	dist32 []int32  // exact distances; non-nil only after uint8 overflow
+	dyn     *sgraph.Dynamic
+	kind    Kind
+	n       int
+	stride  int // uint64 words per bit row
+	beam    int // SBPH beam width
+	exact   balance.ExactOptions
+	workers int
 
-	beam  int // SBPH beam width
-	exact balance.ExactOptions
+	state atomic.Pointer[matrixState]
+	// freshMu serialises post-mutation rebuilds so concurrent stale
+	// readers trigger one fill, not one each.
+	freshMu sync.Mutex
+	mutGuard
+	mutCount atomic.Int64
+	rebuilds atomic.Int64
 }
 
 // NewMatrix precomputes the full compatibility matrix of kind k over
@@ -87,7 +117,7 @@ func NewMatrix(k Kind, g *sgraph.Graph, opts MatrixOptions) (*CompatMatrix, erro
 	}
 	n := g.NumNodes()
 	m := &CompatMatrix{
-		g:      g,
+		dyn:    sgraph.NewDynamic(g),
 		kind:   k,
 		n:      n,
 		stride: (n + 63) / 64,
@@ -97,20 +127,15 @@ func NewMatrix(k Kind, g *sgraph.Graph, opts MatrixOptions) (*CompatMatrix, erro
 	if m.beam <= 0 {
 		m.beam = balance.DefaultBeamWidth
 	}
-	m.bits = make([]uint64, n*m.stride)
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	m.workers = opts.Workers
+	if m.workers <= 0 {
+		m.workers = runtime.GOMAXPROCS(0)
 	}
-	err := m.build(workers, false)
-	if errors.Is(err, errDistOverflow) {
-		// A distance beyond uint8 packing exists (graph with relation
-		// diameter > 254): rebuild with exact int32 storage.
-		err = m.build(workers, true)
-	}
+	st, err := m.buildState(g, 0, false)
 	if err != nil {
 		return nil, err
 	}
+	m.state.Store(st)
 	return m, nil
 }
 
@@ -127,34 +152,131 @@ func MustNewMatrix(k Kind, g *sgraph.Graph, opts MatrixOptions) *CompatMatrix {
 // Kind returns the relation kind the matrix materialises.
 func (m *CompatMatrix) Kind() Kind { return m.kind }
 
-// Graph returns the underlying signed graph.
-func (m *CompatMatrix) Graph() *sgraph.Graph { return m.g }
+// Graph returns the current signed graph snapshot.
+func (m *CompatMatrix) Graph() *sgraph.Graph { return m.dyn.Graph() }
 
-// Compatible reports whether u and v are compatible. It never errors.
+// Epoch returns the current graph epoch.
+func (m *CompatMatrix) Epoch() uint64 { return m.dyn.Epoch() }
+
+// Mutate applies m and stales the whole matrix (a monolithic slab is
+// one shard); the next read rebuilds it into fresh storage. Exposed
+// rows keep aliasing the pre-mutation slabs.
+func (m *CompatMatrix) Mutate(mut sgraph.Mutation) (MutationResult, error) {
+	m.pin.Lock()
+	defer m.pin.Unlock()
+	_, epoch, err := m.dyn.Apply(mut)
+	if err != nil {
+		return MutationResult{Epoch: m.dyn.Epoch()}, err
+	}
+	m.mutCount.Add(1)
+	return MutationResult{Epoch: epoch, DirtyShards: 1}, nil
+}
+
+// MutationStats reports the engine's mutation counters. StaleShards is
+// 1 exactly when a mutation has landed and no read has rebuilt yet.
+func (m *CompatMatrix) MutationStats() MutationStats {
+	stale := 0
+	if m.state.Load().epoch != m.dyn.Epoch() {
+		stale = 1
+	}
+	return MutationStats{
+		Epoch:         m.dyn.Epoch(),
+		Mutations:     m.mutCount.Load(),
+		StaleShards:   stale,
+		ShardRebuilds: m.rebuilds.Load(),
+	}
+}
+
+// AcquireSnapshot pins the current epoch until Release.
+func (m *CompatMatrix) AcquireSnapshot() Snapshot {
+	m.pin.RLock()
+	return Snapshot{rel: m, epoch: m.dyn.Epoch()}
+}
+
+// cur returns the state matching the current epoch, rebuilding first
+// if a mutation staled it.
+func (m *CompatMatrix) cur() (*matrixState, error) {
+	st := m.state.Load()
+	if st.epoch == m.dyn.Epoch() {
+		return st, nil
+	}
+	return m.freshen()
+}
+
+// curPacked is cur for the error-free packed accessors (RowWords,
+// PairDistance, DistanceRow). Like the sharded engine's row views, it
+// panics if a post-mutation rebuild fails — only possible for the
+// budgeted exact SBP relation.
+func (m *CompatMatrix) curPacked() *matrixState {
+	st, err := m.cur()
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// freshen rebuilds the matrix against the latest graph snapshot into
+// fresh slabs and publishes the new state. On error the old state
+// stays published (still answering for its own epoch) and the next
+// read retries.
+func (m *CompatMatrix) freshen() (*matrixState, error) {
+	m.freshMu.Lock()
+	defer m.freshMu.Unlock()
+	st := m.state.Load()
+	g, epoch := m.dyn.Snapshot()
+	if st.epoch == epoch {
+		return st, nil // raced with another freshener
+	}
+	// Keep int32 storage once promoted: a graph that overflowed uint8
+	// once is likely to again, and flapping between packings would
+	// re-run full builds for nothing.
+	ns, err := m.buildState(g, epoch, st.dist32 != nil)
+	if err != nil {
+		return nil, err
+	}
+	m.rebuilds.Add(1)
+	m.state.Store(ns)
+	return ns, nil
+}
+
+// Compatible reports whether u and v are compatible.
 func (m *CompatMatrix) Compatible(u, v sgraph.NodeID) (bool, error) {
-	return m.bitAt(u, v), nil
+	st, err := m.cur()
+	if err != nil {
+		return false, err
+	}
+	return st.bitAt(m.stride, u, v), nil
 }
 
 // Distance returns the relation distance of (u,v) and whether it is
-// defined. It never errors.
+// defined.
 func (m *CompatMatrix) Distance(u, v sgraph.NodeID) (int32, bool, error) {
-	d, ok := m.PairDistance(u, v)
+	st, err := m.cur()
+	if err != nil {
+		return 0, false, err
+	}
+	d, ok := st.pairDistance(m.n, u, v)
 	return d, ok, nil
 }
 
-// PairDistance is Distance without the (always-nil) error, for hot
-// loops that have already recognised the matrix backend.
+// PairDistance is Distance without the error, for hot loops that have
+// already recognised the matrix backend.
 func (m *CompatMatrix) PairDistance(u, v sgraph.NodeID) (int32, bool) {
-	i := int(u)*m.n + int(v)
-	if m.dist32 != nil {
-		d := m.dist32[i]
+	return m.curPacked().pairDistance(m.n, u, v)
+}
+
+func (st *matrixState) pairDistance(n int, u, v sgraph.NodeID) (int32, bool) {
+	i := int(u)*n + int(v)
+	if st.dist32 != nil {
+		d := st.dist32[i]
 		return d, d != noDist32
 	}
-	d := m.dist8[i]
+	d := st.dist8[i]
 	return int32(d), d != noDist8
 }
 
-// NumNodes returns the node count of the underlying graph.
+// NumNodes returns the node count of the underlying graph (fixed
+// across mutations, which are edge-level).
 func (m *CompatMatrix) NumNodes() int { return m.n }
 
 // WordsPerRow returns the uint64 word length of each bit row —
@@ -164,87 +286,114 @@ func (m *CompatMatrix) WordsPerRow() int { return m.stride }
 
 // RowWords returns u's compatibility row as a packed word slice (bit v
 // set ⇔ Compatible(u,v); bits ≥ NumNodes are zero). The caller must
-// not modify it.
+// not modify it. The view stays valid — frozen at its epoch — across
+// later mutations.
 func (m *CompatMatrix) RowWords(u sgraph.NodeID) []uint64 {
-	return m.bits[int(u)*m.stride : (int(u)+1)*m.stride]
+	return m.curPacked().rowWords(m.stride, u)
+}
+
+func (st *matrixState) rowWords(stride int, u sgraph.NodeID) []uint64 {
+	return st.bits[int(u)*stride : (int(u)+1)*stride]
+}
+
+func (st *matrixState) bitAt(stride int, u, v sgraph.NodeID) bool {
+	return st.bits[int(u)*stride+int(v)>>6]&(1<<uint(int(v)&63)) != 0
 }
 
 func (m *CompatMatrix) bitAt(u, v sgraph.NodeID) bool {
-	return m.bits[int(u)*m.stride+int(v)>>6]&(1<<uint(int(v)&63)) != 0
+	return m.curPacked().bitAt(m.stride, u, v)
 }
 
 // computeRow lets ComputeStats stream matrix rows like any other
-// relation's. Matrix rows are views, so "computing" one is free.
+// relation's. Matrix rows are views into one state, so a streamed
+// sweep is epoch-consistent even under concurrent mutation.
 func (m *CompatMatrix) computeRow(u sgraph.NodeID) (row, error) {
-	return matrixRow{m: m, u: u}, nil
+	st, err := m.cur()
+	if err != nil {
+		return nil, err
+	}
+	return matrixRow{st: st, n: m.n, stride: m.stride, u: u}, nil
 }
 
 type matrixRow struct {
-	m *CompatMatrix
-	u sgraph.NodeID
+	st     *matrixState
+	n      int
+	stride int
+	u      sgraph.NodeID
 }
 
-func (r matrixRow) compatible(v sgraph.NodeID) bool        { return r.m.bitAt(r.u, v) }
-func (r matrixRow) distance(v sgraph.NodeID) (int32, bool) { return r.m.PairDistance(r.u, v) }
+func (r matrixRow) compatible(v sgraph.NodeID) bool { return r.st.bitAt(r.stride, r.u, v) }
+func (r matrixRow) distance(v sgraph.NodeID) (int32, bool) {
+	return r.st.pairDistance(r.n, r.u, v)
+}
 
 // ---------------------------------------------------------------------------
 // Construction.
 
-// build fills the bit and distance matrices. wide selects int32
-// distance storage; a uint8 build returns errDistOverflow when it
-// meets a distance above maxDist8 (rows already written are fully
-// rewritten on retry, so no cleanup is needed).
-func (m *CompatMatrix) build(workers int, wide bool) error {
+// buildState fills a fresh matrixState for one graph snapshot. wide
+// selects int32 distance storage; a uint8 build that meets a distance
+// above maxDist8 is retried wide.
+func (m *CompatMatrix) buildState(g *sgraph.Graph, epoch uint64, wide bool) (*matrixState, error) {
+	st, err := m.buildStateOnce(g, epoch, wide)
+	if !wide && errors.Is(err, errDistOverflow) {
+		// A distance beyond uint8 packing exists (graph with relation
+		// diameter > 254): rebuild with exact int32 storage.
+		st, err = m.buildStateOnce(g, epoch, true)
+	}
+	return st, err
+}
+
+func (m *CompatMatrix) buildStateOnce(g *sgraph.Graph, epoch uint64, wide bool) (*matrixState, error) {
 	n := m.n
+	st := &matrixState{g: g, epoch: epoch, bits: make([]uint64, n*m.stride)}
 	if n == 0 {
-		return nil
+		return st, nil
 	}
 	if wide {
-		m.dist8 = nil
-		m.dist32 = make([]int32, n*n)
-		for i := range m.dist32 {
-			m.dist32[i] = noDist32
+		st.dist32 = make([]int32, n*n)
+		for i := range st.dist32 {
+			st.dist32[i] = noDist32
 		}
 	} else {
-		m.dist32 = nil
-		m.dist8 = make([]uint8, n*n)
-		for i := range m.dist8 {
-			m.dist8[i] = noDist8
+		st.dist8 = make([]uint8, n*n)
+		for i := range st.dist8 {
+			st.dist8[i] = noDist8
 		}
 	}
 
-	fill := m.rowFiller(wide)
-	scratches, workers := newWorkerScratches(workers, n)
+	fill := m.rowFiller(g, st, wide)
+	scratches, workers := newWorkerScratches(m.workers, n)
 	err := parallelSweep(n, workers, func(w, i int) error {
 		return fill(sgraph.NodeID(i), scratches[w])
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if m.kind == SBPH {
-		return m.symmetrise(workers, wide)
+		if err := m.symmetrise(st, workers, wide); err != nil {
+			return nil, err
+		}
 	}
-	return nil
+	return st, nil
 }
 
 // rowFiller returns the per-source row computation for the matrix's
 // kind, built on the shared relationRowFiller with the full-slab sink:
-// rows are views into m.bits and distances pack into the flat n×n
-// matrix. Undefined entries keep the sentinel written by build's
-// prefill.
-func (m *CompatMatrix) rowFiller(wide bool) func(u sgraph.NodeID, s *rowScratch) error {
+// rows are views into st.bits and distances pack into the flat n×n
+// matrix. Undefined entries keep the sentinel written by the prefill.
+func (m *CompatMatrix) rowFiller(g *sgraph.Graph, st *matrixState, wide bool) func(u sgraph.NodeID, s *rowScratch) error {
 	n := m.n
-	return relationRowFiller(m.g, m.kind, m.beam, m.exact, rowSink{
-		row: m.RowWords,
+	return relationRowFiller(g, m.kind, m.beam, m.exact, rowSink{
+		row: func(u sgraph.NodeID) []uint64 { return st.rowWords(m.stride, u) },
 		setDist: func(u, v sgraph.NodeID, d int32) error {
 			if wide {
-				m.dist32[int(u)*n+int(v)] = d
+				st.dist32[int(u)*n+int(v)] = d
 				return nil
 			}
 			if d > maxDist8 {
 				return errDistOverflow
 			}
-			m.dist8[int(u)*n+int(v)] = uint8(d)
+			st.dist8[int(u)*n+int(v)] = uint8(d)
 			return nil
 		},
 	})
@@ -258,15 +407,15 @@ func (m *CompatMatrix) rowFiller(wide bool) func(u sgraph.NodeID, s *rowScratch)
 // rewrites would race; the distance matrices need no copy — writes
 // touch only lower-triangle elements and reads only upper-triangle
 // ones, which are disjoint.
-func (m *CompatMatrix) symmetrise(workers int, wide bool) error {
+func (m *CompatMatrix) symmetrise(st *matrixState, workers int, wide bool) error {
 	n := m.n
-	rawBits := append([]uint64(nil), m.bits...)
+	rawBits := append([]uint64(nil), st.bits...)
 	rawBitAt := func(u, v int) bool {
 		return rawBits[u*m.stride+v>>6]&(1<<uint(v&63)) != 0
 	}
 	return parallelSweep(n, workers, func(_, i int) error {
 		u := i
-		row := m.RowWords(sgraph.NodeID(u))
+		row := st.rowWords(m.stride, sgraph.NodeID(u))
 		for v := 0; v < u; v++ {
 			if rawBitAt(v, u) {
 				setWordBit(row, sgraph.NodeID(v))
@@ -274,9 +423,9 @@ func (m *CompatMatrix) symmetrise(workers int, wide bool) error {
 				clearWordBit(row, sgraph.NodeID(v))
 			}
 			if wide {
-				m.dist32[u*n+v] = m.dist32[v*n+u]
+				st.dist32[u*n+v] = st.dist32[v*n+u]
 			} else {
-				m.dist8[u*n+v] = m.dist8[v*n+u]
+				st.dist8[u*n+v] = st.dist8[v*n+u]
 			}
 		}
 		return nil
@@ -334,6 +483,7 @@ type PackedRelation interface {
 
 // Compile-time interface checks.
 var (
-	_ Relation       = (*CompatMatrix)(nil)
-	_ PackedRelation = (*CompatMatrix)(nil)
+	_ Relation        = (*CompatMatrix)(nil)
+	_ PackedRelation  = (*CompatMatrix)(nil)
+	_ MutableRelation = (*CompatMatrix)(nil)
 )

@@ -105,7 +105,7 @@ func TestMatrixDistanceOverflowFallback(t *testing.T) {
 	g := b.MustBuild()
 	for _, k := range []Kind{SPA, NNE} {
 		m := MustNewMatrix(k, g, MatrixOptions{})
-		if m.dist32 == nil {
+		if m.state.Load().dist32 == nil {
 			t.Fatalf("%v: expected int32 distance fallback", k)
 		}
 		d, ok, _ := m.Distance(0, n-1)

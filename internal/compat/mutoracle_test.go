@@ -1,0 +1,280 @@
+// The relation-level mutation oracle: every mutable engine — lazy,
+// full matrix, and sharded across shard geometries including the
+// spill, prefetch and no-mmap configurations — is driven through the
+// same seeded mutation sequence, and after every step each engine must
+// agree pair-for-pair (Compatible, Distance, and the packed engines'
+// DistanceRow) with a relation built from scratch on the mutated edge
+// set. This is the correctness contract of the whole epoch/dirty-shard
+// machinery: lazy rebuilds, touched-set invalidation, spill epoch tags
+// and view relocation are all observable only through disagreement
+// with the fresh build.
+
+package compat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/sgraph"
+)
+
+// edgeSet tracks the oracle's ground-truth edge list across mutations.
+type edgeSet struct {
+	n     int
+	signs map[[2]sgraph.NodeID]sgraph.Sign
+}
+
+func newEdgeSet(g *sgraph.Graph) *edgeSet {
+	es := &edgeSet{n: g.NumNodes(), signs: map[[2]sgraph.NodeID]sgraph.Sign{}}
+	for u := sgraph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		g.Neighbors(u, func(v sgraph.NodeID, s sgraph.Sign) bool {
+			if u < v {
+				es.signs[[2]sgraph.NodeID{u, v}] = s
+			}
+			return true
+		})
+	}
+	return es
+}
+
+func edgeKey(u, v sgraph.NodeID) [2]sgraph.NodeID {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]sgraph.NodeID{u, v}
+}
+
+// apply mirrors one mutation onto the ground truth.
+func (es *edgeSet) apply(m sgraph.Mutation) {
+	k := edgeKey(m.U, m.V)
+	switch m.Op {
+	case sgraph.MutAdd:
+		es.signs[k] = m.Sign
+	case sgraph.MutRemove:
+		delete(es.signs, k)
+	case sgraph.MutFlip:
+		es.signs[k] = -es.signs[k]
+	}
+}
+
+// graph rebuilds the ground-truth graph from scratch.
+func (es *edgeSet) graph() *sgraph.Graph {
+	edges := make([]sgraph.Edge, 0, len(es.signs))
+	for k, s := range es.signs {
+		edges = append(edges, sgraph.Edge{U: k[0], V: k[1], Sign: s})
+	}
+	return sgraph.MustFromEdges(es.n, edges)
+}
+
+// randomMutation draws a valid mutation against the current edge set:
+// additions pick a non-edge pair, removals and flips an existing edge.
+func (es *edgeSet) randomMutation(rng *rand.Rand) sgraph.Mutation {
+	op := sgraph.MutOp(1 + rng.Intn(3))
+	if len(es.signs) == 0 {
+		op = sgraph.MutAdd
+	}
+	if op == sgraph.MutAdd {
+		for {
+			u := sgraph.NodeID(rng.Intn(es.n))
+			v := sgraph.NodeID(rng.Intn(es.n))
+			if u == v {
+				continue
+			}
+			if _, dup := es.signs[edgeKey(u, v)]; dup {
+				continue
+			}
+			sign := sgraph.Positive
+			if rng.Intn(3) == 0 {
+				sign = sgraph.Negative
+			}
+			return sgraph.Mutation{Op: op, U: u, V: v, Sign: sign}
+		}
+	}
+	i := rng.Intn(len(es.signs))
+	for k := range es.signs {
+		if i == 0 {
+			return sgraph.Mutation{Op: op, U: k[0], V: k[1]}
+		}
+		i--
+	}
+	panic("unreachable")
+}
+
+// mutEngine is one engine under oracle test.
+type mutEngine struct {
+	name string
+	rel  MutableRelation
+}
+
+// buildMutEngines constructs every mutable engine configuration over g.
+// Shard heights cover the degenerate single-row shard, a height that
+// straddles shard boundaries, one larger than the graph (single-shard),
+// and spilling/prefetching/no-mmap variants with only two resident
+// shards.
+func buildMutEngines(t *testing.T, k Kind, g *sgraph.Graph, opts Options) []mutEngine {
+	t.Helper()
+	engines := []mutEngine{
+		{"lazy", MustNew(k, g, opts).(MutableRelation)},
+		{"matrix", MustNewMatrix(k, g, MatrixOptions{Options: opts})},
+	}
+	for _, rows := range []int{1, 7, 64} {
+		engines = append(engines, mutEngine{
+			fmt.Sprintf("sharded-%dr", rows),
+			MustNewSharded(k, g, ShardedOptions{Options: opts, ShardRows: rows}),
+		})
+	}
+	engines = append(engines,
+		mutEngine{"sharded-spill", MustNewSharded(k, g, ShardedOptions{
+			Options: opts, ShardRows: 3, MaxResidentShards: 2, SpillDir: t.TempDir(),
+		})},
+		mutEngine{"sharded-prefetch", MustNewSharded(k, g, ShardedOptions{
+			Options: opts, ShardRows: 3, MaxResidentShards: 2, Prefetch: true, SpillDir: t.TempDir(),
+		})},
+		mutEngine{"sharded-nommap", MustNewSharded(k, g, ShardedOptions{
+			Options: opts, ShardRows: 3, MaxResidentShards: 2, DisableMmap: true, SpillDir: t.TempDir(),
+		})},
+	)
+	return engines
+}
+
+// checkAgainstOracle compares one engine against the fresh-built
+// oracle on every ordered pair, plus the packed row fast paths.
+func checkAgainstOracle(t *testing.T, step int, name string, eng MutableRelation, oracle Relation) {
+	t.Helper()
+	n := oracle.Graph().NumNodes()
+	var rowBuf []int32
+	for u := sgraph.NodeID(0); int(u) < n; u++ {
+		if packed, ok := eng.(PackedRelation); ok {
+			rowBuf = packed.DistanceRowInto(u, rowBuf)
+		}
+		for v := sgraph.NodeID(0); int(v) < n; v++ {
+			wantOK, err := oracle.Compatible(u, v)
+			if err != nil {
+				t.Fatalf("step %d %s: oracle Compatible: %v", step, name, err)
+			}
+			gotOK, err := eng.Compatible(u, v)
+			if err != nil {
+				t.Fatalf("step %d %s: Compatible(%d,%d): %v", step, name, u, v, err)
+			}
+			if gotOK != wantOK {
+				t.Fatalf("step %d %s: Compatible(%d,%d) = %v, oracle %v", step, name, u, v, gotOK, wantOK)
+			}
+			wantD, wantDef, err := oracle.Distance(u, v)
+			if err != nil {
+				t.Fatalf("step %d %s: oracle Distance: %v", step, name, err)
+			}
+			gotD, gotDef, err := eng.Distance(u, v)
+			if err != nil {
+				t.Fatalf("step %d %s: Distance(%d,%d): %v", step, name, u, v, err)
+			}
+			if gotDef != wantDef || (gotDef && gotD != wantD) {
+				t.Fatalf("step %d %s: Distance(%d,%d) = (%d,%v), oracle (%d,%v)",
+					step, name, u, v, gotD, gotDef, wantD, wantDef)
+			}
+			if rowBuf != nil {
+				rd := rowBuf[v]
+				if (rd != NoDistance) != wantDef || (wantDef && rd != wantD) {
+					t.Fatalf("step %d %s: DistanceRow(%d)[%d] = %d, oracle (%d,%v)",
+						step, name, u, v, rd, wantD, wantDef)
+				}
+			}
+		}
+	}
+}
+
+// TestMutationOracle drives every engine configuration through the
+// same seeded mutation sequence and asserts exact agreement with a
+// fresh build after every step.
+func TestMutationOracle(t *testing.T) {
+	opts := Options{Exact: balance.ExactOptions{MaxLen: 6}}
+	const n, steps = 14, 24
+	for _, k := range Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(700 + int64(k)))
+			g := randomSignedGraph(rng, n, 2*n, 0.3)
+			engines := buildMutEngines(t, k, g, opts)
+			defer func() {
+				for _, e := range engines {
+					if sm, ok := e.rel.(*ShardedMatrix); ok {
+						sm.Close()
+					}
+				}
+			}()
+			es := newEdgeSet(g)
+			for step := 0; step < steps; step++ {
+				mut := es.randomMutation(rng)
+				es.apply(mut)
+				oracle := MustNew(k, es.graph(), opts)
+				for _, e := range engines {
+					res, err := e.rel.Mutate(mut)
+					if err != nil {
+						t.Fatalf("step %d %s: Mutate(%v): %v", step, e.name, mut, err)
+					}
+					if res.Epoch != uint64(step+1) {
+						t.Fatalf("step %d %s: epoch = %d, want %d", step, e.name, res.Epoch, step+1)
+					}
+					checkAgainstOracle(t, step, e.name, e.rel, oracle)
+				}
+			}
+			// Rejected mutations must not move the epoch or disturb data.
+			bad := sgraph.Mutation{Op: sgraph.MutAdd, U: 0, V: 0, Sign: sgraph.Positive}
+			oracle := MustNew(k, es.graph(), opts)
+			for _, e := range engines {
+				if _, err := e.rel.Mutate(bad); err == nil {
+					t.Fatalf("%s: self-loop add must fail", e.name)
+				}
+				if got := e.rel.Epoch(); got != steps {
+					t.Fatalf("%s: failed mutation moved epoch to %d", e.name, got)
+				}
+				checkAgainstOracle(t, steps, e.name, e.rel, oracle)
+			}
+		})
+	}
+}
+
+// TestMutationStatsCounters sanity-checks the observability surface on
+// the sharded engine: epochs advance, stale shards appear on mutation
+// and drain to zero after the rows are touched, and rebuilds are
+// counted.
+func TestMutationStatsCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(711))
+	g := randomSignedGraph(rng, 20, 50, 0.3)
+	m := MustNewSharded(SPO, g, ShardedOptions{ShardRows: 4})
+	defer m.Close()
+	es := newEdgeSet(g)
+	mut := es.randomMutation(rng)
+	res, err := m.Mutate(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", res.Epoch)
+	}
+	if res.DirtyShards == 0 {
+		t.Fatal("a mutation on a connected random graph should dirty at least one shard")
+	}
+	st := m.MutationStats()
+	if st.Epoch != 1 || st.Mutations != 1 || st.StaleShards != res.DirtyShards {
+		t.Fatalf("MutationStats = %+v, want epoch 1, 1 mutation, %d stale", st, res.DirtyShards)
+	}
+	for u := sgraph.NodeID(0); int(u) < g.NumNodes(); u++ { // touch every row
+		if _, err := m.Compatible(u, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = m.MutationStats()
+	if st.StaleShards != 0 {
+		t.Fatalf("after touching all rows, %d shards still stale", st.StaleShards)
+	}
+	if st.ShardRebuilds < int64(res.DirtyShards) {
+		t.Fatalf("ShardRebuilds = %d, want ≥ %d", st.ShardRebuilds, res.DirtyShards)
+	}
+	live := m.LiveStats()
+	if live.Epoch != 1 || live.Mutations != 1 || live.StaleShards != 0 || live.ShardRebuilds != st.ShardRebuilds {
+		t.Fatalf("LiveStats mutation counters diverge: %+v vs %+v", live, st)
+	}
+}

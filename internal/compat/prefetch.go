@@ -104,7 +104,9 @@ func (m *ShardedMatrix) maybePrefetchLocked(next int) bool {
 	if next >= m.numShards || m.closed || m.spill == nil || m.inflight >= 0 {
 		return false
 	}
-	if m.shards[next].bits != nil || m.standbyShard == next {
+	// A mutation-invalidated shard has no valid spilled copy to fetch:
+	// it rebuilds from the graph on demand.
+	if m.shards[next].bits != nil || m.shards[next].stale || m.standbyShard == next {
 		return false
 	}
 	// Each prediction is attempted once: every row of the current
@@ -125,7 +127,7 @@ func (m *ShardedMatrix) maybePrefetchLocked(next int) bool {
 		if !ok {
 			slab = m.takeSlabLocked(next)
 			var err error
-			m.readScratch, err = m.spill.read(next, slab.bits, slab.dist8, slab.dist32, m.readScratch)
+			m.readScratch, err = m.spill.read(next, m.shards[next].epoch, slab.bits, slab.dist8, slab.dist32, m.readScratch)
 			if err != nil {
 				// The demand path will hit the same error with context.
 				m.recycleSlabLocked(slab)
@@ -160,13 +162,14 @@ func (m *ShardedMatrix) prefetchLoop(ch <-chan int) {
 	var scratch []byte // ReadAt-fallback decode buffer, goroutine-owned
 	for s := range ch {
 		m.mu.Lock()
-		if m.closed || m.spill == nil || m.shards[s].bits != nil {
+		if m.closed || m.spill == nil || m.shards[s].bits != nil || m.shards[s].stale {
 			m.inflight = -1
 			m.pfWasted.Add(1)
 			m.mu.Unlock()
 			continue
 		}
 		sp := m.spill
+		epoch := m.shards[s].epoch // mutation racing the read → epoch mismatch → wasted
 		slab, isView := m.viewSlabLocked(s)
 		if !isView {
 			slab = m.takeSlabLocked(s)
@@ -177,7 +180,7 @@ func (m *ShardedMatrix) prefetchLoop(ch <-chan int) {
 		if isView {
 			prefaultSlab(slab)
 		} else {
-			scratch, err = sp.read(s, slab.bits, slab.dist8, slab.dist32, scratch)
+			scratch, err = sp.read(s, epoch, slab.bits, slab.dist8, slab.dist32, scratch)
 		}
 
 		m.mu.Lock()
@@ -185,7 +188,7 @@ func (m *ShardedMatrix) prefetchLoop(ch <-chan int) {
 		if err == nil {
 			m.spillLoads.Add(1)
 		}
-		if err != nil || m.closed || m.shards[s].bits != nil {
+		if err != nil || m.closed || m.shards[s].bits != nil || m.shards[s].stale {
 			// Failed, closing, or the demand path loaded the shard
 			// while we were preparing it: nothing here was ever
 			// exposed, so heap slabs go straight back to the free

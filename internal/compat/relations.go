@@ -2,6 +2,7 @@ package compat
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/balance"
 	"repro/internal/sgraph"
@@ -20,9 +21,13 @@ type row interface {
 // for the access patterns here: the greedy team formation loop works
 // from a small, slowly changing set of sources.
 type rowCache struct {
-	mu      sync.Mutex
-	rows    map[sgraph.NodeID]row
-	cap     int
+	mu   sync.Mutex
+	rows map[sgraph.NodeID]row
+	cap  int
+	// gen is bumped by invalidate (graph mutation). A row computed
+	// under an older generation is returned to its caller but never
+	// inserted, so the cache cannot be repopulated with stale rows.
+	gen     uint64
 	compute func(u sgraph.NodeID) (row, error)
 	// computeScratch, when set, computes a persistent row using the
 	// caller-owned scratch for transient BFS state (queue, epoch
@@ -49,6 +54,7 @@ func (c *rowCache) getWith(u sgraph.NodeID, s *rowScratch) (row, error) {
 		c.mu.Unlock()
 		return r, nil
 	}
+	gen := c.gen
 	c.mu.Unlock()
 	// Compute outside the lock: rows can be expensive and concurrent
 	// callers should not serialise on one BFS. A racing duplicate
@@ -64,15 +70,26 @@ func (c *rowCache) getWith(u sgraph.NodeID, s *rowScratch) (row, error) {
 		return nil, err
 	}
 	c.mu.Lock()
-	if len(c.rows) >= c.cap {
-		for k := range c.rows {
-			delete(c.rows, k)
-			break
+	if c.gen == gen {
+		if len(c.rows) >= c.cap {
+			for k := range c.rows {
+				delete(c.rows, k)
+				break
+			}
 		}
+		c.rows[u] = r
 	}
-	c.rows[u] = r
 	c.mu.Unlock()
 	return r, nil
+}
+
+// invalidate drops every cached row and bumps the generation so
+// in-flight computations against the old graph are not inserted.
+func (c *rowCache) invalidate() {
+	c.mu.Lock()
+	c.gen++
+	clear(c.rows)
+	c.mu.Unlock()
 }
 
 // rowScratch bundles the reusable per-worker buffers of the all-pairs
@@ -85,10 +102,28 @@ type rowScratch struct {
 	dist    []int32
 	edgeRow edgeRow
 	spRow   spRow
+
+	// reach, when non-nil, makes the relation fillers OR each source
+	// row's plain-BFS reachable set into it (a node bitset of the given
+	// word count) — the conservative search footprint the sharded
+	// engine's mutation invalidation keys on. Nil everywhere else, so
+	// the lazy and full-matrix sweeps pay nothing.
+	reach []uint64
 }
 
 func newRowScratch(n int) *rowScratch {
 	return &rowScratch{bfs: signedbfs.NewScratch(n)}
+}
+
+// resetReach arms (or rezeroes) the reach accumulator for one shard
+// sweep.
+func (s *rowScratch) resetReach(words int) {
+	if cap(s.reach) < words {
+		s.reach = make([]uint64, words)
+		return
+	}
+	s.reach = s.reach[:words]
+	clear(s.reach)
 }
 
 // baseRelation carries the pieces common to all relations.
@@ -101,15 +136,52 @@ func newRowScratch(n int) *rowScratch {
 // the symmetry the Comp relation requires, at the price of SBPH being
 // defined as "the heuristic search from min(u,v) reaches max(u,v)".
 type baseRelation struct {
-	g         *sgraph.Graph
+	dyn       *sgraph.Dynamic
 	kind      Kind
 	cache     *rowCache
 	canonical bool
+	mutGuard
+	mutCount atomic.Int64
 }
 
-func (b *baseRelation) Kind() Kind                       { return b.kind }
-func (b *baseRelation) Graph() *sgraph.Graph             { return b.g }
+func (b *baseRelation) Kind() Kind { return b.kind }
+
+// graph returns the current graph snapshot. Row computations capture
+// it once, so each row is internally consistent with one epoch even if
+// an (unpinned) mutation lands mid-computation.
+func (b *baseRelation) graph() *sgraph.Graph             { return b.dyn.Graph() }
+func (b *baseRelation) Graph() *sgraph.Graph             { return b.dyn.Graph() }
 func (b *baseRelation) row(u sgraph.NodeID) (row, error) { return b.cache.get(u) }
+
+// Epoch returns the current graph epoch.
+func (b *baseRelation) Epoch() uint64 { return b.dyn.Epoch() }
+
+// Mutate applies m, drops every cached row and publishes the new
+// epoch. Subsequent queries recompute rows on demand from the new
+// graph (the lazy engine has no precomputed state to invalidate
+// shard-wise, so DirtyShards is 0).
+func (b *baseRelation) Mutate(m sgraph.Mutation) (MutationResult, error) {
+	b.pin.Lock()
+	defer b.pin.Unlock()
+	_, epoch, err := b.dyn.Apply(m)
+	if err != nil {
+		return MutationResult{Epoch: b.dyn.Epoch()}, err
+	}
+	b.cache.invalidate()
+	b.mutCount.Add(1)
+	return MutationResult{Epoch: epoch}, nil
+}
+
+// MutationStats reports the engine's mutation counters.
+func (b *baseRelation) MutationStats() MutationStats {
+	return MutationStats{Epoch: b.dyn.Epoch(), Mutations: b.mutCount.Load()}
+}
+
+// AcquireSnapshot pins the current epoch until Release.
+func (b *baseRelation) AcquireSnapshot() Snapshot {
+	b.pin.RLock()
+	return Snapshot{rel: b, epoch: b.dyn.Epoch()}
+}
 
 // rowWith is row with a per-worker scratch for the transient BFS state;
 // relations without scratch support fall back to the plain computation.
@@ -170,13 +242,15 @@ type edgeRow struct {
 }
 
 func (r *edgeRelation) computeRow(u sgraph.NodeID) (row, error) {
-	return &edgeRow{g: r.g, u: u, kind: r.kind, dist: signedbfs.Distances(r.g, u)}, nil
+	g := r.graph()
+	return &edgeRow{g: g, u: u, kind: r.kind, dist: signedbfs.Distances(g, u)}, nil
 }
 
 // computeRowFresh builds a persistent (cacheable) row while borrowing
 // the worker's BFS scratch for transient state.
 func (r *edgeRelation) computeRowFresh(u sgraph.NodeID, s *rowScratch) (row, error) {
-	return &edgeRow{g: r.g, u: u, kind: r.kind, dist: signedbfs.DistancesInto(r.g, u, nil, s.bfs)}, nil
+	g := r.graph()
+	return &edgeRow{g: g, u: u, kind: r.kind, dist: signedbfs.DistancesInto(g, u, nil, s.bfs)}, nil
 }
 
 // computeRowInto builds a transient row entirely backed by the worker's
@@ -184,8 +258,9 @@ func (r *edgeRelation) computeRowFresh(u sgraph.NodeID, s *rowScratch) (row, err
 // streaming statistics sweep uses it so a full Table 2 scan performs no
 // per-source allocations for this relation family.
 func (r *edgeRelation) computeRowInto(u sgraph.NodeID, s *rowScratch) (row, error) {
-	s.dist = signedbfs.DistancesInto(r.g, u, s.dist, s.bfs)
-	s.edgeRow = edgeRow{g: r.g, u: u, kind: r.kind, dist: s.dist}
+	g := r.graph()
+	s.dist = signedbfs.DistancesInto(g, u, s.dist, s.bfs)
+	s.edgeRow = edgeRow{g: g, u: u, kind: r.kind, dist: s.dist}
 	return &s.edgeRow, nil
 }
 
@@ -215,19 +290,19 @@ type spRow struct {
 }
 
 func (r *spRelation) computeRow(u sgraph.NodeID) (row, error) {
-	return &spRow{kind: r.kind, res: signedbfs.CountPaths(r.g, u)}, nil
+	return &spRow{kind: r.kind, res: signedbfs.CountPaths(r.graph(), u)}, nil
 }
 
 // computeRowFresh builds a persistent row, reusing only the worker's
 // transient BFS scratch (queue + epoch stamps).
 func (r *spRelation) computeRowFresh(u sgraph.NodeID, s *rowScratch) (row, error) {
-	return &spRow{kind: r.kind, res: signedbfs.CountPathsInto(r.g, u, &signedbfs.Result{}, s.bfs)}, nil
+	return &spRow{kind: r.kind, res: signedbfs.CountPathsInto(r.graph(), u, &signedbfs.Result{}, s.bfs)}, nil
 }
 
 // computeRowInto builds a transient scratch-backed row; see the
 // edgeRelation counterpart.
 func (r *spRelation) computeRowInto(u sgraph.NodeID, s *rowScratch) (row, error) {
-	signedbfs.CountPathsInto(r.g, u, &s.res, s.bfs)
+	signedbfs.CountPathsInto(r.graph(), u, &s.res, s.bfs)
 	s.spRow = spRow{kind: r.kind, res: &s.res}
 	return &s.spRow, nil
 }
@@ -264,7 +339,7 @@ type sbpRow struct {
 }
 
 func (r *sbphRelation) computeRow(u sgraph.NodeID) (row, error) {
-	return &sbpRow{dists: balance.SBPH(r.g, u, r.beam)}, nil
+	return &sbpRow{dists: balance.SBPH(r.graph(), u, r.beam)}, nil
 }
 
 func (r *sbpRow) compatible(v sgraph.NodeID) bool {
@@ -285,7 +360,7 @@ type sbpRelation struct {
 }
 
 func (r *sbpRelation) computeRow(u sgraph.NodeID) (row, error) {
-	d, err := balance.ExactSBP(r.g, u, r.opts)
+	d, err := balance.ExactSBP(r.graph(), u, r.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -294,8 +369,8 @@ func (r *sbpRelation) computeRow(u sgraph.NodeID) (row, error) {
 
 // Compile-time interface checks.
 var (
-	_ Relation = (*edgeRelation)(nil)
-	_ Relation = (*spRelation)(nil)
-	_ Relation = (*sbphRelation)(nil)
-	_ Relation = (*sbpRelation)(nil)
+	_ MutableRelation = (*edgeRelation)(nil)
+	_ MutableRelation = (*spRelation)(nil)
+	_ MutableRelation = (*sbphRelation)(nil)
+	_ MutableRelation = (*sbpRelation)(nil)
 )

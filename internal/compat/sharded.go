@@ -103,7 +103,8 @@ type ShardedOptions struct {
 // matrices every row or distance view previously handed out dies with
 // it — Close only after the matrix's consumers are done.
 type ShardedMatrix struct {
-	g         *sgraph.Graph
+	g         *sgraph.Graph // construction-time snapshot; post-build readers use dyn
+	dyn       *sgraph.Dynamic
 	kind      Kind
 	n         int
 	stride    int // uint64 words per bit row
@@ -112,8 +113,9 @@ type ShardedMatrix struct {
 	maxRes    int // resident-shard bound; numShards when not spilling
 	wide      bool
 
-	beam  int
-	exact balance.ExactOptions
+	beam    int
+	exact   balance.ExactOptions
+	workers int // build parallelism, reused by post-mutation shard rebuilds
 
 	prefetch     bool // ShardedOptions.Prefetch
 	syncPrefetch bool // single-P host: decode predictions inline (prefetch.go)
@@ -124,8 +126,26 @@ type ShardedMatrix struct {
 	lru      *container.IndexLRU // evictable (resident, unpinned) shards
 	resident int
 	spill    *shardSpill
+	// retired holds spill files orphaned by a post-mutation wide
+	// promotion: their slot layout no longer matches the engine, but
+	// exposed zero-copy views still alias their mappings, so they stay
+	// mapped until Close.
+	retired  []*shardSpill
 	spillDir string
 	closed   bool
+
+	// Mutation state. curEpoch (under mu) trails dyn's epoch: it is
+	// advanced by invalidateLocked after stale marking, so a rebuild
+	// that captured its graph snapshot before a racing mutation's
+	// invalidation cannot clear staleness it shouldn't (the swap-in
+	// compares its build epoch against curEpoch). staleCount is the
+	// dirty-shard gauge for /stats.
+	mutGuard
+	freshMu    sync.Mutex // serialises post-mutation shard rebuilds
+	curEpoch   uint64
+	staleCount int
+	mutCount   atomic.Int64
+	rebuilds   atomic.Int64
 	// views enables zero-copy reloads: post-build, on a mapped spill
 	// whose byte order matches the host, a cold shard is served as
 	// slices straight into the mapping instead of decoded into heap
@@ -174,6 +194,23 @@ type shardState struct {
 	dist32 []int32
 	dirty  bool // resident content newer than the spilled copy
 	pins   int  // build/tile passes holding the shard in place
+
+	// epoch is the graph epoch the shard's data was computed at; stale
+	// marks data invalidated by a later mutation (rebuilt lazily by the
+	// next rowView). touched is a node bitset (stride words): the union
+	// over the shard's rows of each row's plain-BFS reachable set — a
+	// conservative superset of every vertex any row's search relaxed
+	// through, for every relation kind (a beam or signed search only
+	// traverses graph edges, so its footprint is within plain
+	// reachability). A mutation of edge (u,v) can change a row of this
+	// shard only if the row's search could reach u or v, hence the
+	// shard is invalidated iff touched∩{u,v} ≠ ∅. The set stays valid
+	// while the shard is clean: any mutation that could change the
+	// shard's reachable sets would itself have hit touched and marked
+	// the shard stale.
+	epoch   uint64
+	stale   bool
+	touched []uint64
 }
 
 // NewSharded builds the sharded packed relation of kind k over g. The
@@ -206,6 +243,7 @@ func NewSharded(k Kind, g *sgraph.Graph, opts ShardedOptions) (*ShardedMatrix, e
 	}
 	m := &ShardedMatrix{
 		g:         g,
+		dyn:       sgraph.NewDynamic(g),
 		kind:      k,
 		n:         n,
 		stride:    (n + 63) / 64,
@@ -224,15 +262,15 @@ func NewSharded(k Kind, g *sgraph.Graph, opts ShardedOptions) (*ShardedMatrix, e
 	if m.beam <= 0 {
 		m.beam = balance.DefaultBeamWidth
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	m.workers = opts.Workers
+	if m.workers <= 0 {
+		m.workers = runtime.GOMAXPROCS(0)
 	}
-	err := m.build(workers, false)
+	err := m.build(m.workers, false)
 	if errors.Is(err, errDistOverflow) {
 		// A distance beyond uint8 packing exists: rebuild every shard
 		// with exact int32 storage (fresh spill file, fresh slabs).
-		err = m.build(workers, true)
+		err = m.build(m.workers, true)
 	}
 	if err != nil {
 		m.Close()
@@ -254,8 +292,309 @@ func MustNewSharded(k Kind, g *sgraph.Graph, opts ShardedOptions) *ShardedMatrix
 // Kind returns the relation kind the matrix materialises.
 func (m *ShardedMatrix) Kind() Kind { return m.kind }
 
-// Graph returns the underlying signed graph.
-func (m *ShardedMatrix) Graph() *sgraph.Graph { return m.g }
+// Graph returns the current signed graph snapshot.
+func (m *ShardedMatrix) Graph() *sgraph.Graph { return m.dyn.Graph() }
+
+// Epoch returns the current graph epoch.
+func (m *ShardedMatrix) Epoch() uint64 { return m.dyn.Epoch() }
+
+// Mutate applies one edge mutation and invalidates only the shards it
+// can affect: a shard is marked stale iff its touched-vertex set
+// intersects the mutated edge's endpoints (see shardState.touched for
+// the soundness argument). For SBPH, whose symmetrised lower triangle
+// mirrors the directed rows of earlier shards, staleness propagates to
+// every later shard, so the stale region is always a suffix. Stale
+// shards rebuild lazily on next access via the same worker-pool fill
+// path as construction; exposed row and distance views keep aliasing
+// their pre-mutation slabs.
+func (m *ShardedMatrix) Mutate(mut sgraph.Mutation) (MutationResult, error) {
+	m.pin.Lock()
+	defer m.pin.Unlock()
+	_, epoch, err := m.dyn.Apply(mut)
+	if err != nil {
+		return MutationResult{Epoch: m.dyn.Epoch()}, err
+	}
+	m.mu.Lock()
+	dirty := m.invalidateLocked(mut, epoch)
+	m.mu.Unlock()
+	m.mutCount.Add(1)
+	return MutationResult{Epoch: epoch, DirtyShards: dirty}, nil
+}
+
+// invalidateLocked marks the shards mut can affect stale and returns
+// how many it newly marked. Requires m.mu.
+func (m *ShardedMatrix) invalidateLocked(mut sgraph.Mutation, epoch uint64) int {
+	m.curEpoch = epoch
+	marked := 0
+	mark := func(s int) {
+		if !m.shards[s].stale {
+			m.shards[s].stale = true
+			m.staleCount++
+			marked++
+		}
+	}
+	if m.kind == SBPH {
+		// Stale shards always form a suffix (this loop only ever marks
+		// suffixes), so the fresh prefix is scanned front to back and
+		// the first affected shard stales everything after it.
+		for s := 0; s < m.numShards && !m.shards[s].stale; s++ {
+			if m.shardTouchedLocked(s, mut) {
+				for t := s; t < m.numShards; t++ {
+					mark(t)
+				}
+				break
+			}
+		}
+	} else {
+		for s := 0; s < m.numShards; s++ {
+			if !m.shards[s].stale && m.shardTouchedLocked(s, mut) {
+				mark(s)
+			}
+		}
+	}
+	if marked > 0 {
+		// A standby slab or in-flight prefetch may hold pre-mutation
+		// data for a now-stale shard; the epoch tags on the spill slots
+		// backstop this, but dropping the standby keeps the fast path
+		// simple. (Never-exposed slabs recycle; views just drop.)
+		m.dropStandbyLocked()
+	}
+	return marked
+}
+
+// shardTouchedLocked reports whether shard s's touched-vertex set
+// contains either endpoint of mut. A missing set (never the case after
+// a successful build) is conservatively treated as touched.
+func (m *ShardedMatrix) shardTouchedLocked(s int, mut sgraph.Mutation) bool {
+	t := m.shards[s].touched
+	if t == nil {
+		return true
+	}
+	return t[int(mut.U)>>6]&(1<<uint(int(mut.U)&63)) != 0 ||
+		t[int(mut.V)>>6]&(1<<uint(int(mut.V)&63)) != 0
+}
+
+// MutationStats reports the engine's mutation counters.
+func (m *ShardedMatrix) MutationStats() MutationStats {
+	m.mu.Lock()
+	stale := m.staleCount
+	m.mu.Unlock()
+	return MutationStats{
+		Epoch:         m.dyn.Epoch(),
+		Mutations:     m.mutCount.Load(),
+		StaleShards:   stale,
+		ShardRebuilds: m.rebuilds.Load(),
+	}
+}
+
+// AcquireSnapshot pins the current epoch until Release: mutations
+// block, so every query in between sees one graph version. Rebuilds of
+// *pre-existing* stale shards may still run during the snapshot — they
+// target the pinned epoch, so the view stays consistent.
+func (m *ShardedMatrix) AcquireSnapshot() Snapshot {
+	m.pin.RLock()
+	return Snapshot{rel: m, epoch: m.dyn.Epoch()}
+}
+
+// freshen rebuilds stale shards so that shard s is fresh on return
+// (barring a mutation racing in behind it, which the caller's loop
+// re-checks). Non-SBPH kinds rebuild exactly shard s; SBPH rebuilds
+// every stale shard up to s in ascending order, because shard s's
+// lower-triangle tiles read the directed rows of all earlier shards.
+// Rebuilds fill entirely fresh slabs and swap them in under the lock,
+// so concurrent readers of other shards proceed and old views survive.
+func (m *ShardedMatrix) freshen(s int) error {
+	m.freshMu.Lock()
+	defer m.freshMu.Unlock()
+	m.mu.Lock()
+	if !m.shards[s].stale {
+		m.mu.Unlock()
+		return nil // another freshener got here first
+	}
+	g, epoch := m.dyn.Snapshot()
+	var targets []int
+	if m.kind == SBPH {
+		for a := 0; a <= s; a++ {
+			if m.shards[a].stale {
+				targets = append(targets, a)
+			}
+		}
+	} else {
+		targets = []int{s}
+	}
+	m.mu.Unlock()
+
+	scratches, workers := newWorkerScratches(m.workers, m.n)
+	for _, t := range targets {
+		err := m.rebuildShard(g, epoch, t, workers, scratches)
+		if errors.Is(err, errDistOverflow) {
+			// The mutation stretched a relation distance beyond uint8
+			// packing: promote the whole engine to int32 storage.
+			return m.promoteWide(g, epoch)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildShard recomputes shard s against graph snapshot g into fresh
+// slabs (never into exposed ones) and swaps them in. For SBPH the
+// directed fill is followed by the lower-triangle tile passes against
+// shards 0..s, which are fresh by the caller's ascending order.
+func (m *ShardedMatrix) rebuildShard(g *sgraph.Graph, epoch uint64, s int, workers int, scratches []*rowScratch) error {
+	rows := m.shardLen(s)
+	base := s * m.shardRows
+	slab := m.newSlab(rows)
+	if m.wide {
+		for i := range slab.dist32 {
+			slab.dist32[i] = noDist32
+		}
+	} else {
+		for i := range slab.dist8 {
+			slab.dist8[i] = noDist8
+		}
+	}
+	for _, sc := range scratches {
+		sc.resetReach(m.stride)
+	}
+	fill := relationRowFiller(g, m.kind, m.beam, m.exact, m.slabSink(slab, base))
+	err := parallelSweep(rows, workers, func(w, i int) error {
+		return fill(sgraph.NodeID(base+i), scratches[w])
+	})
+	if err != nil {
+		return err
+	}
+	touched := make([]uint64, m.stride)
+	for _, sc := range scratches {
+		for i, w := range sc.reach {
+			touched[i] |= w
+		}
+	}
+
+	if m.kind == SBPH {
+		if err := m.symmetriseSlab(workers, slab, rows, base, s); err != nil {
+			return err
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh := &m.shards[s]
+	wasResident := sh.bits != nil
+	if !wasResident {
+		if err := m.makeRoomLocked(); err != nil {
+			return err
+		}
+	}
+	sh.bits, sh.dist8, sh.dist32 = slab.bits, slab.dist8, slab.dist32
+	if !wasResident {
+		m.admitLocked()
+		if sh.pins == 0 {
+			m.lru.Touch(s)
+		}
+	}
+	sh.epoch = epoch
+	sh.touched = touched
+	sh.dirty = true // newer than any spilled copy
+	// Clear staleness only if no mutation was applied after the graph
+	// snapshot this rebuild used; otherwise the shard stays stale and
+	// the next access rebuilds again (conservative, and rare: it needs
+	// a mutation racing the rebuild).
+	if !sh.stale {
+		m.staleCount++ // keep the gauge balanced before the decrement below
+	}
+	sh.stale = epoch != m.curEpoch
+	if !sh.stale {
+		m.staleCount--
+	}
+	m.rebuilds.Add(1)
+	return nil
+}
+
+// symmetriseSlab runs the SBPH lower-triangle tile passes for one
+// detached (not yet swapped-in) shard slab: tiles against the resident
+// slabs of shards 0..s-1 plus the diagonal snapshot of the slab
+// itself. The sources are pinned exactly like the build-time pass.
+func (m *ShardedMatrix) symmetriseSlab(workers int, slab shardSlabs, rows, base, s int) error {
+	dst := shardTile{bits: slab.bits, dist8: slab.dist8, dist32: slab.dist32, base: base, rows: rows}
+	for a := 0; a <= s; a++ {
+		var err error
+		if a == s {
+			snap := append([]uint64(nil), slab.bits...)
+			err = m.symmetriseTile(workers, dst, shardTile{
+				bits: snap, dist8: slab.dist8, dist32: slab.dist32, base: base, rows: rows,
+			})
+		} else {
+			m.mu.Lock()
+			shA, pinErr := m.pinLocked(a)
+			m.mu.Unlock()
+			if pinErr != nil {
+				return pinErr
+			}
+			err = m.symmetriseTile(workers, dst, shardTile{
+				bits: shA.bits, dist8: shA.dist8, dist32: shA.dist32,
+				base: a * m.shardRows, rows: shA.rows,
+			})
+			m.mu.Lock()
+			m.unpinLocked(a)
+			m.mu.Unlock()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promoteWide rebuilds every shard with int32 distance storage after a
+// mutation pushed a relation distance beyond uint8 packing. The old
+// spill file's slots no longer match the engine's slab shape, so it is
+// retired — kept mapped (exposed views alias it) but never written
+// again — and a fresh spill is created lazily on the next eviction.
+// Zero-copy views stay off afterwards: re-enabling them would need a
+// fully rewritten spill, and wide promotion is a once-per-graph event.
+func (m *ShardedMatrix) promoteWide(g *sgraph.Graph, epoch uint64) error {
+	m.mu.Lock()
+	m.wide = true
+	m.views = false
+	if m.spill != nil {
+		m.retired = append(m.retired, m.spill)
+		m.spill = nil
+	}
+	m.dropStandbyLocked()
+	m.lastPredicted = -1
+	// The narrow slabs are useless now: drop unpinned resident shards
+	// and stale-mark everything for the rebuild loop below. (Pins are
+	// impossible here: tile passes only pin fresh shards, and freshMu
+	// serialises us against them.)
+	for s := range m.shards {
+		sh := &m.shards[s]
+		if sh.bits != nil {
+			sh.bits, sh.dist8, sh.dist32 = nil, nil, nil
+			m.resident--
+			m.lru.Remove(s)
+		}
+		sh.dirty = false
+		if !sh.stale {
+			sh.stale = true
+			m.staleCount++
+		}
+	}
+	m.mu.Unlock()
+
+	// Wide slabs are 4× the distance bytes: re-derive worker scratches
+	// rather than reusing the caller's (same shape, but cheap and
+	// clearer), and rebuild ascending so SBPH tiles see fresh sources.
+	scratches, workers := newWorkerScratches(m.workers, m.n)
+	for s := 0; s < m.numShards; s++ {
+		if err := m.rebuildShard(g, epoch, s, workers, scratches); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // NumNodes returns the node count of the underlying graph.
 func (m *ShardedMatrix) NumNodes() int { return m.n }
@@ -298,17 +637,32 @@ type EngineStats struct {
 	MaxResidentShards int
 	SpillLoads        int64
 	Prefetch          PrefetchStats
+
+	// Mutation counters: the current graph epoch, mutations applied,
+	// shards currently invalidated and awaiting rebuild, and lazy shard
+	// rebuilds performed so far.
+	Epoch         uint64
+	Mutations     int64
+	StaleShards   int
+	ShardRebuilds int64
 }
 
 // LiveStats snapshots the engine's live counters; see EngineStats.
 func (m *ShardedMatrix) LiveStats() EngineStats {
+	m.mu.Lock()
+	resident, stale := m.resident, m.staleCount
+	m.mu.Unlock()
 	return EngineStats{
 		NumShards:         m.numShards,
 		ShardRows:         m.shardRows,
-		ResidentShards:    m.ResidentShards(),
+		ResidentShards:    resident,
 		MaxResidentShards: m.maxRes,
 		SpillLoads:        m.spillLoads.Load(),
 		Prefetch:          m.PrefetchStats(),
+		Epoch:             m.dyn.Epoch(),
+		Mutations:         m.mutCount.Load(),
+		StaleShards:       stale,
+		ShardRebuilds:     m.rebuilds.Load(),
 	}
 }
 
@@ -335,11 +689,19 @@ func (m *ShardedMatrix) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.dropStandbyLocked()
-	if m.spill == nil {
-		return nil
+	var err error
+	for _, sp := range m.retired {
+		if cerr := sp.close(); err == nil {
+			err = cerr
+		}
 	}
-	err := m.spill.close()
-	m.spill = nil
+	m.retired = nil
+	if m.spill != nil {
+		if cerr := m.spill.close(); err == nil {
+			err = cerr
+		}
+		m.spill = nil
+	}
 	return err
 }
 
@@ -438,6 +800,16 @@ func (r shardedRowView) distance(v sgraph.NodeID) (int32, bool) {
 func (m *ShardedMatrix) rowView(u sgraph.NodeID) ([]uint64, []uint8, []int32, error) {
 	m.mu.Lock()
 	s := int(u) / m.shardRows
+	// A shard invalidated by a mutation rebuilds before it serves; the
+	// loop (rather than a single check) covers a mutation racing in
+	// behind the rebuild, which leaves the shard stale again.
+	for m.shards[s].stale {
+		m.mu.Unlock()
+		if err := m.freshen(s); err != nil {
+			return nil, nil, nil, err
+		}
+		m.mu.Lock()
+	}
 	sh, err := m.residentLocked(s)
 	if err != nil {
 		m.mu.Unlock()
@@ -495,7 +867,7 @@ func (m *ShardedMatrix) residentLocked(s int) (*shardState, error) {
 			} else {
 				m.allocShard(sh)
 				var err error
-				m.readScratch, err = m.spill.read(s, sh.bits, sh.dist8, sh.dist32, m.readScratch)
+				m.readScratch, err = m.spill.read(s, sh.epoch, sh.bits, sh.dist8, sh.dist32, m.readScratch)
 				if err != nil {
 					sh.bits, sh.dist8, sh.dist32 = nil, nil, nil
 					return nil, err
@@ -522,7 +894,7 @@ func (m *ShardedMatrix) viewSlabLocked(s int) (shardSlabs, bool) {
 	if m.wide {
 		d8Len, d32Len = 0, rows*m.n
 	}
-	bits, d8, d32, ok := m.spill.view(s, rows*m.stride, d8Len, d32Len)
+	bits, d8, d32, ok := m.spill.view(s, m.shards[s].epoch, rows*m.stride, d8Len, d32Len)
 	if !ok {
 		return shardSlabs{}, false
 	}
@@ -575,10 +947,18 @@ func (m *ShardedMatrix) makeRoomLocked() error {
 			return nil // everything resident is pinned
 		}
 		sh := &m.shards[victim]
+		if sh.stale {
+			// A stale victim's data is dead — the next access rebuilds
+			// it from the graph — so eviction drops the buffers without
+			// paying a spill write. Whatever the spill slot holds is
+			// older still; the slot's epoch tag guards against it ever
+			// being served.
+			sh.dirty = false
+		}
 		if sh.dirty {
 			err := m.ensureSpillLocked()
 			if err == nil {
-				err = m.spill.write(victim, sh.bits, sh.dist8, sh.dist32)
+				err = m.spill.write(victim, sh.epoch, sh.bits, sh.dist8, sh.dist32)
 			}
 			if err != nil {
 				m.lru.Touch(victim)
@@ -670,6 +1050,8 @@ func (m *ShardedMatrix) build(workers int, wide bool) error {
 	}
 	m.lru = container.NewIndexLRU(m.numShards)
 	m.resident = 0
+	m.curEpoch = m.dyn.Epoch()
+	m.staleCount = 0
 	m.spillLoads.Store(0)
 	m.peakResident = 0
 	m.symSnapshotPeak = 0
@@ -738,13 +1120,27 @@ func (m *ShardedMatrix) buildShard(s int, workers int, scratches []*rowScratch) 
 			sh.dist32[i] = noDist32
 		}
 	}
+	// Arm reach tracking: the fillers accumulate each row's plain-BFS
+	// reachable set per worker, merged below into the shard's touched
+	// bitset — what mutation invalidation tests edge endpoints against.
+	for _, sc := range scratches {
+		sc.resetReach(m.stride)
+	}
 	fill := relationRowFiller(m.g, m.kind, m.beam, m.exact, m.shardSink(sh, base))
 	err := parallelSweep(sh.rows, workers, func(w, i int) error {
 		return fill(sgraph.NodeID(base+i), scratches[w])
 	})
 
+	touched := make([]uint64, m.stride)
+	for _, sc := range scratches {
+		for i, w := range sc.reach {
+			touched[i] |= w
+		}
+	}
 	m.mu.Lock()
 	sh.dirty = true
+	sh.epoch = m.dyn.Epoch() // construction runs at epoch 0
+	sh.touched = touched
 	m.unpinLocked(s)
 	m.mu.Unlock()
 	return err
@@ -769,6 +1165,30 @@ func (m *ShardedMatrix) shardSink(sh *shardState, base int) rowSink {
 				return errDistOverflow
 			}
 			sh.dist8[r*m.n+int(v)] = uint8(d)
+			return nil
+		},
+	}
+}
+
+// slabSink is shardSink for a detached rebuild slab: the shard's
+// replacement buffers are filled before they are swapped into the
+// shard table, so concurrent readers never observe a half-built row.
+func (m *ShardedMatrix) slabSink(slab shardSlabs, base int) rowSink {
+	return rowSink{
+		row: func(u sgraph.NodeID) []uint64 {
+			r := int(u) - base
+			return slab.bits[r*m.stride : (r+1)*m.stride]
+		},
+		setDist: func(u, v sgraph.NodeID, d int32) error {
+			r := int(u) - base
+			if slab.dist32 != nil {
+				slab.dist32[r*m.n+int(v)] = d
+				return nil
+			}
+			if d > maxDist8 {
+				return errDistOverflow
+			}
+			slab.dist8[r*m.n+int(v)] = uint8(d)
 			return nil
 		},
 	}
@@ -805,7 +1225,10 @@ func (m *ShardedMatrix) symmetrise(workers int) error {
 				}
 				snap := snapshot[:len(shB.bits)]
 				copy(snap, shB.bits)
-				err = m.symmetriseTile(workers, shB, bBase, shardTile{
+				err = m.symmetriseTile(workers, shardTile{
+					bits: shB.bits, dist8: shB.dist8, dist32: shB.dist32,
+					base: bBase, rows: shB.rows,
+				}, shardTile{
 					bits: snap, dist8: shB.dist8, dist32: shB.dist32, base: bBase,
 					rows: shB.rows,
 				})
@@ -816,7 +1239,10 @@ func (m *ShardedMatrix) symmetrise(workers int) error {
 				if pinErr != nil {
 					return pinErr
 				}
-				err = m.symmetriseTile(workers, shB, bBase, shardTile{
+				err = m.symmetriseTile(workers, shardTile{
+					bits: shB.bits, dist8: shB.dist8, dist32: shB.dist32,
+					base: bBase, rows: shB.rows,
+				}, shardTile{
 					bits: shA.bits, dist8: shA.dist8, dist32: shA.dist32,
 					base: a * m.shardRows, rows: shA.rows,
 				})
@@ -836,8 +1262,10 @@ func (m *ShardedMatrix) symmetrise(workers int) error {
 	return nil
 }
 
-// shardTile is the read side of one symmetrise tile: the source
-// shard's slabs (or the diagonal snapshot) with its global row base.
+// shardTile is one side of a symmetrise tile: a shard's slabs (resident
+// state, a detached rebuild slab, or the diagonal snapshot) with its
+// global row base — detached from the shard table so the tile pass can
+// target buffers that are not swapped in yet.
 type shardTile struct {
 	bits   []uint64
 	dist8  []uint8
@@ -846,14 +1274,14 @@ type shardTile struct {
 	rows   int
 }
 
-// symmetriseTile rewrites, for every row u of shard dst, the columns
+// symmetriseTile rewrites, for every row u of tile dst, the columns
 // falling in src's row range with v < u: bit (u,v) := src bit (v,u)
 // and dist (u,v) := src dist (v,u). Writes land only in dst and reads
 // only in src's upper-triangle entries, so rows proceed in parallel.
-func (m *ShardedMatrix) symmetriseTile(workers int, dst *shardState, dstBase int, src shardTile) error {
+func (m *ShardedMatrix) symmetriseTile(workers int, dst, src shardTile) error {
 	stride, n := m.stride, m.n
 	return parallelSweep(dst.rows, workers, func(_, i int) error {
-		u := dstBase + i
+		u := dst.base + i
 		row := dst.bits[i*stride : (i+1)*stride]
 		vEnd := src.base + src.rows
 		if vEnd > u {
@@ -878,6 +1306,7 @@ func (m *ShardedMatrix) symmetriseTile(workers int, dst *shardState, dstBase int
 
 // Compile-time interface checks.
 var (
-	_ Relation       = (*ShardedMatrix)(nil)
-	_ PackedRelation = (*ShardedMatrix)(nil)
+	_ Relation        = (*ShardedMatrix)(nil)
+	_ PackedRelation  = (*ShardedMatrix)(nil)
+	_ MutableRelation = (*ShardedMatrix)(nil)
 )

@@ -71,14 +71,14 @@ func TestShardSpillBackendsRoundTrip(t *testing.T) {
 			for i := range sizes {
 				bits, d8, d32 := randomSlot(rng, words, dist, wide)
 				want = append(want, slot{bits, d8, d32})
-				if err := sp.write(i, bits, d8, d32); err != nil {
+				if err := sp.write(i, uint64(i), bits, d8, d32); err != nil {
 					t.Fatal(err)
 				}
 			}
 			var scratch []byte
 			for i := range sizes {
 				bits, d8, d32 := randomSlot(rng, words, dist, wide) // garbage to overwrite
-				scratch, err = sp.read(i, bits, d8, d32, scratch)
+				scratch, err = sp.read(i, uint64(i), bits, d8, d32, scratch)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -115,7 +115,7 @@ func TestShardSpillCloseIdempotent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sp.write(0, []uint64{1}, []uint8{2, 3, 4, 5, 6, 7, 8, 9}, nil); err != nil {
+		if err := sp.write(0, 0, []uint64{1}, []uint8{2, 3, 4, 5, 6, 7, 8, 9}, nil); err != nil {
 			t.Fatal(err)
 		}
 		if err := sp.close(); err != nil {
@@ -126,7 +126,7 @@ func TestShardSpillCloseIdempotent(t *testing.T) {
 				t.Fatalf("close #%d after close: %v", i+2, err)
 			}
 		}
-		if _, err := sp.read(0, []uint64{0}, make([]uint8, 8), nil, nil); err == nil {
+		if _, err := sp.read(0, 0, []uint64{0}, make([]uint8, 8), nil, nil); err == nil {
 			t.Fatal("read after close must error")
 		}
 	}
@@ -154,7 +154,7 @@ func TestShardSpillConcurrentReaders(t *testing.T) {
 		for i := 0; i < slots; i++ {
 			bits, d8, _ := randomSlot(rng, words, dist, false)
 			wantBits[i], wantD8[i] = bits, d8
-			if err := sp.write(i, bits, d8, nil); err != nil {
+			if err := sp.write(i, 7, bits, d8, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -167,7 +167,7 @@ func TestShardSpillConcurrentReaders(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				if err := sp.write(0, wantBits[0], wantD8[0], nil); err != nil {
+				if err := sp.write(0, 7, wantBits[0], wantD8[0], nil); err != nil {
 					errc <- err
 					return
 				}
@@ -183,7 +183,7 @@ func TestShardSpillConcurrentReaders(t *testing.T) {
 				var err error
 				for i := 0; i < 200; i++ {
 					s := 1 + (i+r)%(slots-1)
-					scratch, err = sp.read(s, bits, d8, nil, scratch)
+					scratch, err = sp.read(s, 7, bits, d8, nil, scratch)
 					if err != nil {
 						errc <- err
 						return

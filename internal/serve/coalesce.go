@@ -177,6 +177,11 @@ func (co *coalescer) run(k optsKey, w *window) {
 		bctx, cancel = context.WithDeadline(bctx, w.latest)
 		defer cancel()
 	}
+	// One snapshot pins the graph epoch for the whole window: every
+	// caller's answer reflects the same graph version, and a /mutate
+	// that raced the window waits for it rather than splitting it.
+	snap := co.s.snapshot()
+	defer snap.Release()
 	if len(w.callers) == 1 {
 		// A window of one coalesced nothing: plain solve, no batch
 		// bookkeeping, not counted.

@@ -42,6 +42,22 @@
 // the window. Each caller still honours its own deadline: a caller
 // whose context expires answers 504 even if the batch later completes.
 //
+// # Mutations
+//
+// With Options.EnableMutations (tfsnd -mutations) and a mutable engine,
+// POST /mutate?mut=op:u:v[:sign] applies one live edge mutation
+// (add / remove / flip; the spec grammar is cliflags.ParseMutation,
+// shared with tfsn's -mutate flag). Structural conflicts — adding an
+// edge that exists, removing one that doesn't — answer 409 so clients
+// can re-read and retry; malformed specs answer 400; GET answers 405.
+// A successful mutation returns the new graph epoch and the number of
+// shards it staled. Solves are isolated from concurrent mutations by
+// snapshots: every direct solve (and every coalescing window) pins the
+// engine's epoch for its duration, so a request sees one graph version
+// end to end and a racing /mutate waits for the pin to release. On
+// immutable engines the snapshot is a zero-value no-op and /mutate is
+// not registered (404).
+//
 // # Drain
 //
 // Graceful shutdown is a three-step contract with the owner (tfsnd):
@@ -58,6 +74,12 @@
 // /stats reports the server counters (admitted, shed, coalesced,
 // deadline-exceeded, in-flight — all atomics, safe to scrape while
 // solves are in flight), the solver's plan-cache counters, the sharded
-// engine's live counters when that engine is serving, and optionally a
-// startup relation scan. /healthz reports ready or draining.
+// engine's live counters when that engine is serving, a lock-free
+// fixed-bucket solve-latency histogram (histogram.go: power-of-two
+// microsecond buckets with mean and conservative p50/p99 upper
+// bounds, observed on every admitted solve with no allocation and no
+// lock on the request path), the mutation counters (epoch, mutations
+// applied, stale shards, rebuilds) when the engine is mutable, and
+// optionally a startup relation scan. /healthz reports ready or
+// draining.
 package serve

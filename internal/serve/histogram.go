@@ -1,0 +1,118 @@
+// The solve-latency histogram: fixed power-of-two microsecond buckets
+// behind plain atomic counters, so recording on the hot serving path
+// is one subtraction, one bit scan and one atomic add — no locks, no
+// allocation, no contention beyond the cache line the bucket lives on.
+// Fixed buckets mean the /stats scrape snapshots torn-free without
+// stopping writers, at the cost of quantiles that are upper bounds
+// rounded to the bucket boundary (a factor of two, which is what a
+// latency scrape needs: orders of magnitude, not microseconds).
+
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the bucket count: bucket i holds observations with
+// ceil(log2(us)) == i, i.e. (2^(i-1), 2^i] microseconds, with bucket 0
+// taking everything ≤ 1µs and the last bucket open-ended. 21 buckets
+// reach 2^20 µs ≈ 1.05 s before the overflow bucket, which brackets
+// any solve the deadline machinery would let live.
+const histBuckets = 21
+
+// latencyHistogram is the live, atomically updated histogram. The zero
+// value is ready to use.
+type latencyHistogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64 // total microseconds, for the mean
+}
+
+// observe records one duration. Safe for any number of concurrent
+// callers.
+func (h *latencyHistogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us))
+	if us > 0 && us == 1<<(i-1) {
+		i-- // exact powers of two belong to their own bucket
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(us)
+}
+
+// LatencyBucket is one histogram bucket in a /stats snapshot: the
+// inclusive upper bound in microseconds (0 on the open-ended last
+// bucket) and the observation count.
+type LatencyBucket struct {
+	LEMicros int64 `json:"le_us,omitempty"`
+	Count    int64 `json:"count"`
+}
+
+// LatencyStats is the JSON shape of a histogram snapshot. Quantiles
+// are bucket upper bounds: conservative to within a factor of two.
+type LatencyStats struct {
+	Count     int64           `json:"count"`
+	MeanUs    float64         `json:"mean_us"`
+	P50Us     int64           `json:"p50_us"`
+	P99Us     int64           `json:"p99_us"`
+	MaxLEUs   int64           `json:"max_le_us"` // highest non-empty bucket bound
+	Buckets   []LatencyBucket `json:"buckets,omitempty"`
+	truncated bool            // test hook: snapshot saw the overflow bucket
+}
+
+// snapshot reads the histogram. Each bucket load is atomic;
+// observations racing the scrape land in either this snapshot or the
+// next, never in a torn state.
+func (h *latencyHistogram) snapshot() LatencyStats {
+	var st LatencyStats
+	counts := make([]int64, histBuckets)
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		st.Count += counts[i]
+	}
+	sum := h.sum.Load()
+	if st.Count == 0 {
+		return st
+	}
+	st.MeanUs = float64(sum) / float64(st.Count)
+	bound := func(i int) int64 {
+		if i >= histBuckets-1 {
+			return 0 // open-ended
+		}
+		return 1 << i
+	}
+	quantile := func(q float64) int64 {
+		target := int64(q * float64(st.Count))
+		var seen int64
+		for i, c := range counts {
+			seen += c
+			if seen > target {
+				return bound(i)
+			}
+		}
+		return bound(histBuckets - 1)
+	}
+	st.P50Us = quantile(0.50)
+	st.P99Us = quantile(0.99)
+	for i := histBuckets - 1; i >= 0; i-- {
+		if counts[i] != 0 {
+			st.MaxLEUs = bound(i)
+			st.truncated = i == histBuckets-1
+			break
+		}
+	}
+	st.Buckets = make([]LatencyBucket, 0, histBuckets)
+	for i, c := range counts {
+		if c != 0 {
+			st.Buckets = append(st.Buckets, LatencyBucket{LEMicros: bound(i), Count: c})
+		}
+	}
+	return st
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLatencyHistogramBuckets pins the bucket edges: exact powers of
+// two land in their own bucket, the next microsecond in the next one,
+// zero in the first, and absurd durations in the open-ended last.
+func TestLatencyHistogramBuckets(t *testing.T) {
+	var h latencyHistogram
+	cases := []struct {
+		d      time.Duration
+		wantLE int64 // expected bucket bound, 0 = overflow
+	}{
+		{0, 1},
+		{time.Microsecond, 1},
+		{2 * time.Microsecond, 2},
+		{3 * time.Microsecond, 4},
+		{4 * time.Microsecond, 4},
+		{5 * time.Microsecond, 8},
+		{1024 * time.Microsecond, 1024},
+		{1025 * time.Microsecond, 2048},
+		{time.Hour, 0},
+	}
+	for _, c := range cases {
+		h.observe(c.d)
+		st := h.snapshot()
+		found := false
+		for _, b := range st.Buckets {
+			if b.LEMicros == c.wantLE && b.Count > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("observe(%v): no count in bucket le=%d (snapshot %+v)", c.d, c.wantLE, st)
+		}
+	}
+	st := h.snapshot()
+	if st.Count != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", st.Count, len(cases))
+	}
+	if !st.truncated {
+		t.Fatal("an observation beyond the last bound must land in the overflow bucket")
+	}
+	if st.MaxLEUs != 0 {
+		t.Fatalf("MaxLEUs = %d, want 0 (open-ended)", st.MaxLEUs)
+	}
+}
+
+// TestLatencyHistogramQuantiles: with a known distribution the
+// reported quantiles must be the bucket bounds bracketing the true
+// values, and the mean must be exact (it is a running sum).
+func TestLatencyHistogramQuantiles(t *testing.T) {
+	var h latencyHistogram
+	// 90 fast observations at 3µs, 10 slow at 3000µs.
+	for i := 0; i < 90; i++ {
+		h.observe(3 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(3000 * time.Microsecond)
+	}
+	st := h.snapshot()
+	if st.Count != 100 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.P50Us != 4 {
+		t.Fatalf("p50 = %dµs, want the 4µs bucket bound", st.P50Us)
+	}
+	if st.P99Us != 4096 {
+		t.Fatalf("p99 = %dµs, want the 4096µs bucket bound", st.P99Us)
+	}
+	wantMean := (90*3.0 + 10*3000.0) / 100
+	if st.MeanUs != wantMean {
+		t.Fatalf("mean = %vµs, want %v", st.MeanUs, wantMean)
+	}
+	if st.MaxLEUs != 4096 {
+		t.Fatalf("MaxLEUs = %d, want 4096", st.MaxLEUs)
+	}
+}
+
+// TestLatencyHistogramConcurrent hammers observe from many goroutines
+// while a scraper snapshots continuously; the final count must be
+// exact and scraped counts must never go backwards (each bucket is
+// monotone and scrapes are sequential). Run under -race in CI.
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	var h latencyHistogram
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scrapeErr := make(chan error, 1)
+	go func() {
+		var lastCount int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := h.snapshot()
+			if st.Count < lastCount {
+				select {
+				case scrapeErr <- errNonMonotone:
+				default:
+				}
+				return
+			}
+			lastCount = st.Count
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.observe(time.Duration(1+(i+w)%4096) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	select {
+	case err := <-scrapeErr:
+		t.Fatal(err)
+	default:
+	}
+	if st := h.snapshot(); st.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", st.Count, writers*perWriter)
+	}
+}
+
+var errNonMonotone = &histErr{"snapshot count went backwards"}
+
+type histErr struct{ msg string }
+
+func (e *histErr) Error() string { return e.msg }

@@ -49,6 +49,11 @@ type Options struct {
 	// all-pairs sweep, so the owner decides (tfsnd gates it behind a
 	// flag); nil omits the section.
 	Relation *compat.Stats
+	// EnableMutations exposes POST /mutate when the relation engine is
+	// mutable (implements compat.MutableRelation). Off by default: a
+	// serving deployment that wants an immutable corpus should not
+	// accept writes because the engine happens to support them.
+	EnableMutations bool
 }
 
 // Server is the serving layer: one engine, one solver, one admission
@@ -59,10 +64,17 @@ type Server struct {
 	solver *team.Solver
 	opts   Options
 
+	// mutable is the relation's mutation surface; nil when the engine
+	// is immutable or Options.EnableMutations is off. Solves acquire a
+	// snapshot from it so a /mutate cannot move the graph epoch under a
+	// request that is mid-answer.
+	mutable compat.MutableRelation
+
 	gate     gate
 	co       *coalescer // nil when coalescing is disabled
 	mux      *http.ServeMux
 	counters counters
+	latency  latencyHistogram // solve-endpoint latency, admit to respond
 	draining atomic.Bool
 
 	// baseCtx outlives individual requests (batch windows solve on it)
@@ -104,7 +116,23 @@ func New(rel compat.Relation, assign *skills.Assignment, opts Options) *Server {
 	s.mux.HandleFunc("/formtopk", s.handleTopK)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	if opts.EnableMutations {
+		if mr, ok := rel.(compat.MutableRelation); ok {
+			s.mutable = mr
+			s.mux.HandleFunc("/mutate", s.handleMutate)
+		}
+	}
 	return s
+}
+
+// snapshot pins the relation epoch for the duration of one solve; on
+// an immutable engine (or with mutations disabled) it returns the
+// zero Snapshot, whose Release is a no-op.
+func (s *Server) snapshot() compat.Snapshot {
+	if s.mutable == nil {
+		return compat.Snapshot{}
+	}
+	return s.mutable.AcquireSnapshot()
 }
 
 // Handler returns the server's HTTP handler.
@@ -308,6 +336,8 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	start := time.Now()
+	defer func() { s.latency.observe(time.Since(start)) }()
 	task, err := s.parseTask(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
@@ -336,7 +366,10 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 	}
 	tm := s.teams.Get().(*team.Team)
 	defer s.teams.Put(tm)
-	if err := s.solveOne(ctx, task, opts, tm); err != nil {
+	snap := s.snapshot()
+	err = s.solveOne(ctx, task, opts, tm)
+	snap.Release()
+	if err != nil {
 		s.writeSolveError(w, err)
 		return
 	}
@@ -351,6 +384,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	start := time.Now()
+	defer func() { s.latency.observe(time.Since(start)) }()
 	task, err := s.parseTask(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
@@ -375,7 +410,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
+	snap := s.snapshot()
 	teams, err := s.solver.FormTopKContext(ctx, task, opts, k)
+	snap.Release()
 	if err != nil {
 		s.writeSolveError(w, err)
 		return
@@ -388,6 +425,52 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		Found bool         `json:"found"`
 		Teams []teamResult `json:"teams"`
 	}{Found: true, Teams: results})
+}
+
+// mutateResult is the JSON shape of an applied mutation.
+type mutateResult struct {
+	Epoch       uint64 `json:"epoch"`
+	DirtyShards int    `json:"dirty_shards"`
+}
+
+// handleMutate applies one graph mutation. The spec arrives in the
+// mut query parameter using the shared cliflags spelling
+// ("flip:1:2", "add:3:4:-", "remove:5:6"), so a curl that works here
+// works verbatim as a -mutate flag value. Registered only when the
+// engine is mutable and Options.EnableMutations is set. POST only:
+// a mutation moves the graph epoch and retires cached plans, so it
+// must never ride on a cacheable GET. The response carries the new
+// epoch and how many shards the mutation dirtied (0 on unsharded
+// engines).
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResult{Error: "mutations require POST"})
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	mut, err := cliflags.ParseMutation(r.URL.Query().Get("mut"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
+		return
+	}
+	res, err := s.mutable.Mutate(mut)
+	if err != nil {
+		// Structure conflicts (duplicate add, missing edge) are the
+		// caller's state being stale — 409 so clients can re-read and
+		// retry; anything else (bad node IDs) is a bad request.
+		code := http.StatusBadRequest
+		if errors.Is(err, sgraph.ErrEdgeExists) || errors.Is(err, sgraph.ErrNoSuchEdge) {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, errorResult{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, mutateResult{Epoch: res.Epoch, DirtyShards: res.DirtyShards})
 }
 
 // handleHealthz reports ready (200) or draining (503) — the signal a
@@ -429,6 +512,12 @@ type statsPayload struct {
 	Draining  bool                `json:"draining"`
 	Server    ServerStats         `json:"server"`
 	PlanCache team.PlanCacheStats `json:"plan_cache"`
+	// Latency is the solve-endpoint latency histogram (admit to
+	// respond), omitted until the first solve.
+	Latency *LatencyStats `json:"latency,omitempty"`
+	// Mutation carries the engine's epoch and invalidation counters;
+	// present whenever /mutate is enabled.
+	Mutation *compat.MutationStats `json:"mutation,omitempty"`
 	// Sharded carries the sharded engine's live counters; omitted on
 	// the other engines.
 	Sharded *compat.EngineStats `json:"sharded,omitempty"`
@@ -446,6 +535,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Server:    s.counters.snapshot(),
 		PlanCache: s.solver.PlanCacheStats(),
 		Relation:  s.relStats,
+	}
+	if lat := s.latency.snapshot(); lat.Count > 0 {
+		p.Latency = &lat
+	}
+	if s.mutable != nil {
+		mst := s.mutable.MutationStats()
+		p.Mutation = &mst
 	}
 	if m, ok := s.rel.(*compat.ShardedMatrix); ok {
 		live := m.LiveStats()

@@ -7,6 +7,12 @@
 // which validates signs, rejects self-loops and contradictory duplicate
 // edges, and produces sorted adjacency lists so that edge-sign lookups
 // are O(log degree).
+//
+// Mutation happens one level up: Dynamic (dynamic.go) wraps a Graph and
+// applies edge Mutations (add / remove / flip) by deriving a fresh
+// immutable Graph with structural sharing, publishing it atomically
+// under a monotonically increasing epoch. Readers snapshot a
+// (graph, epoch) pair and are never exposed to a half-applied change.
 package sgraph
 
 import (

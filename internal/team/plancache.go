@@ -114,23 +114,30 @@ func (c *planCache) canonicalLocked(task skills.Task) skills.Task {
 	return skills.Task(out)
 }
 
-// planKeyHash hashes the canonical task and the options fingerprint
-// (the package-shared FNV-1a mix). Options.Rng is deliberately
-// excluded: it is unused by the cacheable policies, and RandomUser
-// never reaches the cache.
-func planKeyHash(task skills.Task, opts Options) uint64 {
+// planKeyHash hashes the canonical task, the options fingerprint and
+// the relation epoch the plan serves (the package-shared FNV-1a mix).
+// Mixing the epoch means a mutation retires every cached plan at once:
+// post-mutation lookups hash to fresh buckets, and the stale entries
+// age out through the LRU instead of ever being served. Options.Rng is
+// deliberately excluded: it is unused by the cacheable policies, and
+// RandomUser never reaches the cache.
+func planKeyHash(task skills.Task, opts Options, epoch uint64) uint64 {
 	h := fnvOffset
 	for _, s := range task {
 		h = fnvMix(h, uint64(uint32(s)), 4)
 	}
 	h = fnvMix(h, uint64(uint32(opts.Skill))<<32|uint64(uint32(opts.User)), 8)
 	h = fnvMix(h, uint64(uint32(opts.Cost))<<32|uint64(uint32(opts.MaxSeeds)), 8)
+	h = fnvMix(h, epoch, 8)
 	return h
 }
 
 // planMatches reports whether a cached plan serves exactly the given
-// canonical task under the given options.
-func planMatches(p *TaskPlan, task skills.Task, opts Options) bool {
+// canonical task under the given options at the given relation epoch.
+func planMatches(p *TaskPlan, task skills.Task, opts Options, epoch uint64) bool {
+	if p.epoch != epoch {
+		return false
+	}
 	if p.opts.Skill != opts.Skill || p.opts.User != opts.User ||
 		p.opts.Cost != opts.Cost || p.opts.MaxSeeds != opts.MaxSeeds {
 		return false
@@ -146,15 +153,16 @@ func planMatches(p *TaskPlan, task skills.Task, opts Options) bool {
 	return true
 }
 
-// lookup returns the cached plan for (task, opts), counting a hit or
-// a miss. Allocation-free for canonical tasks.
-func (c *planCache) lookup(task skills.Task, opts Options) (*TaskPlan, bool) {
+// lookup returns the cached plan for (task, opts) at the given
+// relation epoch, counting a hit or a miss. Allocation-free for
+// canonical tasks.
+func (c *planCache) lookup(task skills.Task, opts Options, epoch uint64) (*TaskPlan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	canonical := c.canonicalLocked(task)
-	h := planKeyHash(canonical, opts)
+	h := planKeyHash(canonical, opts, epoch)
 	for _, idx := range c.byHash[h] {
-		if planMatches(c.slots[idx].plan, canonical, opts) {
+		if planMatches(c.slots[idx].plan, canonical, opts, epoch) {
 			c.lru.Touch(int(idx))
 			c.hits++
 			if c.slots[idx].plan.planErr != nil {
@@ -174,9 +182,9 @@ func (c *planCache) lookup(task skills.Task, opts Options) (*TaskPlan, bool) {
 func (c *planCache) insert(p *TaskPlan) *TaskPlan {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	h := planKeyHash(p.task, p.opts)
+	h := planKeyHash(p.task, p.opts, p.epoch)
 	for _, idx := range c.byHash[h] {
-		if planMatches(c.slots[idx].plan, p.task, p.opts) {
+		if planMatches(c.slots[idx].plan, p.task, p.opts, p.epoch) {
 			c.lru.Touch(int(idx))
 			return c.slots[idx].plan
 		}

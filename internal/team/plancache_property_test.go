@@ -49,7 +49,7 @@ func TestPlanCacheCanonicalisationProperty(t *testing.T) {
 			}
 		}
 		slices.Sort(canon)
-		wantHash := planKeyHash(canon, opts)
+		wantHash := planKeyHash(canon, opts, 0)
 
 		// Publish a plan under the canonical key, exactly as a solve
 		// would (planWith stores the canonical task in the plan).
@@ -66,10 +66,10 @@ func TestPlanCacheCanonicalisationProperty(t *testing.T) {
 			if !slices.Equal(gotCanon, canon) {
 				t.Fatalf("trial %d: canonicalLocked(%v) = %v, want %v", trial, spelled, gotCanon, canon)
 			}
-			if h := planKeyHash(gotCanon, opts); h != wantHash {
+			if h := planKeyHash(gotCanon, opts, 0); h != wantHash {
 				t.Fatalf("trial %d: spelling %v hashed to %#x, canonical to %#x", trial, spelled, h, wantHash)
 			}
-			got, ok := c.lookup(spelled, opts)
+			got, ok := c.lookup(spelled, opts, 0)
 			if !ok || got != plan {
 				t.Fatalf("trial %d: spelling %v missed the canonical entry (ok=%v)", trial, spelled, ok)
 			}
@@ -85,7 +85,7 @@ func TestPlanCacheCanonicalisationProperty(t *testing.T) {
 				break
 			}
 		}
-		if _, ok := c.lookup(mut, opts); ok {
+		if _, ok := c.lookup(mut, opts, 0); ok {
 			t.Fatalf("trial %d: mutated task %v (from %v) hit the cache", trial, mut, canon)
 		}
 		st := c.stats()

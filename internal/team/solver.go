@@ -66,11 +66,12 @@ type SolverOptions struct {
 // concurrent use; the relation and assignment must not change
 // underneath it.
 type Solver struct {
-	rel    compat.Relation
-	assign *skills.Assignment
-	packed compat.PackedRelation // non-nil on matrix/sharded engines
-	matrix *compat.CompatMatrix  // non-nil on the monolithic matrix engine
-	n      int                   // node count of the relation's graph
+	rel     compat.Relation
+	assign  *skills.Assignment
+	packed  compat.PackedRelation  // non-nil on matrix/sharded engines
+	matrix  *compat.CompatMatrix   // non-nil on the monolithic matrix engine
+	mutable compat.MutableRelation // non-nil on mutable engines: epoch-keys the plan cache
+	n       int                    // node count of the relation's graph
 
 	workers int
 	scratch sync.Pool  // *scratch
@@ -93,6 +94,9 @@ func NewSolver(rel compat.Relation, assign *skills.Assignment, opts SolverOption
 	// instead of interface dispatch.
 	if cm, ok := rel.(*compat.CompatMatrix); ok {
 		s.matrix = cm
+	}
+	if mr, ok := rel.(compat.MutableRelation); ok {
+		s.mutable = mr
 	}
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
@@ -264,6 +268,7 @@ type TaskPlan struct {
 	s     *Solver
 	opts  Options
 	task  skills.Task // canonical (sorted, distinct), copied
+	epoch uint64      // relation epoch the plan compiled against
 	empty bool
 	// planErr marks a negative cache entry: the plan-time ErrNoTeam
 	// this (task, options) key deterministically produces. Negative
@@ -310,7 +315,15 @@ func (s *Solver) planFor(ctx context.Context, task skills.Task, opts Options, sc
 	if s.plans == nil || opts.User == RandomUser {
 		return s.planWith(ctx, task, opts, sc)
 	}
-	if p, ok := s.plans.lookup(task, opts); ok {
+	// Plans are keyed by the relation epoch they compiled against, so a
+	// graph mutation invalidates every cached plan (positive and
+	// negative) in one stroke: the next lookup carries the new epoch,
+	// misses, and recompiles against the mutated relation. The epoch is
+	// read once so lookup and insert agree even if a mutation races the
+	// compile — the worst case is a plan stamped one epoch behind, which
+	// simply never matches again.
+	epoch := s.relEpoch()
+	if p, ok := s.plans.lookup(task, opts, epoch); ok {
 		if p.planErr != nil {
 			return nil, p.planErr
 		}
@@ -323,12 +336,24 @@ func (s *Solver) planFor(ctx context.Context, task skills.Task, opts Options, sc
 				s:       s,
 				opts:    opts,
 				task:    skills.NewTask(task...),
+				epoch:   epoch,
 				planErr: err,
 			})
 		}
 		return nil, err
 	}
+	p.epoch = epoch
 	return s.plans.insert(p), nil
+}
+
+// relEpoch returns the relation's current mutation epoch, or 0 when
+// the backing engine is immutable (epoch keying then degenerates to a
+// constant and the cache behaves exactly as before mutability).
+func (s *Solver) relEpoch() uint64 {
+	if s.mutable == nil {
+		return 0
+	}
+	return s.mutable.Epoch()
 }
 
 // planWith compiles a plan using sc's compile buffers (ranking keys,
