@@ -259,7 +259,8 @@ func runBatch(ctx context.Context, cfg config, d *datasets.Dataset, rel compat.R
 		}
 		tasks[i] = t
 	}
-	fmt.Printf("relation %v (engine=%s), policies %v/%v, cost %v\n", kind, engine, opts.Skill, opts.User, opts.Cost)
+	fmt.Printf("relation %v (engine=%s, kernels=%s), policies %v/%v, cost %v\n",
+		kind, engine, compat.KernelsVariant(), opts.Skill, opts.User, opts.Cost)
 	fmt.Printf("batch    %d random tasks of %d skills\n\n", cfg.batch, cfg.k)
 
 	start := time.Now()

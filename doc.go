@@ -52,10 +52,11 @@
 //     bounded resident memory, for graphs whose full matrix does not
 //     fit. Remember to Close it.
 //
-// One measurement caveat: ComputeRelationStats on an SBPH relation
-// depends on the engine. The packed engines measure the symmetrised
-// relation the Relation interface exposes, while the lazy engine
-// streams the directed heuristic's rows; see RelationStats.
+// ComputeRelationStats measures the symmetrised relation the
+// Relation interface exposes on every engine — including SBPH, whose
+// directed lazy rows are scanned over their canonical upper triangle;
+// the directed heuristic measurement remains available through
+// StatsOptions.DirectedSBPH. See RelationStats.
 //
 // The subpackages used by the paper's evaluation — synthetic dataset
 // stand-ins, the experiment harness regenerating every table and

@@ -90,16 +90,28 @@
 // engine vs a fresh build after random mutation programs), repeated
 // race runs of mutator-vs-reader traffic, and native fuzz targets.
 //
-// # The SBPH statistics caveat
+// # SBPH symmetry and statistics
 //
 // The SBPH heuristic is directional: its search from u may reach v
 // while the search from v misses u. The Relation interface restores
 // the symmetry the Comp relation requires by canonicalising queries
 // (entry (u,v) is the search from min(u,v) to max(u,v)), and the
-// packed engines materialise exactly that symmetrised relation. The
-// lazy engine's ComputeStats, however, streams the *directed*
-// heuristic rows — what the paper's algorithm emits — so SBPH
-// statistics can differ between the lazy and the packed engines on
-// directed-asymmetric pairs. All other kinds have symmetric rows and
-// agree exactly across engines. See Stats and CompatMatrix.
+// packed engines materialise exactly that symmetrised relation.
+// ComputeStats measures the same symmetrised relation on every
+// engine — on a full scan the lazy engine reads directed SBPH rows
+// over their canonical upper triangle, so full-scan SBPH statistics
+// agree across engines bit for bit. Sampled scans stream the whole
+// directed row as a proxy (the canonical entry of a (v<u, u) pair
+// lives in a row the sample may not include), so sampled SBPH
+// estimates can differ from a packed engine's in the second decimal.
+// The directed measurement, what the paper's algorithm emits row by
+// row, remains available via StatsOptions.DirectedSBPH. See Stats.
+//
+// # Kernels
+//
+// The word-level inner loops every engine and the team solver lean on
+// — row AND/popcount, the fused candidate argmin, SWAR uint8 row
+// scans — live in internal/kernels, with portable and GOAMD64=v3
+// variants selected at compile time. KernelsVariant (surfaced through
+// Stats.Kernels) names the compiled-in one.
 package compat

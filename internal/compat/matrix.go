@@ -84,10 +84,11 @@ type matrixState struct {
 // heuristic search from min(u,v) to max(u,v)). The diagonal is always
 // compatible at distance 0, mirroring Relation's reflexivity.
 //
-// The only intentional divergence is ComputeStats on an SBPH matrix:
-// the lazy engine streams the *directed* heuristic rows, while matrix
-// rows are already symmetrised, so directed-asymmetric pairs can count
-// differently. All other kinds have symmetric rows and agree exactly.
+// ComputeStats agrees across engines too — on every kind: since the
+// stats unification, directed SBPH row streams are measured over
+// their canonical upper triangle, which reproduces exactly the
+// symmetrised rows materialised here (StatsOptions.DirectedSBPH
+// restores the directed measurement).
 type CompatMatrix struct {
 	dyn     *sgraph.Dynamic
 	kind    Kind

@@ -195,6 +195,13 @@ func (b *baseRelation) supportsRowScratch() bool {
 	return b.cache.computeScratch != nil
 }
 
+// streamsDirectedRows reports that computeRow emits directed rows
+// which the Relation interface only serves after canonicalisation —
+// true exactly for the relations with canonical set (SBPH). It is the
+// ComputeStats hook for measuring the symmetrised relation off
+// directed row streams; see StatsOptions.DirectedSBPH.
+func (b *baseRelation) streamsDirectedRows() bool { return b.canonical }
+
 func (b *baseRelation) Compatible(u, v sgraph.NodeID) (bool, error) {
 	if u == v {
 		return true, nil // reflexivity

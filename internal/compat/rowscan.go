@@ -1,0 +1,290 @@
+// Bulk row scans over the packed engines, built on internal/kernels:
+// the batched AND/popcount the team planner's degree passes use (one
+// engine-state resolution — and, on the sharded engine, one lock —
+// for a whole run of rows, instead of one per row), and DistRows, the
+// distance-row collection behind the solver's fused MinDistance pick
+// and cost scans.
+
+package compat
+
+import (
+	"math/bits"
+
+	"repro/internal/kernels"
+	"repro/internal/sgraph"
+)
+
+// The u8 kernels treat kernels.Undefined lanes as "no defined
+// distance"; that only works because it is the same byte as the
+// packed engines' noDist8 sentinel. Both directions compile to 0 iff
+// the constants agree.
+const (
+	_ uint8 = noDist8 - kernels.Undefined
+	_ uint8 = kernels.Undefined - noDist8
+)
+
+// KernelsVariant reports which internal/kernels implementation the
+// binary was compiled with ("portable", or "amd64v3" under
+// GOAMD64=v3) — stamped into Stats, the tfsn batch report and the
+// daemon's /stats so recorded numbers stay attributable.
+func KernelsVariant() string { return kernels.Variant() }
+
+// RowAndCounter is the bulk AND/popcount capability of the packed
+// engines. Both methods compute popcount(row(u) AND mask) per row
+// with the engine state resolved once for the whole call: on
+// CompatMatrix that skips one atomic load plus epoch check per row,
+// on ShardedMatrix one mutex acquisition per row — the dominant cost
+// of the plan-compile degree passes, which call this instead of
+// iterating RowWords. mask must have at least WordsPerRow words.
+type RowAndCounter interface {
+	// AndCountRows returns Σ_u popcount(row(u) AND mask).
+	AndCountRows(us []sgraph.NodeID, mask []uint64) (int64, error)
+	// AndCountRowsEach writes popcount(row(us[i]) AND mask) into
+	// counts[i]; counts must be at least as long as us.
+	AndCountRowsEach(us []sgraph.NodeID, mask []uint64, counts []int32) error
+}
+
+// AndCountRows implements RowAndCounter: the epoch check and (after a
+// mutation) the rebuild happen once, then every row is a slice
+// expression into the published slab.
+func (m *CompatMatrix) AndCountRows(us []sgraph.NodeID, mask []uint64) (int64, error) {
+	st, err := m.cur()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, u := range us {
+		total += int64(kernels.AndCount(st.rowWords(m.stride, u), mask))
+	}
+	return total, nil
+}
+
+// AndCountRowsEach implements RowAndCounter; see AndCountRows.
+func (m *CompatMatrix) AndCountRowsEach(us []sgraph.NodeID, mask []uint64, counts []int32) error {
+	st, err := m.cur()
+	if err != nil {
+		return err
+	}
+	for i, u := range us {
+		counts[i] = int32(kernels.AndCount(st.rowWords(m.stride, u), mask))
+	}
+	return nil
+}
+
+// andCountRowsFunc is the shared sharded implementation: one mutex
+// acquisition for the whole batch, with rows resolved shard by shard
+// (consecutive us usually land in the same shard — holder and pool
+// slices are sorted). Stale shards rebuild exactly as rowView does;
+// the sweep-prefetch bookkeeping is deliberately skipped, because a
+// degree pass is random access, not the sequential sweep the detector
+// predicts. emit receives (i, count) per row.
+func (m *ShardedMatrix) andCountRows(us []sgraph.NodeID, mask []uint64, emit func(i int, c int)) error {
+	m.mu.Lock()
+	lastShard := -1
+	var cur *shardState
+	for i, u := range us {
+		s := int(u) / m.shardRows
+		if s != lastShard {
+			for m.shards[s].stale {
+				m.mu.Unlock()
+				if err := m.freshen(s); err != nil {
+					return err
+				}
+				m.mu.Lock()
+			}
+			sh, err := m.residentLocked(s)
+			if err != nil {
+				m.mu.Unlock()
+				return err
+			}
+			lastShard, cur = s, sh
+		}
+		r := int(u) - s*m.shardRows
+		emit(i, kernels.AndCount(cur.bits[r*m.stride:(r+1)*m.stride], mask))
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// AndCountRows implements RowAndCounter; see andCountRows.
+func (m *ShardedMatrix) AndCountRows(us []sgraph.NodeID, mask []uint64) (int64, error) {
+	var total int64
+	err := m.andCountRows(us, mask, func(_, c int) { total += int64(c) })
+	return total, err
+}
+
+// AndCountRowsEach implements RowAndCounter; see andCountRows.
+func (m *ShardedMatrix) AndCountRowsEach(us []sgraph.NodeID, mask []uint64, counts []int32) error {
+	return m.andCountRows(us, mask, func(i, c int) { counts[i] = int32(c) })
+}
+
+// Min returns the smallest defined distance in the row, the node
+// holding it (first occurrence), and whether any entry is defined —
+// the SWAR min-scan (kernels.MinU8) on uint8-packed rows, a scalar
+// scan after int32 promotion.
+func (r DistRow) Min() (int32, sgraph.NodeID, bool) {
+	if r.d32 != nil {
+		best, idx := int32(0), -1
+		for i, d := range r.d32 {
+			if d != noDist32 && (idx < 0 || d < best) {
+				best, idx = d, i
+			}
+		}
+		if idx < 0 {
+			return 0, 0, false
+		}
+		return best, sgraph.NodeID(idx), true
+	}
+	d, i, ok := kernels.MinU8(r.d8)
+	if !ok {
+		return 0, 0, false
+	}
+	return int32(d), sgraph.NodeID(i), true
+}
+
+// MinExcluding is Min with one node excluded — the closest-partner
+// query: engine rows carry the reflexive 0 at the source node itself,
+// so a plain Min over a source's own row always answers (0, source).
+// Excluding a byte lane splits the row into two kernel scans; ties
+// still resolve to the smallest id.
+func (r DistRow) MinExcluding(skip sgraph.NodeID) (int32, sgraph.NodeID, bool) {
+	if r.d32 != nil {
+		best, idx := int32(0), -1
+		for i, d := range r.d32 {
+			if sgraph.NodeID(i) != skip && d != noDist32 && (idx < 0 || d < best) {
+				best, idx = d, i
+			}
+		}
+		if idx < 0 {
+			return 0, 0, false
+		}
+		return best, sgraph.NodeID(idx), true
+	}
+	if int(skip) < 0 || int(skip) >= len(r.d8) {
+		return (DistRow{d8: r.d8}).Min()
+	}
+	lD, lI, lOK := kernels.MinU8(r.d8[:skip])
+	rD, rI, rOK := kernels.MinU8(r.d8[skip+1:])
+	switch {
+	case lOK && (!rOK || lD <= rD):
+		return int32(lD), sgraph.NodeID(lI), true
+	case rOK:
+		return int32(rD), skip + 1 + sgraph.NodeID(rI), true
+	default:
+		return 0, 0, false
+	}
+}
+
+// DistRows is a reusable collection of packed distance rows — the
+// team solver's per-scratch cache of its members' rows. It keeps the
+// raw uint8 lanes alongside the DistRow views so the fused scans can
+// hand the whole stack to the u8 kernels when every row is
+// byte-packed (the engines promote to int32 only after a distance
+// overflows uint8, in which case every scan takes the generic path).
+type DistRows struct {
+	rows  []DistRow
+	d8    [][]uint8 // aligned with rows; nil entries on promoted rows
+	notU8 int       // how many rows have no u8 lanes
+}
+
+// Len returns the number of rows.
+func (rs *DistRows) Len() int { return len(rs.rows) }
+
+// Reset empties the collection, keeping capacity.
+func (rs *DistRows) Reset() {
+	rs.rows = rs.rows[:0]
+	rs.d8 = rs.d8[:0]
+	rs.notU8 = 0
+}
+
+// Append adds one row.
+func (rs *DistRows) Append(r DistRow) {
+	rs.rows = append(rs.rows, r)
+	rs.d8 = append(rs.d8, r.d8)
+	if r.d8 == nil {
+		rs.notU8++
+	}
+}
+
+// Clear is Reset plus dropping every cached view over the full
+// capacity of the backing arrays: row views can alias engine slabs
+// (a whole shard on the sharded engine), so a pooled scratch must not
+// retain them past its use.
+func (rs *DistRows) Clear() {
+	rows := rs.rows[:cap(rs.rows)]
+	for i := range rows {
+		rows[i] = DistRow{}
+	}
+	d8 := rs.d8[:cap(rs.d8)]
+	for i := range d8 {
+		d8[i] = nil
+	}
+	rs.rows, rs.d8, rs.notU8 = rows[:0], d8[:0], 0
+}
+
+// At indexes row i at v, as DistRow.At.
+func (rs *DistRows) At(i int, v sgraph.NodeID) (int32, bool) { return rs.rows[i].At(v) }
+
+// Contribution scores node v against the first k rows: the maximum
+// distance (sum=false, the Diameter cost) or the total (sum=true,
+// SumDistance), with ok=false when any of those rows has no defined
+// distance to v. It is the one scoring loop shared by the solver's
+// pick fallbacks and cost functions.
+func (rs *DistRows) Contribution(k int, v sgraph.NodeID, sum bool) (int32, bool) {
+	c := int32(0)
+	for i := 0; i < k; i++ {
+		d, ok := rs.rows[i].At(v)
+		if !ok {
+			return 0, false
+		}
+		if sum {
+			c += d
+		} else if d > c {
+			c = d
+		}
+	}
+	return c, true
+}
+
+// PickMin is the fused AND-popcount-argmin pick: among the candidate
+// nodes marked in (holder AND mask) — never materialised — it returns
+// the one with the smallest Contribution over all rows, ties to the
+// smallest id, ok=false when no candidate has a defined score. When
+// every row is uint8-packed this is one kernel pass (ArgminMaxU8 /
+// ArgminSumU8); otherwise a scalar scan over the same candidate
+// enumeration, so the picked node is identical either way. holder and
+// mask must be row-word-aligned (WordsPerRow) with zero tail bits.
+func (rs *DistRows) PickMin(holder, mask []uint64, sum bool) (sgraph.NodeID, bool) {
+	if rs.notU8 == 0 && len(rs.rows) > 0 {
+		if sum {
+			idx, _, ok := kernels.ArgminSumU8(rs.d8, holder, mask)
+			return sgraph.NodeID(idx), ok
+		}
+		idx, _, ok := kernels.ArgminMaxU8(rs.d8, holder, mask)
+		return sgraph.NodeID(idx), ok
+	}
+	best := sgraph.NodeID(-1)
+	bestScore := int32(0)
+	if len(mask) > len(holder) {
+		mask = mask[:len(holder)]
+	}
+	for wi, hw := range holder {
+		w := hw & mask[wi]
+		base := wi * 64
+		for w != 0 {
+			v := sgraph.NodeID(base + bits.TrailingZeros64(w))
+			w &= w - 1
+			score, ok := rs.Contribution(len(rs.rows), v, sum)
+			if !ok {
+				continue
+			}
+			if best == -1 || score < bestScore {
+				best, bestScore = v, score
+			}
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,275 @@
+package compat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/sgraph"
+)
+
+// TestAndCountRowsMatchPerRow: the bulk RowAndCounter methods must
+// return exactly what a per-row RowWords + container.AndCount loop
+// does, on both packed engines — including sharded configurations
+// where the row batch crosses shard boundaries and evicts residents.
+func TestAndCountRowsMatchPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	for trial := 0; trial < 4; trial++ {
+		n := 40 + rng.Intn(60)
+		g := randomSignedGraph(rng, n, 4*n, 0.3)
+		engines := []struct {
+			name string
+			rel  PackedRelation
+		}{
+			{"matrix", MustNewMatrix(SPO, g, MatrixOptions{})},
+			{"sharded", MustNewSharded(SPO, g, ShardedOptions{ShardRows: 7, MaxResidentShards: 2})},
+		}
+		// A random mask with zeroed tail bits, like the holder sets the
+		// degree passes pass in.
+		mask := container.NewBitset(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				mask.Set(v)
+			}
+		}
+		// A batch of rows in random order, with repeats, so the sharded
+		// walk exercises shard switches and the lastShard cache alike.
+		us := make([]sgraph.NodeID, 0, n)
+		for i := 0; i < n; i++ {
+			us = append(us, sgraph.NodeID(rng.Intn(n)))
+		}
+		for _, e := range engines {
+			rc, ok := e.rel.(RowAndCounter)
+			if !ok {
+				t.Fatalf("trial %d %s: engine does not implement RowAndCounter", trial, e.name)
+			}
+			var wantSum int64
+			want := make([]int32, len(us))
+			for i, u := range us {
+				c := int32(container.AndCount(e.rel.RowWords(u), mask.Words()))
+				want[i] = c
+				wantSum += int64(c)
+			}
+			gotSum, err := rc.AndCountRows(us, mask.Words())
+			if err != nil {
+				t.Fatalf("trial %d %s: AndCountRows: %v", trial, e.name, err)
+			}
+			if gotSum != wantSum {
+				t.Fatalf("trial %d %s: AndCountRows = %d, want %d", trial, e.name, gotSum, wantSum)
+			}
+			got := make([]int32, len(us))
+			if err := rc.AndCountRowsEach(us, mask.Words(), got); err != nil {
+				t.Fatalf("trial %d %s: AndCountRowsEach: %v", trial, e.name, err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %s: AndCountRowsEach[%d] (row %d) = %d, want %d",
+						trial, e.name, i, us[i], got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDistRowMin: Min must return the smallest defined distance and
+// its first holder, matching a scalar At sweep, on both the uint8 and
+// the promoted int32 packing.
+func TestDistRowMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(802))
+	g := randomSignedGraph(rng, 90, 360, 0.3)
+	m := MustNewMatrix(SPA, g, MatrixOptions{})
+	n := g.NumNodes()
+	for u := sgraph.NodeID(0); int(u) < n; u++ {
+		row := m.DistanceRow(u)
+		wantD, wantV, wantOK := int32(0), sgraph.NodeID(-1), false
+		for v := sgraph.NodeID(0); int(v) < n; v++ {
+			if d, ok := row.At(v); ok && (!wantOK || d < wantD) {
+				wantD, wantV, wantOK = d, v, true
+			}
+		}
+		gotD, gotV, gotOK := row.Min()
+		if gotOK != wantOK || (wantOK && (gotD != wantD || gotV != wantV)) {
+			t.Fatalf("row %d: Min = (%d,%d,%v), want (%d,%d,%v)", u, gotD, gotV, gotOK, wantD, wantV, wantOK)
+		}
+		// MinExcluding(u): the closest partner, skipping the reflexive
+		// diagonal 0 that plain Min always lands on.
+		wantD, wantV, wantOK = 0, -1, false
+		for v := sgraph.NodeID(0); int(v) < n; v++ {
+			if v == u {
+				continue
+			}
+			if d, ok := row.At(v); ok && (!wantOK || d < wantD) {
+				wantD, wantV, wantOK = d, v, true
+			}
+		}
+		gotD, gotV, gotOK = row.MinExcluding(u)
+		if gotOK != wantOK || (wantOK && (gotD != wantD || gotV != wantV)) {
+			t.Fatalf("row %d: MinExcluding = (%d,%d,%v), want (%d,%d,%v)", u, gotD, gotV, gotOK, wantD, wantV, wantOK)
+		}
+	}
+	// Promoted rows: a long path graph forces the int32 fallback.
+	b := sgraph.NewBuilder(300)
+	for i := 0; i < 299; i++ {
+		b.AddEdge(sgraph.NodeID(i), sgraph.NodeID(i+1), sgraph.Positive)
+	}
+	wide := MustNewMatrix(SPA, b.MustBuild(), MatrixOptions{})
+	row := wide.DistanceRow(299)
+	if d, v, ok := row.Min(); !ok || d != 0 || v != 299 {
+		t.Fatalf("promoted Min = (%d,%d,%v), want (0,299,true)", d, v, ok)
+	}
+}
+
+// TestDistRowsPickMinMatchesScalar: the fused PickMin (kernel path on
+// all-u8 stacks) must pick the same node as a scalar enumeration of
+// (holder AND mask) scored by Contribution — same smallest-id
+// tie-break included — for both the Diameter (max) and SumDistance
+// costs.
+func TestDistRowsPickMinMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(803))
+	for trial := 0; trial < 6; trial++ {
+		n := 30 + rng.Intn(100)
+		g := randomSignedGraph(rng, n, 3*n, 0.35)
+		m := MustNewMatrix(SPO, g, MatrixOptions{})
+		var rs DistRows
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			rs.Append(m.DistanceRow(sgraph.NodeID(rng.Intn(n))))
+		}
+		holder := container.NewBitset(n)
+		mask := container.NewBitset(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				holder.Set(v)
+			}
+			if rng.Intn(2) == 0 {
+				mask.Set(v)
+			}
+		}
+		for _, sum := range []bool{false, true} {
+			// Scalar reference: ascending ids, strict improvement.
+			wantV, wantScore, wantOK := sgraph.NodeID(0), int32(0), false
+			for v := 0; v < n; v++ {
+				if !holder.Contains(v) || !mask.Contains(v) {
+					continue
+				}
+				score, ok := rs.Contribution(rs.Len(), sgraph.NodeID(v), sum)
+				if !ok {
+					continue
+				}
+				if !wantOK || score < wantScore {
+					wantV, wantScore, wantOK = sgraph.NodeID(v), score, true
+				}
+			}
+			gotV, gotOK := rs.PickMin(holder.Words(), mask.Words(), sum)
+			if gotOK != wantOK || (wantOK && gotV != wantV) {
+				t.Fatalf("trial %d sum=%v: PickMin = (%d,%v), want (%d,%v)",
+					trial, sum, gotV, gotOK, wantV, wantOK)
+			}
+		}
+	}
+}
+
+// TestDistRowsClearDropsViews: Clear must nil every cached row view
+// across the full backing capacity, so a pooled scratch cannot pin
+// engine slabs.
+func TestDistRowsClearDropsViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(804))
+	g := randomSignedGraph(rng, 20, 60, 0.3)
+	m := MustNewMatrix(SPA, g, MatrixOptions{})
+	var rs DistRows
+	for i := 0; i < 5; i++ {
+		rs.Append(m.DistanceRow(sgraph.NodeID(i)))
+	}
+	rs.Reset() // length 0, capacity still holds the views
+	rs.Clear()
+	for _, r := range rs.rows[:cap(rs.rows)] {
+		if r.d8 != nil || r.d32 != nil {
+			t.Fatal("Clear left a row view in spare capacity")
+		}
+	}
+	for _, d := range rs.d8[:cap(rs.d8)] {
+		if d != nil {
+			t.Fatal("Clear left a d8 view in spare capacity")
+		}
+	}
+	if rs.Len() != 0 || rs.notU8 != 0 {
+		t.Fatalf("Clear left Len=%d notU8=%d", rs.Len(), rs.notU8)
+	}
+}
+
+// TestStatsDirectedSBPH: the DirectedSBPH escape hatch must restore
+// the lazy engine's directed full-pair scan — different numbers from
+// the default symmetrised measurement whenever the hop bound actually
+// breaks symmetry, and n² pairs instead of the upper triangle's.
+func TestStatsDirectedSBPH(t *testing.T) {
+	rng := rand.New(rand.NewSource(805))
+	g := randomSignedGraph(rng, 40, 200, 0.4)
+	rel := MustNew(SBPH, g, Options{})
+	sym, err := ComputeStats(rel, StatsOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := ComputeStats(rel, StatsOptions{Workers: 2, DirectedSBPH: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Pairs != dir.Pairs {
+		t.Fatalf("pair universes diverge: sym %d, directed %d", sym.Pairs, dir.Pairs)
+	}
+	// Directed reference: every ordered pair scored from its own
+	// source row, the historical measurement.
+	n := g.NumNodes()
+	var wantCompat, wantDistSum, wantDistCount int64
+	rp := rel.(rowProvider)
+	for u := sgraph.NodeID(0); int(u) < n; u++ {
+		r, err := rp.computeRow(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := sgraph.NodeID(0); int(v) < n; v++ {
+			if v == u || !r.compatible(v) {
+				continue
+			}
+			wantCompat++
+			if d, ok := r.distance(v); ok {
+				wantDistSum += int64(d)
+				wantDistCount++
+			}
+		}
+	}
+	if dir.CompatiblePairs != wantCompat || dir.DistSum != wantDistSum || dir.DistCount != wantDistCount {
+		t.Fatalf("directed stats (%d,%d,%d) diverge from reference (%d,%d,%d)",
+			dir.CompatiblePairs, dir.DistSum, dir.DistCount, wantCompat, wantDistSum, wantDistCount)
+	}
+	// The symmetrised run must agree with the packed engine bit for bit.
+	mat, err := ComputeStats(MustNewMatrix(SBPH, g, MatrixOptions{}), StatsOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.CompatiblePairs != mat.CompatiblePairs || sym.DistSum != mat.DistSum || sym.DistCount != mat.DistCount {
+		t.Fatalf("symmetrised lazy stats %+v diverge from matrix %+v", sym, mat)
+	}
+	if sym.Kernels == "" || sym.Kernels != KernelsVariant() {
+		t.Fatalf("stats Kernels = %q, want %q", sym.Kernels, KernelsVariant())
+	}
+	// Sampled scans stream the whole directed row as a proxy — the
+	// canonical entry of a (v<u, u) pair lives in row v, which the
+	// sample may not include — so a sampled scan must match the
+	// directed measurement over the same sources exactly (and cover
+	// len(sources)·(n-1) pairs, not a halved upper triangle).
+	sources := []sgraph.NodeID{3, 17, 38}
+	sampled, err := ComputeStats(rel, StatsOptions{Workers: 2, Sources: sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampledDir, err := ComputeStats(rel, StatsOptions{Workers: 2, Sources: sources, DirectedSBPH: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantPairs := int64(len(sources) * (n - 1)); sampled.Pairs != wantPairs {
+		t.Fatalf("sampled Pairs = %d, want %d", sampled.Pairs, wantPairs)
+	}
+	if sampled.CompatiblePairs != sampledDir.CompatiblePairs ||
+		sampled.DistSum != sampledDir.DistSum || sampled.DistCount != sampledDir.DistCount {
+		t.Fatalf("sampled scan %+v diverges from directed proxy %+v", sampled, sampledDir)
+	}
+}

@@ -78,9 +78,9 @@ type ShardedOptions struct {
 // fit while keeping the word-parallel fast paths of PackedRelation.
 //
 // Rows agree with CompatMatrix and the lazy relation of the same kind
-// on every pair, including SBPH's canonicalised symmetry; ComputeStats
-// on an SBPH ShardedMatrix measures the symmetrised relation, exactly
-// like CompatMatrix and unlike the lazy engine (see Stats).
+// on every pair, including SBPH's canonicalised symmetry, and
+// ComputeStats measures that same symmetrised relation on every
+// engine (see Stats).
 //
 // Concurrency: all shard bookkeeping is guarded by one mutex, so the
 // type is safe for concurrent use; row slices returned by RowWords

@@ -18,25 +18,24 @@ import (
 // the ordered fraction equals the unordered one because the scanned
 // relations are row-symmetric.
 //
-// # SBPH stats depend on the engine
+// # SBPH statistics
 //
-// For SBPH — and only SBPH — the numbers ComputeStats reports depend
-// on which engine computed them:
-//
-//   - The lazy engine streams the *directed* heuristic rows ("the
-//     search from u reaches v"), which is what the paper's algorithm
-//     emits. The Relation interface's symmetrised SBPH agrees with it
-//     on canonical (min→max) queries.
-//   - The packed engines (CompatMatrix, ShardedMatrix) stream their
-//     already-symmetrised rows — entry (u,v) is the search from
-//     min(u,v) to max(u,v) — so directed-asymmetric pairs can count
-//     differently from the lazy engine. The two packed engines agree
-//     with each other exactly.
-//
-// All other kinds have symmetric rows and identical stats on every
-// engine. When recording SBPH results, note the engine that produced
-// them (the experiment harness stamps it into Table 2 rows and table
-// titles for exactly this reason).
+// The SBPH heuristic is directional, so its lazy rows are directed
+// while the packed engines store the canonicalised (min→max)
+// symmetrisation. ComputeStats measures the *symmetrised* relation on
+// every engine: when the lazy engine streams a directed SBPH row on a
+// full scan, the scan restricts itself to the canonical upper-triangle
+// entries (v > u) and counts each once per direction, which reproduces
+// the packed engines' numbers exactly. On a *sampled* scan the
+// symmetrised entry for v < u lives in row v — which the sample may
+// not include — so restricting to the upper triangle would discard
+// half of every sampled row and starve the skill-pair union; sampled
+// scans therefore stream the whole directed row as a proxy for the
+// symmetrised relation, whose estimates can differ from a packed
+// engine's in the second decimal (asymmetric SBPH pairs are rare).
+// The historical directed measurement — what the paper's algorithm
+// emits — remains available through StatsOptions.DirectedSBPH. Every
+// other kind has symmetric rows, and the option is a no-op for them.
 type Stats struct {
 	Kind            Kind
 	Pairs           int64 // ordered pairs scanned
@@ -52,6 +51,11 @@ type Stats struct {
 	// other engines and for sharded matrices built without
 	// ShardedOptions.Prefetch.
 	Prefetch PrefetchStats
+	// Kernels names the compiled-in internal/kernels variant
+	// ("portable" or "amd64v3") the scan — and everything else in the
+	// process — ran on, so recorded numbers stay attributable to a
+	// kernel path.
+	Kernels string
 }
 
 // UserFraction returns the fraction of scanned pairs that are
@@ -82,6 +86,14 @@ type StatsOptions struct {
 	// Assign, when non-nil, requests the skill-pair compatibility
 	// matrix over this assignment.
 	Assign *skills.Assignment
+	// DirectedSBPH restores the pre-unification SBPH measurement on
+	// the lazy engine: count the directed heuristic rows as streamed
+	// ("the search from u reaches v") instead of the symmetrised
+	// relation the Relation interface serves and the packed engines
+	// store. No effect on any other kind or engine, and none on
+	// sampled scans, which stream directed rows regardless; see the
+	// Stats doc.
+	DirectedSBPH bool
 }
 
 // ComputeStats scans one relation row per source and aggregates pair,
@@ -110,7 +122,7 @@ func ComputeStats(rel Relation, opts StatsOptions) (*Stats, error) {
 		workers = len(sources)
 	}
 	if len(sources) == 0 {
-		return &Stats{Kind: rel.Kind(), TotalSources: n}, nil
+		return &Stats{Kind: rel.Kind(), TotalSources: n, Kernels: KernelsVariant()}, nil
 	}
 
 	var numSkills int
@@ -122,6 +134,19 @@ func ComputeStats(rel Relation, opts StatsOptions) (*Stats, error) {
 	// out of per-worker reusable buffers instead of allocating one row
 	// per source.
 	srp, scratchOK := rel.(scratchRowProvider)
+
+	// Relations whose streamed rows are directed (lazy SBPH) are
+	// measured on their canonical upper triangle so the reported
+	// numbers describe the symmetrised relation the interface serves,
+	// exactly like the packed engines — unless the caller asked for
+	// the directed heuristic. Only full scans canonicalise: a sampled
+	// scan cannot reach the canonical entry of a (v<u, u) pair without
+	// row v, so it streams the whole directed row as a proxy instead
+	// of halving its sample. See the Stats doc.
+	canonicalise := false
+	if dr, ok := rel.(interface{ streamsDirectedRows() bool }); ok {
+		canonicalise = dr.streamsDirectedRows() && !opts.DirectedSBPH && opts.Sources == nil
+	}
 
 	type acc struct {
 		stats  Stats
@@ -161,18 +186,26 @@ func ComputeStats(rel Relation, opts StatsOptions) (*Stats, error) {
 			// two skills makes that skill pair compatible.
 			a.skills.markCross(uSkills, uSkills)
 		}
-		for v := sgraph.NodeID(0); int(v) < n; v++ {
+		// Canonicalised scan: row u's entries are authoritative only
+		// for v > u (entry (u,v) of the symmetrised relation is the
+		// search from min to max), and each counts for both ordered
+		// directions. weight stays 1 on the full-row scan.
+		v, weight := sgraph.NodeID(0), int64(1)
+		if canonicalise {
+			v, weight = u+1, 2
+		}
+		for ; int(v) < n; v++ {
 			if v == u {
 				continue
 			}
-			a.stats.Pairs++
+			a.stats.Pairs += weight
 			if !r.compatible(v) {
 				continue
 			}
-			a.stats.CompatiblePairs++
+			a.stats.CompatiblePairs += weight
 			if d, ok := r.distance(v); ok {
-				a.stats.DistSum += int64(d)
-				a.stats.DistCount++
+				a.stats.DistSum += weight * int64(d)
+				a.stats.DistCount += weight
 			}
 			if a.skills != nil {
 				a.skills.markCross(uSkills, opts.Assign.UserSkills(v))
@@ -184,7 +217,7 @@ func ComputeStats(rel Relation, opts StatsOptions) (*Stats, error) {
 		return nil, err
 	}
 
-	total := &Stats{Kind: rel.Kind(), TotalSources: n}
+	total := &Stats{Kind: rel.Kind(), TotalSources: n, Kernels: KernelsVariant()}
 	if numSkills > 0 {
 		total.Skills = NewSkillMatrix(numSkills)
 	}

@@ -1,6 +1,10 @@
 package container
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/kernels"
+)
 
 // Bitset is a fixed-size set of small non-negative integers. It is used
 // to mark visited nodes in graph traversals where a []bool would double
@@ -31,13 +35,7 @@ func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
 func (b *Bitset) Contains(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
 
 // Count returns the number of members.
-func (b *Bitset) Count() int {
-	c := 0
-	for _, w := range b.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
-}
+func (b *Bitset) Count() int { return kernels.Count(b.words) }
 
 // Reset clears every member while keeping the allocation.
 func (b *Bitset) Reset() {
@@ -87,23 +85,39 @@ func (b *Bitset) And(words []uint64) {
 	if len(words) != len(b.words) {
 		panic("container: Bitset.And word-length mismatch")
 	}
-	for i, w := range words {
-		b.words[i] &= w
+	kernels.And(b.words, words)
+}
+
+// AndInto intersects the set in place with the given words and
+// returns the resulting member count in the same pass — the fused
+// form of And+Count (same length contract as CopyFrom).
+func (b *Bitset) AndInto(words []uint64) int {
+	if len(words) != len(b.words) {
+		panic("container: Bitset.AndInto word-length mismatch")
 	}
+	return kernels.AndInto(b.words, words)
+}
+
+// AndCount returns the size of the intersection of the set with the
+// given words — popcount(set AND words) — without materialising or
+// mutating anything (same length contract as CopyFrom).
+func (b *Bitset) AndCount(words []uint64) int {
+	if len(words) != len(b.words) {
+		panic("container: Bitset.AndCount word-length mismatch")
+	}
+	return kernels.AndCount(b.words, words)
 }
 
 // AndCount returns the size of the intersection of two word slices —
 // popcount(a AND b) — without materialising it. Slices must have equal
-// length.
+// length. Count, And and both AndCount forms share the one kernel
+// entry point per operation (internal/kernels), so tail handling and
+// unrolling live in exactly one place.
 func AndCount(a, b []uint64) int {
 	if len(a) != len(b) {
 		panic("container: AndCount word-length mismatch")
 	}
-	c := 0
-	for i, w := range a {
-		c += bits.OnesCount64(w & b[i])
-	}
-	return c
+	return kernels.AndCount(a, b)
 }
 
 // ForEach calls fn for every member in increasing order.

@@ -27,10 +27,12 @@
 // all-pairs build that source sampling completes.
 //
 // Engine choice is measurement-relevant for one cell family: SBPH
-// statistics from ComputeStats differ between the lazy engine (which
-// streams the directed heuristic, as the paper's algorithm emits) and
-// the packed engines (which materialise the symmetrised relation the
-// Relation interface exposes) — see compat.Stats. Table 2 rows
-// therefore carry the engine name and the renderers print it, so
-// recorded results stay attributable to their backend.
+// statistics from ComputeStats agree across engines exactly on full
+// scans (the lazy engine canonicalises its directed rows), but under
+// source sampling (-sample) the lazy engine streams directed rows as
+// a proxy for the symmetrised relation, so sampled SBPH cells can
+// differ from a packed engine's in the second decimal — see
+// compat.Stats. Table 2 rows therefore carry the engine name and the
+// renderers print it, so recorded results stay attributable to their
+// backend.
 package experiments

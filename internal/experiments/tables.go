@@ -55,9 +55,11 @@ type Table2Row struct {
 	Relation compat.Kind
 	// Engine names the relation backend that actually produced the
 	// row ("lazy", "matrix" or "sharded"), so results stay
-	// attributable: on SBPH the packed engines measure the
-	// symmetrised relation while the lazy engine measures the
-	// directed heuristic (see compat.Stats). Exact SBP rows always
+	// attributable. Since the SBPH stats unification every engine
+	// measures the same symmetrised relation on full scans (see
+	// compat.Stats), so there the engine no longer changes the
+	// numbers; sampled SBPH cells can still differ in the second
+	// decimal between lazy and packed engines. Exact SBP rows always
 	// read "lazy" — newRelation keeps SBP on the lazy engine even
 	// under a packed Config.Engine.
 	Engine     string

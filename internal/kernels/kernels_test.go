@@ -1,0 +1,426 @@
+// The kernel property suite: every kernel against a naive reference
+// over randomized words and row contents, covering the empty and
+// single-word edges and every tail length 0–63. The suite runs
+// unchanged under both compiled-in variants (go test with and without
+// GOAMD64=v3 — CI runs both), so the portable and arch-gated paths
+// are held to the same reference.
+
+package kernels
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// --- naive references -------------------------------------------------------
+
+func refCount(ws []uint64) int {
+	c := 0
+	for _, w := range ws {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+func refAndCount(a, b []uint64) int {
+	c := 0
+	for i := range a {
+		c += bits.OnesCount64(a[i] & b[i])
+	}
+	return c
+}
+
+// refArgmin scores every candidate bit of holder&mask one by one:
+// max or sum over the rows, Undefined lanes exclude the candidate,
+// first minimum wins.
+func refArgmin(rows [][]uint8, holder, mask []uint64, sum bool) (int, uint32, bool) {
+	bestIdx, best := -1, uint32(0)
+	for wi := range holder {
+		w := holder[wi] & mask[wi]
+		for j := 0; j < 64; j++ {
+			if w&(1<<uint(j)) == 0 {
+				continue
+			}
+			idx := wi*64 + j
+			score, defined := uint32(0), true
+			for r := range rows {
+				d := rows[r][idx]
+				if d == Undefined {
+					defined = false
+					break
+				}
+				if sum {
+					score += uint32(d)
+				} else if uint32(d) > score {
+					score = uint32(d)
+				}
+			}
+			if !defined {
+				continue
+			}
+			if bestIdx < 0 || score < best {
+				best, bestIdx = score, idx
+			}
+		}
+	}
+	return bestIdx, best, bestIdx >= 0
+}
+
+func refMinU8(xs []uint8) (uint8, int, bool) {
+	best, idx := uint8(Undefined), -1
+	for i, d := range xs {
+		if d != Undefined && (idx < 0 || d < best) {
+			best, idx = d, i
+		}
+	}
+	if idx < 0 {
+		return 0, -1, false
+	}
+	return best, idx, true
+}
+
+// --- generators -------------------------------------------------------------
+
+// randWords builds a word slice for n bits with all bits ≥ n zero —
+// the packed engines' tail convention.
+func randWords(rng *rand.Rand, n int, density float64) []uint64 {
+	ws := make([]uint64, (n+63)/64)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			ws[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	return ws
+}
+
+// randRow builds a packed uint8 row: small values (BFS depths) with a
+// sprinkling of Undefined, plus occasional large values to cross the
+// borrow-trick's 128 threshold.
+func randRow(rng *rand.Rand, n int) []uint8 {
+	row := make([]uint8, n)
+	for i := range row {
+		switch r := rng.Float64(); {
+		case r < 0.15:
+			row[i] = Undefined
+		case r < 0.25:
+			row[i] = uint8(rng.Intn(255)) // up to 0xFE
+		default:
+			row[i] = uint8(rng.Intn(12))
+		}
+	}
+	return row
+}
+
+// sizes covers the edges the kernels branch on: empty, sub-word,
+// every tail length 0–63 around the one- and two-word boundaries, and
+// a multi-word bulk size.
+func sizes() []int {
+	s := []int{0, 1, 7, 8, 9, 63, 64, 65}
+	for tail := 0; tail < 64; tail++ {
+		s = append(s, 128+tail, 256+tail)
+	}
+	return s
+}
+
+// --- properties -------------------------------------------------------------
+
+func TestVariantNonEmpty(t *testing.T) {
+	if Variant() == "" {
+		t.Fatal("Variant() must name the compiled kernel path")
+	}
+	t.Logf("compiled kernel variant: %s", Variant())
+}
+
+func TestCountMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range sizes() {
+		for trial := 0; trial < 8; trial++ {
+			ws := randWords(rng, n, rng.Float64())
+			if got, want := Count(ws), refCount(ws); got != want {
+				t.Fatalf("n=%d: Count=%d want %d", n, got, want)
+			}
+		}
+	}
+}
+
+func TestAndCountMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range sizes() {
+		for trial := 0; trial < 8; trial++ {
+			a := randWords(rng, n, rng.Float64())
+			b := randWords(rng, n, rng.Float64())
+			if got, want := AndCount(a, b), refAndCount(a, b); got != want {
+				t.Fatalf("n=%d: AndCount=%d want %d", n, got, want)
+			}
+			// b longer than a is allowed: extra words must be ignored.
+			if n > 0 {
+				longer := append(append([]uint64(nil), b...), ^uint64(0))
+				if got := AndCount(a, longer); got != refAndCount(a, b) {
+					t.Fatalf("n=%d: AndCount with longer b=%d want %d", n, got, refAndCount(a, b))
+				}
+			}
+		}
+	}
+}
+
+func TestAndAndIntoMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range sizes() {
+		for trial := 0; trial < 8; trial++ {
+			a := randWords(rng, n, rng.Float64())
+			b := randWords(rng, n, rng.Float64())
+			wantCount := refAndCount(a, b)
+
+			got1 := append([]uint64(nil), a...)
+			And(got1, b)
+			got2 := append([]uint64(nil), a...)
+			c := AndInto(got2, b)
+			for i := range got1 {
+				if want := a[i] & b[i]; got1[i] != want || got2[i] != want {
+					t.Fatalf("n=%d word %d: And=%x AndInto=%x want %x", n, i, got1[i], got2[i], want)
+				}
+			}
+			if c != wantCount {
+				t.Fatalf("n=%d: AndInto count=%d want %d", n, c, wantCount)
+			}
+		}
+	}
+}
+
+func testArgmin(t *testing.T, sum bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range sizes() {
+		for _, nRows := range []int{1, 2, 3, 5} {
+			for trial := 0; trial < 6; trial++ {
+				rows := make([][]uint8, nRows)
+				for r := range rows {
+					rows[r] = randRow(rng, n)
+				}
+				// Mix sparse and dense candidate sets so both the
+				// bit-by-bit and the 8-lane paths are exercised.
+				density := []float64{0.02, 0.3, 0.95}[trial%3]
+				holder := randWords(rng, n, density)
+				mask := randWords(rng, n, 0.8)
+
+				var gotIdx int
+				var gotScore uint32
+				var gotOK bool
+				if sum {
+					idx, score, ok := ArgminSumU8(rows, holder, mask)
+					gotIdx, gotScore, gotOK = idx, score, ok
+				} else {
+					idx, score, ok := ArgminMaxU8(rows, holder, mask)
+					gotIdx, gotScore, gotOK = idx, uint32(score), ok
+				}
+				wantIdx, wantScore, wantOK := refArgmin(rows, holder, mask, sum)
+				if gotOK != wantOK || gotIdx != wantIdx || (wantOK && gotScore != wantScore) {
+					t.Fatalf("n=%d rows=%d sum=%v: got (%d,%d,%v) want (%d,%d,%v)",
+						n, nRows, sum, gotIdx, gotScore, gotOK, wantIdx, wantScore, wantOK)
+				}
+			}
+		}
+	}
+}
+
+func TestArgminMaxU8MatchesReference(t *testing.T) { testArgmin(t, false) }
+func TestArgminSumU8MatchesReference(t *testing.T) { testArgmin(t, true) }
+
+// TestArgminMaxU8AllUndefined: a populated candidate set whose every
+// candidate is undefined must report ok=false, not a bogus pick.
+func TestArgminMaxU8AllUndefined(t *testing.T) {
+	n := 130
+	row := make([]uint8, n)
+	for i := range row {
+		row[i] = Undefined
+	}
+	holder := randWords(rand.New(rand.NewSource(5)), n, 0.9)
+	mask := make([]uint64, len(holder))
+	for i := range mask {
+		mask[i] = ^uint64(0)
+	}
+	mask[len(mask)-1] = (1 << uint(n&63)) - 1
+	if idx, _, ok := ArgminMaxU8([][]uint8{row}, holder, mask); ok {
+		t.Fatalf("all-undefined row produced a pick at %d", idx)
+	}
+	if idx, _, ok := ArgminSumU8([][]uint8{row}, holder, mask); ok {
+		t.Fatalf("all-undefined row produced a sum pick at %d", idx)
+	}
+}
+
+func TestMinU8MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range sizes() {
+		for trial := 0; trial < 8; trial++ {
+			row := randRow(rng, n)
+			gm, gi, gok := MinU8(row)
+			wm, wi, wok := refMinU8(row)
+			if gok != wok || gi != wi || (wok && gm != wm) {
+				t.Fatalf("n=%d: MinU8 got (%d,%d,%v) want (%d,%d,%v)", n, gm, gi, gok, wm, wi, wok)
+			}
+		}
+	}
+	// All-undefined and all-zero edges.
+	row := []uint8{Undefined, Undefined, Undefined}
+	if _, _, ok := MinU8(row); ok {
+		t.Fatal("all-undefined MinU8 must report ok=false")
+	}
+	if m, i, ok := MinU8(make([]uint8, 100)); !ok || m != 0 || i != 0 {
+		t.Fatalf("all-zero MinU8 = (%d,%d,%v), want (0,0,true)", m, i, ok)
+	}
+}
+
+// TestSWARHelpers pins the lane arithmetic exhaustively on single
+// lanes (all 256×256 byte pairs for max, all byte values × thresholds
+// for the borrow trick) and on the bit-spread table.
+func TestSWARHelpers(t *testing.T) {
+	for x := 0; x < 256; x++ {
+		for y := 0; y < 256; y++ {
+			// Lane 3 carries the pair; other lanes carry noise that
+			// must not leak across.
+			xs := uint64(x)<<24 | 0x11000000ee0022a1
+			ys := uint64(y)<<24 | 0x0fee000011aa0005
+			xs &^= 0xFF << 24
+			ys &^= 0xFF << 24
+			xs |= uint64(x) << 24
+			ys |= uint64(y) << 24
+			got := uint8(maxU8x8(xs, ys) >> 24)
+			want := uint8(x)
+			if y > x {
+				want = uint8(y)
+			}
+			if got != want {
+				t.Fatalf("maxU8x8 lane: max(%d,%d)=%d want %d", x, y, got, want)
+			}
+		}
+	}
+	for v := 0; v < 256; v++ {
+		for n := 0; n <= 128; n++ {
+			flag := hasLess(uint64(v)*lsb8, uint8(n)) != 0
+			if flag != (v < n) {
+				t.Fatalf("hasLess(%d,%d)=%v want %v", v, n, flag, v < n)
+			}
+		}
+	}
+	for b := 0; b < 256; b++ {
+		got := spreadBits(uint64(b))
+		var want uint64
+		for j := 0; j < 8; j++ {
+			if b&(1<<j) != 0 {
+				want |= 0xFF << uint(8*j)
+			}
+		}
+		if got != want {
+			t.Fatalf("spreadBits(%#x)=%#x want %#x", b, got, want)
+		}
+	}
+}
+
+// --- microbenchmarks --------------------------------------------------------
+
+const benchBits = 1154 // the Epinions stand-in's row width at 4% scale
+
+func benchWords(seed int64, density float64) []uint64 {
+	return randWords(rand.New(rand.NewSource(seed)), benchBits, density)
+}
+
+func BenchmarkCount(b *testing.B) {
+	ws := benchWords(1, 0.3)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += Count(ws)
+	}
+	if sink == 0 {
+		b.Fatal("empty")
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	x := benchWords(1, 0.3)
+	y := benchWords(2, 0.3)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += AndCount(x, y)
+	}
+	if sink == 0 {
+		b.Fatal("empty")
+	}
+}
+
+func benchRows(nRows int) [][]uint8 {
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]uint8, nRows)
+	for r := range rows {
+		rows[r] = randRow(rng, benchBits)
+	}
+	return rows
+}
+
+func BenchmarkArgminMaxU8(b *testing.B) {
+	rows := benchRows(4)
+	holder := benchWords(8, 0.3)
+	mask := benchWords(9, 0.5)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		idx, _, _ := ArgminMaxU8(rows, holder, mask)
+		sink += idx
+	}
+	_ = sink
+}
+
+// BenchmarkArgminMaxU8Scalar is the pre-kernel shape: materialise the
+// candidate list, then score each candidate through per-index loads —
+// the comparison column for BENCH_form.json's microbench table.
+func BenchmarkArgminMaxU8Scalar(b *testing.B) {
+	rows := benchRows(4)
+	holder := benchWords(8, 0.3)
+	mask := benchWords(9, 0.5)
+	cand := make([]int, 0, benchBits)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		cand = cand[:0]
+		for wi := range holder {
+			w := holder[wi] & mask[wi]
+			for w != 0 {
+				cand = append(cand, wi*64+bits.TrailingZeros64(w))
+				w &= w - 1
+			}
+		}
+		bestIdx, best := -1, uint8(Undefined)
+		for _, idx := range cand {
+			score := uint8(0)
+			for r := range rows {
+				d := rows[r][idx]
+				if d >= score {
+					score = d
+				}
+			}
+			if score < best {
+				best, bestIdx = score, idx
+			}
+		}
+		sink += bestIdx
+	}
+	_ = sink
+}
+
+func BenchmarkMinU8(b *testing.B) {
+	row := benchRows(1)[0]
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		_, idx, _ := MinU8(row)
+		sink += idx
+	}
+	_ = sink
+}
+
+func BenchmarkMinU8Scalar(b *testing.B) {
+	row := benchRows(1)[0]
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		_, idx, _ := refMinU8(row)
+		sink += idx
+	}
+	_ = sink
+}

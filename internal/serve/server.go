@@ -508,7 +508,11 @@ func summarizeRelation(st *compat.Stats) *RelationStats {
 
 // statsPayload is the /stats JSON document.
 type statsPayload struct {
-	Engine    string              `json:"engine"`
+	Engine string `json:"engine"`
+	// Kernels names the compiled internal/kernels variant ("portable"
+	// or "amd64v3"), so recorded serving numbers stay attributable to
+	// the binary's hot-loop code path.
+	Kernels   string              `json:"kernels"`
 	Draining  bool                `json:"draining"`
 	Server    ServerStats         `json:"server"`
 	PlanCache team.PlanCacheStats `json:"plan_cache"`
@@ -531,6 +535,7 @@ type statsPayload struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	p := statsPayload{
 		Engine:    s.opts.Engine,
+		Kernels:   compat.KernelsVariant(),
 		Draining:  s.draining.Load(),
 		Server:    s.counters.snapshot(),
 		PlanCache: s.solver.PlanCacheStats(),

@@ -259,9 +259,22 @@ func GenerateZipf(rng *rand.Rand, numUsers int, cfg ZipfConfig) (*Assignment, er
 // Task is a set of required skills (sorted, distinct).
 type Task []SkillID
 
-// NewTask canonicalises (sorts, deduplicates) a skill list.
+// NewTask canonicalises (sorts, deduplicates) a skill list. Already
+// canonical input — the common case when re-canonicalising a Task
+// that went through NewTask before, as the solver's plan compiler
+// does on every call — skips the sort and just copies.
 func NewTask(ids ...SkillID) Task {
+	canonical := true
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			canonical = false
+			break
+		}
+	}
 	t := append(Task(nil), ids...)
+	if canonical {
+		return t
+	}
 	sort.Slice(t, func(i, j int) bool { return t[i] < t[j] })
 	out := t[:0]
 	for i, s := range t {

@@ -1,0 +1,54 @@
+package team
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/skills"
+)
+
+// BenchmarkPickMinDistancePacked measures the solver's MinDistance
+// solve on a packed matrix — the path that runs through the fused
+// AND-popcount-argmin pick (DistRows.PickMin / kernels.ArgminMaxU8).
+// The warm sub-benchmark reuses a single-worker solver's scratch and
+// plan cache, so it must stay 0 allocs/op (asserted by CI's
+// alloc-smoke); cold recompiles the plan every call for scale.
+func BenchmarkPickMinDistancePacked(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	const n, numSkills = 512, 12
+	g := randomTeamGraph(rng, n, 8*n, 0.2)
+	assign := randomAssignment(b, rng, n, numSkills)
+	m, err := compat.NewMatrix(compat.SPO, g, compat.MatrixOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := skills.Task{0, 3, 5, 9}
+	opts := Options{Skill: RarestFirst, User: MinDistance, Cost: Diameter}
+
+	b.Run("warm", func(b *testing.B) {
+		s := NewSolver(m, assign, SolverOptions{Workers: 1, PlanCache: 8})
+		var dst Team
+		if err := s.FormInto(task, opts, &dst); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.FormInto(task, opts, &dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		s := NewSolver(m, assign, SolverOptions{Workers: 1})
+		var dst Team
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.FormInto(task, opts, &dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

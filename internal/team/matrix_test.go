@@ -88,7 +88,7 @@ func randomTeamGraph(rng *rand.Rand, n, m int, negFrac float64) *sgraph.Graph {
 	return b.MustBuild()
 }
 
-func randomAssignment(t *testing.T, rng *rand.Rand, n, numSkills int) *skills.Assignment {
+func randomAssignment(t testing.TB, rng *rand.Rand, n, numSkills int) *skills.Assignment {
 	t.Helper()
 	names := make([]string, numSkills)
 	for i := range names {

@@ -8,6 +8,7 @@ package team
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/compat"
 	"repro/internal/container"
@@ -40,77 +41,163 @@ func SkillCompatDegrees(rel compat.Relation, assign *skills.Assignment, task ski
 // map-free form SkillCompatDegrees uses (the map assigns were
 // measurable in batch profiles).
 func skillCompatDegreesInto(rel compat.Relation, assign *skills.Assignment, task skills.Task, deg []int64) error {
-	_, err := skillCompatDegreesScratch(rel, assign, task, deg, nil)
+	_, err := skillCompatDegreesScratch(rel, assign, task, deg, nil, nil, 0)
 	return err
 }
 
 // skillCompatDegreesScratch is skillCompatDegreesInto with a reusable
-// holder-word buffer: the solver's plan compilation passes its
-// per-worker buffer in (and keeps the possibly grown slice it gets
-// back), so batches of cold plans allocate no degree scratch per task.
-func skillCompatDegreesScratch(rel compat.Relation, assign *skills.Assignment, task skills.Task, deg []int64, holderBuf [][]uint64) ([][]uint64, error) {
+// holder-word buffer (the solver's plan compilation passes its
+// per-worker buffer in, and keeps the possibly grown slice it gets
+// back, so batches of cold plans allocate no degree scratch per task)
+// and an optional epoch-keyed pair memo (nil skips memoisation): the
+// pairwise degrees depend only on the relation and assignment, so a
+// solver serving many tasks computes each pair it encounters once.
+func skillCompatDegreesScratch(rel compat.Relation, assign *skills.Assignment, task skills.Task, deg []int64, holderBuf [][]uint64, memo *pairDegreeMemo, epoch uint64) ([][]uint64, error) {
 	for i := range deg {
 		deg[i] = 0
 	}
-	if m, ok := rel.(compat.PackedRelation); ok {
-		// Word-parallel: the assignment's cached packed holder set per
-		// skill (fetched once per task skill), then one AND/popcount of
-		// u's row against the other skill's holder set replaces
-		// |holders| interface calls per source. Diagonal bits are set,
-		// so a dual holder counts, as in the slow path. cd is symmetric
-		// (packed rows are), so iterate the smaller holder set and mask
-		// with the larger — on Zipf-skewed assignments, where tasks
-		// routinely contain one very popular skill, this cuts the row
-		// scans from the popular side to the rare side.
+	m, packed := rel.(compat.PackedRelation)
+	var holderWords [][]uint64
+	if packed {
 		if cap(holderBuf) < len(task) {
 			holderBuf = make([][]uint64, len(task))
 		}
-		holderWords := holderBuf[:len(task)]
-		if holderWordsMatch(assign, m) {
-			for i, s := range task {
-				holderWords[i] = assign.HolderWords(s)
-			}
-		} else {
-			// Assignment and relation straddle a word boundary: the
-			// cached sets cannot be ANDed against rows, so build
-			// row-sized holder sets for this call instead of degrading
-			// to per-pair interface queries.
-			for i, s := range task {
-				set := container.NewBitset(m.NumNodes())
-				for _, u := range assign.Holders(s) {
-					set.Set(int(u))
-				}
-				holderWords[i] = set.Words()
-			}
+		holderWords = holderBuf[:len(task)]
+		for i := range holderWords {
+			holderWords[i] = nil // reset: entries fill lazily on memo misses
 		}
-		for i, s1 := range task {
-			for jo, s2 := range task[i+1:] {
-				j := i + 1 + jo
-				iter, maskWords := s1, holderWords[j]
-				if assign.NumHolders(s2) < assign.NumHolders(s1) {
-					iter, maskWords = s2, holderWords[i]
-				}
-				var cd int64
-				for _, u := range assign.Holders(iter) {
-					cd += int64(container.AndCount(m.RowWords(u), maskWords))
-				}
-				deg[i] += cd
-				deg[j] += cd
-			}
-		}
-		return holderBuf, nil
 	}
+	rc, bulk := rel.(compat.RowAndCounter)
 	for i, s1 := range task {
 		for jo, s2 := range task[i+1:] {
-			cd, err := skillPairDegree(rel, assign, s1, s2)
-			if err != nil {
-				return holderBuf, err
+			j := i + 1 + jo
+			if cd, ok := memo.get(epoch, s1, s2); ok {
+				deg[i] += cd
+				deg[j] += cd
+				continue
 			}
+			var cd int64
+			if packed {
+				// Word-parallel: the assignment's cached packed holder
+				// set per skill, then one AND/popcount of u's row
+				// against the other skill's holder set replaces
+				// |holders| interface calls per source. Diagonal bits
+				// are set, so a dual holder counts, as in the slow
+				// path. cd is symmetric (packed rows are), so iterate
+				// the smaller holder set and mask with the larger — on
+				// Zipf-skewed assignments, where tasks routinely
+				// contain one very popular skill, this cuts the row
+				// scans from the popular side to the rare side.
+				iter, maskPos := s1, j
+				if assign.NumHolders(s2) < assign.NumHolders(s1) {
+					iter, maskPos = s2, i
+				}
+				maskWords := holderWords[maskPos]
+				if maskWords == nil {
+					maskWords = taskHolderWords(assign, m, task[maskPos])
+					holderWords[maskPos] = maskWords
+				}
+				if bulk {
+					// One engine-state resolution (and one sharded
+					// lock) for the whole holder set, instead of one
+					// RowWords call per holder — the plan-compile
+					// profile's hottest edge.
+					var err error
+					cd, err = rc.AndCountRows(assign.Holders(iter), maskWords)
+					if err != nil {
+						return holderBuf, err
+					}
+				} else {
+					for _, u := range assign.Holders(iter) {
+						cd += int64(container.AndCount(m.RowWords(u), maskWords))
+					}
+				}
+			} else {
+				var err error
+				cd, err = skillPairDegree(rel, assign, s1, s2)
+				if err != nil {
+					return holderBuf, err
+				}
+			}
+			memo.put(epoch, s1, s2, cd)
 			deg[i] += cd
-			deg[i+1+jo] += cd
+			deg[j] += cd
 		}
 	}
 	return holderBuf, nil
+}
+
+// taskHolderWords resolves one skill's holder set as row-aligned
+// packed words: the assignment's cached set when its word layout
+// matches the relation's rows, a freshly built row-sized set when the
+// two straddle a 64-bit word boundary (a misconfiguration more than a
+// real layout — see holderWordsMatch).
+func taskHolderWords(assign *skills.Assignment, m compat.PackedRelation, s skills.SkillID) []uint64 {
+	if holderWordsMatch(assign, m) {
+		return assign.HolderWords(s)
+	}
+	set := container.NewBitset(m.NumNodes())
+	for _, u := range assign.Holders(s) {
+		set.Set(int(u))
+	}
+	return set.Words()
+}
+
+// pairDegreeMemo caches pairwise skill compatibility degrees cd(s,s')
+// across a solver's plan compilations. Entries are keyed by the
+// relation epoch they were computed against, exactly like the plan
+// cache: a graph mutation moves the epoch, every lookup misses, and
+// the first insert at the new epoch drops the stale generation. The
+// map is bounded by pairMemoMaxEntries (it grows with the workload's
+// distinct skill pairs, not the universe) and resets wholesale when
+// full — degrees are cheap enough to recompute that LRU bookkeeping
+// on the plan-compile hot path is not worth its cost. The zero value
+// is ready to use; a nil receiver disables memoisation.
+type pairDegreeMemo struct {
+	mu    sync.RWMutex
+	epoch uint64
+	m     map[uint64]int64
+}
+
+// pairMemoMaxEntries caps the memo at ~1 MiB of map payload.
+const pairMemoMaxEntries = 1 << 16
+
+func pairKey(s1, s2 skills.SkillID) uint64 {
+	if s2 < s1 {
+		s1, s2 = s2, s1
+	}
+	return uint64(uint32(s1))<<32 | uint64(uint32(s2))
+}
+
+func (pm *pairDegreeMemo) get(epoch uint64, s1, s2 skills.SkillID) (int64, bool) {
+	if pm == nil {
+		return 0, false
+	}
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	if pm.epoch != epoch || pm.m == nil {
+		return 0, false
+	}
+	cd, ok := pm.m[pairKey(s1, s2)]
+	return cd, ok
+}
+
+// put records a degree computed against epoch, starting a fresh
+// generation whenever the memo's epoch differs (or the cap is hit).
+// As with the plan cache, a mutation racing the computation leaves at
+// worst a value stamped one epoch behind, which the next generation
+// reset retires.
+func (pm *pairDegreeMemo) put(epoch uint64, s1, s2 skills.SkillID, cd int64) {
+	if pm == nil {
+		return
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if pm.m == nil || pm.epoch != epoch || len(pm.m) >= pairMemoMaxEntries {
+		pm.m = make(map[uint64]int64)
+		pm.epoch = epoch
+	}
+	pm.m[pairKey(s1, s2)] = cd
 }
 
 // holderWordsMatch reports whether the assignment's packed holder sets

@@ -1,0 +1,120 @@
+package team
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/sgraph"
+	"repro/internal/skills"
+)
+
+// TestPairDegreeMemo: get/put must round-trip within an epoch, miss
+// across epochs, start a fresh generation on the first insert at a new
+// epoch, and treat the key as unordered (cd is symmetric). A nil memo
+// must be inert.
+func TestPairDegreeMemo(t *testing.T) {
+	var pm pairDegreeMemo
+	if _, ok := pm.get(0, 1, 2); ok {
+		t.Fatal("empty memo hit")
+	}
+	pm.put(0, 1, 2, 42)
+	if cd, ok := pm.get(0, 2, 1); !ok || cd != 42 {
+		t.Fatalf("get(swapped) = (%d,%v), want (42,true)", cd, ok)
+	}
+	if _, ok := pm.get(1, 1, 2); ok {
+		t.Fatal("stale-epoch get hit")
+	}
+	pm.put(1, 3, 4, 7)
+	if _, ok := pm.get(1, 1, 2); ok {
+		t.Fatal("entry from the previous generation survived the epoch move")
+	}
+	if cd, ok := pm.get(1, 3, 4); !ok || cd != 7 {
+		t.Fatalf("fresh-generation get = (%d,%v), want (7,true)", cd, ok)
+	}
+	var nilMemo *pairDegreeMemo
+	if _, ok := nilMemo.get(0, 1, 2); ok {
+		t.Fatal("nil memo hit")
+	}
+	nilMemo.put(0, 1, 2, 1) // must not panic
+}
+
+// TestSkillCompatDegreesMemoised: a memo-carrying degree pass must
+// return exactly the unmemoised numbers, on cold and warm calls, over
+// both a packed and a lazy relation — and warm calls must not touch
+// the engine at all (verified by the memo hit short-circuiting before
+// any holder-words setup, which the identical results imply).
+func TestSkillCompatDegreesMemoised(t *testing.T) {
+	rng := rand.New(rand.NewSource(841))
+	const n = 40
+	g := randomTeamGraph(rng, n, 6*n, 0.3)
+	assign := randomAssignment(t, rng, n, 8)
+	rels := map[string]compat.Relation{
+		"lazy":   compat.MustNew(compat.SPO, g, compat.Options{}),
+		"matrix": compat.MustNewMatrix(compat.SPO, g, compat.MatrixOptions{}),
+	}
+	for name, rel := range rels {
+		var memo pairDegreeMemo
+		for trial := 0; trial < 12; trial++ {
+			task, err := skills.RandomTask(rng, assign, 2+rng.Intn(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]int64, len(task))
+			if err := skillCompatDegreesInto(rel, assign, task, want); err != nil {
+				t.Fatal(err)
+			}
+			for pass := 0; pass < 2; pass++ { // cold fills the memo, warm reads it
+				got := make([]int64, len(task))
+				if _, err := skillCompatDegreesScratch(rel, assign, task, got, nil, &memo, 5); err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s trial %d pass %d: deg[%d] = %d, want %d",
+							name, trial, pass, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolverPairMemoStaysCorrectAcrossMutations: a long-lived solver
+// whose pair-degree memo is warm must produce the same teams as a
+// fresh solver after every mutation — the focused memo-invalidation
+// check (the broader TestSolverMutationOracle covers the same contract
+// through the sharded engine and plan cache).
+func TestSolverPairMemoStaysCorrectAcrossMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(851))
+	const n = 24
+	g := randomTeamGraph(rng, n, 6*n, 0.3)
+	assign := randomAssignment(t, rng, n, 6)
+	task, err := skills.RandomTask(rng, assign, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Skill: LeastCompatibleFirst, User: MinDistance}
+	rel := compat.MustNewMatrix(compat.SPO, g, compat.MatrixOptions{})
+	warm := NewSolver(rel, assign, SolverOptions{Workers: 1})
+	for step := 0; step < 6; step++ {
+		// Warm the memo at the current epoch, then mutate.
+		if _, err := warm.Form(task, opts); err != nil && !errors.Is(err, ErrNoTeam) {
+			t.Fatalf("step %d warmup: %v", step, err)
+		}
+		e := teamGraphEdges(rel.Graph())[step%len(teamGraphEdges(rel.Graph()))]
+		if _, err := rel.Mutate(sgraph.Mutation{Op: sgraph.MutFlip, U: e.U, V: e.V}); err != nil {
+			t.Fatalf("step %d: flip: %v", step, err)
+		}
+		fresh := NewSolver(rel, assign, SolverOptions{Workers: 1})
+		want, wantErr := fresh.Form(task, opts)
+		got, gotErr := warm.Form(task, opts)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("step %d: fresh err=%v warm err=%v", step, wantErr, gotErr)
+		}
+		if wantErr == nil {
+			sameTeam(t, "post-mutation", want, got)
+		}
+	}
+}

@@ -73,6 +73,20 @@ type Solver struct {
 	mutable compat.MutableRelation // non-nil on mutable engines: epoch-keys the plan cache
 	n       int                    // node count of the relation's graph
 
+	// rowCounter is the packed engines' bulk AND/popcount capability:
+	// the plan-compile degree passes resolve the engine state (and,
+	// sharded, the lock) once per row batch instead of once per row.
+	rowCounter compat.RowAndCounter
+	// holdersPacked reports that the assignment's cached holder-word
+	// sets can be ANDed directly against packed rows and the scratch
+	// mask — the precondition of the fused MinDistance pick.
+	holdersPacked bool
+
+	// pairDeg memoises the task-independent pairwise skill degrees
+	// cd(s,s') across plan compilations, epoch-keyed like the plan
+	// cache so a graph mutation invalidates it in one stroke.
+	pairDeg pairDegreeMemo
+
 	workers int
 	scratch sync.Pool  // *scratch
 	plans   *planCache // nil when SolverOptions.PlanCache is 0
@@ -88,6 +102,10 @@ func NewSolver(rel compat.Relation, assign *skills.Assignment, opts SolverOption
 	}
 	if m, ok := rel.(compat.PackedRelation); ok {
 		s.packed = m
+		s.holdersPacked = holderWordsMatch(assign, m)
+	}
+	if rc, ok := rel.(compat.RowAndCounter); ok {
+		s.rowCounter = rc
 	}
 	// Devirtualise the hottest lookup: distance queries against the
 	// monolithic matrix go through the concrete (inlinable) method
@@ -439,7 +457,7 @@ func (p *TaskPlan) rankSkills(sc *scratch) error {
 		}
 		deg := sc.planDeg[:len(p.task)]
 		var err error
-		sc.planHolders, err = skillCompatDegreesScratch(p.s.rel, p.s.assign, p.task, deg, sc.planHolders)
+		sc.planHolders, err = skillCompatDegreesScratch(p.s.rel, p.s.assign, p.task, deg, sc.planHolders, &p.s.pairDeg, p.s.relEpoch())
 		if err != nil {
 			return err
 		}
@@ -496,9 +514,20 @@ func (p *TaskPlan) buildPoolDegrees(sc *scratch) error {
 	poolSet.ForEach(func(u int) { p.pool = append(p.pool, sgraph.NodeID(u)) })
 	p.poolDegree = make([]int32, len(p.pool))
 	if m != nil {
+		// Every row has its own bit set (reflexivity) and u is in the
+		// pool, so subtract the self hit to match the v≠u count.
+		if rc := p.s.rowCounter; rc != nil {
+			// Bulk form: engine state (and the sharded lock) resolved
+			// once for the whole pool, not once per member.
+			if err := rc.AndCountRowsEach(p.pool, poolSet.Words(), p.poolDegree); err != nil {
+				return err
+			}
+			for i := range p.poolDegree {
+				p.poolDegree[i]--
+			}
+			return nil
+		}
 		for i, u := range p.pool {
-			// Every row has its own bit set (reflexivity) and u is in
-			// the pool, so subtract the self hit to match the v≠u count.
 			p.poolDegree[i] = int32(container.AndCount(m.RowWords(u), poolSet.Words()) - 1)
 		}
 		return nil
@@ -566,15 +595,16 @@ type scratch struct {
 	covered *container.Bitset // task positions covered by the members
 	nCov    int
 	members []sgraph.NodeID
-	// memberRows caches, aligned with members, each member's packed
-	// distance row (packed engines only; empty on lazy). A row is
-	// resolved once when the member joins — one shard touch per member
-	// on the sharded engine — and then scanned by plain indexing in
-	// pickMinDistance and costMembers, replacing their per-pair
-	// PairDistance lookups.
-	memberRows []compat.DistRow
-	cand       []sgraph.NodeID
-	best       []sgraph.NodeID
+	// rows caches, aligned with members, each member's packed distance
+	// row (packed engines only; empty on lazy). A row is resolved once
+	// when the member joins — one shard touch per member on the
+	// sharded engine — and the stack then feeds the fused MinDistance
+	// pick (compat.DistRows.PickMin, one kernel pass over holder AND
+	// mask words) and the shared Contribution scoring loop of the
+	// pick fallbacks and costMembers.
+	rows compat.DistRows
+	cand []sgraph.NodeID
+	best []sgraph.NodeID
 
 	// formPar's worker-local best (the members live in best), merged
 	// into the plan-level minimum by the pool's finish hook.
@@ -609,11 +639,7 @@ func (s *Solver) putScratch(sc *scratch) {
 	// on the sharded engine each view aliases an entire shard slab, and
 	// a pooled scratch holding them would pin evicted slabs past the
 	// engine's residency bound until some unrelated GC clears the pool.
-	rows := sc.memberRows[:cap(sc.memberRows)]
-	for i := range rows {
-		rows[i] = compat.DistRow{}
-	}
-	sc.memberRows = rows[:0]
+	sc.rows.Clear()
 	s.scratch.Put(sc)
 }
 
@@ -694,9 +720,9 @@ func (sc *scratch) addMember(p *TaskPlan, u sgraph.NodeID) {
 		// Devirtualised on the monolithic matrix: its DistanceRow is a
 		// slice expression and inlines.
 		if p.s.matrix != nil {
-			sc.memberRows = append(sc.memberRows, p.s.matrix.DistanceRow(u))
+			sc.rows.Append(p.s.matrix.DistanceRow(u))
 		} else {
-			sc.memberRows = append(sc.memberRows, p.s.packed.DistanceRow(u))
+			sc.rows.Append(p.s.packed.DistanceRow(u))
 		}
 	}
 	sc.members = append(sc.members, u)
@@ -724,7 +750,7 @@ func (p *TaskPlan) nextSkill(sc *scratch) skills.SkillID {
 // a non-nil error is a relation failure and aborts the whole solve.
 func (p *TaskPlan) grow(sc *scratch, seed sgraph.NodeID) (bool, error) {
 	sc.members = sc.members[:0]
-	sc.memberRows = sc.memberRows[:0]
+	sc.rows.Reset()
 	sc.covered.Grow(len(p.task))
 	sc.nCov = 0
 	sc.addMember(p, seed)
@@ -742,6 +768,17 @@ func (p *TaskPlan) grow(sc *scratch, seed sgraph.NodeID) (bool, error) {
 // according to the user policy. ok=false means no compatible holder
 // (or, under MinDistance, none at a defined distance).
 func (p *TaskPlan) pick(sc *scratch, skill skills.SkillID) (sgraph.NodeID, bool, error) {
+	if sc.mask != nil && p.opts.User == MinDistance && p.s.holdersPacked {
+		// Fused fast path: candidates are the set bits of
+		// (holder words AND mask), enumerated and priced inside one
+		// kernel pass — no candidate slice, no per-candidate row
+		// indexing. Candidate order, undefined-skipping and the
+		// smaller-id tie-break match the materialised path exactly
+		// (same ascending enumeration, same strict-improvement rule);
+		// TestSolverMatchesReference pins that against the oracle.
+		v, ok := sc.rows.PickMin(p.s.assign.HolderWords(skill), sc.mask.Words(), p.opts.Cost == SumDistance)
+		return v, ok, nil
+	}
 	sc.cand = sc.cand[:0]
 	if sc.mask != nil {
 		// Word-parallel fast path: the mask already holds the AND of
@@ -845,29 +882,19 @@ func (p *TaskPlan) pickMinDistance(sc *scratch) (sgraph.NodeID, bool, error) {
 	return best, true, nil
 }
 
-// pickMinDistancePacked is pickMinDistance's packed-engine fast path:
-// no row resolution at all in the candidate loop, just direct indexing
-// into the members' cached distance rows.
+// pickMinDistancePacked prices the materialised candidate list
+// against the members' cached distance rows — the packed path for
+// solvers whose holder words cannot be ANDed against rows (layout
+// mismatch), since the aligned case never materialises candidates and
+// goes through DistRows.PickMin in pick. Scoring is the shared
+// DistRows.Contribution loop, the same one costMembers uses.
 func (p *TaskPlan) pickMinDistancePacked(sc *scratch) (sgraph.NodeID, bool) {
 	sum := p.opts.Cost == SumDistance
-	rows := sc.memberRows
+	k := sc.rows.Len()
 	best := sgraph.NodeID(-1)
 	bestDist := int32(0)
 	for _, c := range sc.cand {
-		contribution := int32(0)
-		defined := true
-		for i := range rows {
-			d, ok := rows[i].At(c)
-			if !ok {
-				defined = false
-				break
-			}
-			if sum {
-				contribution += d
-			} else if d > contribution {
-				contribution = d
-			}
-		}
+		contribution, defined := sc.rows.Contribution(k, c, sum)
 		if !defined {
 			continue
 		}
@@ -1120,20 +1147,20 @@ func (p *TaskPlan) allTeams(ctx context.Context) ([]*Team, error) {
 func (p *TaskPlan) costMembers(sc *scratch) (cost int32, priced bool, err error) {
 	members := sc.members
 	if p.s.packed != nil {
+		// Pair (i, j>i) is priced as rows[i].At(member j) by scoring
+		// each member j against the rows of members 0..j-1 — the
+		// shared Contribution loop — which reads exactly the same
+		// entries as a (row i, later members) sweep.
 		sum := p.opts.Cost == SumDistance
-		rows := sc.memberRows
-		for i := range members {
-			row := rows[i]
-			for _, v := range members[i+1:] {
-				d, ok := row.At(v)
-				if !ok {
-					return 0, false, nil
-				}
-				if sum {
-					cost += d
-				} else if d > cost {
-					cost = d
-				}
+		for j := 1; j < len(members); j++ {
+			c, ok := sc.rows.Contribution(j, members[j], sum)
+			if !ok {
+				return 0, false, nil
+			}
+			if sum {
+				cost += c
+			} else if c > cost {
+				cost = c
 			}
 		}
 		return cost, true, nil
