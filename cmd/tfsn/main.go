@@ -14,11 +14,17 @@
 // their plans). -mutate applies a comma-separated list of edge
 // mutations (op:u:v[:sign], e.g. flip:1:2,add:3:4:-) after the engine
 // is built and before solving — a what-if probe of how a team changes
-// when relationships do.
+// when relationships do. Constrained formation rides on
+// -include/-exclude/-max-team (comma-separated user ids and a size
+// cap, applied to every task in batch mode too); -diverse-lambda
+// switches -topk to the overlap-penalised diverse selection
+// (cost + lambda×Jaccard against the already-selected teams).
 //
 // Usage:
 //
 //	tfsn -dataset epinions -relation SPO -k 5
+//	tfsn -dataset epinions -relation SPO -k 5 -include 17,42 -exclude 9 -max-team 6
+//	tfsn -dataset epinions -relation SPO -k 5 -topk 3 -diverse-lambda 2.5
 //	tfsn -dataset slashdot -relation SBPH -task "skill-0002,skill-0005"
 //	tfsn -edges g.edges -skills g.skills -relation NNE -k 3
 //	tfsn -dataset epinions -relation SPM -engine matrix -k 5 \
@@ -31,6 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"strings"
@@ -56,6 +63,8 @@ type config struct {
 
 	eng       cliflags.Engine
 	srv       cliflags.Serve // only the deadline is registered here
+	cons      cliflags.ConstraintSpec
+	diverseL  float64
 	parallel  int
 	batch     int
 	planCache int
@@ -86,6 +95,22 @@ func validateFlags(cfg config, set map[string]bool) error {
 		if set["topk"] {
 			return errors.New("-topk only applies to single-task mode, not -batch")
 		}
+		if set["diverse-lambda"] {
+			return errors.New("-diverse-lambda only applies to single-task mode, not -batch")
+		}
+	}
+	// Constraint grammar and static contradictions (a user both
+	// included and excluded, a cap below the include count) are usage
+	// errors; range checks against the dataset happen at solve time.
+	cons, err := cfg.cons.Parse()
+	if err != nil {
+		return err
+	}
+	if err := cons.Validate(0); err != nil {
+		return err
+	}
+	if cfg.diverseL < 0 || math.IsNaN(cfg.diverseL) {
+		return fmt.Errorf("-diverse-lambda must be a finite number >= 0, got %v", cfg.diverseL)
 	}
 	return nil
 }
@@ -107,6 +132,8 @@ func main() {
 	flag.IntVar(&cfg.maxSeeds, "maxseeds", 0, "cap Algorithm 2 seeds (0 = all)")
 	cfg.eng.Register(flag.CommandLine)
 	cfg.srv.RegisterDeadline(flag.CommandLine)
+	cfg.cons.Register(flag.CommandLine)
+	flag.Float64Var(&cfg.diverseL, "diverse-lambda", 0, "top-k diversity: penalise member overlap with already-selected teams by lambda×Jaccard (0 = plain top-k)")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "solver workers for the seed loop and batch mode (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.batch, "batch", 0, "batch mode: sample this many random tasks of -k skills and solve them all")
 	flag.IntVar(&cfg.planCache, "plan-cache", 0, "cache up to this many compiled task plans in the solver (0 = no cache); repeated tasks skip plan compilation")
@@ -162,6 +189,11 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	// Grammar errors were rejected at exit-2 time (validateFlags); this
+	// parse only reconstructs the values.
+	if opts.Constraints, err = cfg.cons.Parse(); err != nil {
+		return err
+	}
 	if cfg.topk <= 0 {
 		return fmt.Errorf("-topk must be positive, got %d", cfg.topk)
 	}
@@ -192,9 +224,21 @@ func run(cfg config) error {
 		names[i] = d.Assign.Universe().Name(s)
 	}
 	fmt.Printf("task     {%s}\n", strings.Join(names, ", "))
+	if !opts.Constraints.IsZero() {
+		fmt.Printf("constraints %s\n", opts.Constraints.Fingerprint())
+	}
 	fmt.Printf("relation %v (engine=%s), policies %v/%v, cost %v\n\n", kind, engine, opts.Skill, opts.User, opts.Cost)
 
-	teams, err := solver.FormTopKContext(ctx, task, opts, cfg.topk)
+	var teams []*team.Team
+	if cfg.diverseL > 0 {
+		teams, err = solver.FormTopKDiverseContext(ctx, task, opts, cfg.topk, cfg.diverseL)
+	} else {
+		teams, err = solver.FormTopKContext(ctx, task, opts, cfg.topk)
+	}
+	if errors.Is(err, team.ErrInfeasible) {
+		fmt.Println("the constraints are infeasible for this task:", err)
+		return nil
+	}
 	if errors.Is(err, team.ErrNoTeam) {
 		fmt.Println("no compatible team exists for this task under", kind)
 		return nil

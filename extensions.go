@@ -38,6 +38,28 @@ func FormTopK(rel Relation, assign *Assignment, task Task, opts FormOptions, k i
 	return team.FormTopK(rel, assign, task, opts, k)
 }
 
+// TeamConstraints restricts which teams formation may return:
+// must-include members, must-exclude members, a team-size cap. Carried
+// on FormOptions.Constraints, so every formation entry point accepts
+// it; the zero value is unconstrained.
+type TeamConstraints = team.Constraints
+
+// ErrInfeasibleTeam reports that the constraints themselves forbid any
+// team (an include that is also excluded, every holder of a required
+// skill excluded, a cap below the include count). It wraps ErrNoTeam;
+// test with errors.Is.
+var ErrInfeasibleTeam = team.ErrInfeasible
+
+// FormTopKDiverse returns up to k distinct teams selected greedily by
+// cost + lambda×overlap, where overlap is the maximum Jaccard
+// similarity of the candidate's member set against the teams already
+// selected. lambda = 0 reproduces FormTopK exactly; larger lambdas
+// trade cost for novelty. For repeated queries build a NewTeamSolver
+// and call its FormTopKDiverse method instead.
+func FormTopKDiverse(rel Relation, assign *Assignment, task Task, opts FormOptions, k int, lambda float64) ([]*Team, error) {
+	return team.NewSolver(rel, assign, team.SolverOptions{}).FormTopKDiverse(task, opts, k, lambda)
+}
+
 // Sign prediction.
 type (
 	// SignPredictor predicts edge signs on a training graph using the

@@ -2,6 +2,8 @@ package signedteams_test
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -70,6 +72,72 @@ func TestFormTopKFacadeTelemetry(t *testing.T) {
 	}
 	if teams[0].SeedsTried != 2 || teams[0].SeedsSucceeded != 2 {
 		t.Fatalf("telemetry = %d/%d, want aggregate 2/2", teams[0].SeedsSucceeded, teams[0].SeedsTried)
+	}
+}
+
+// TestConstraintsFacade: the constrained-formation and diverse-top-k
+// vocabulary is reachable through the public API — constraints ride
+// FormOptions into FormTeam, contradictions surface as
+// ErrInfeasibleTeam (which wraps ErrNoTeam), and FormTopKDiverse at
+// lambda 0 reproduces FormTopK exactly.
+func TestConstraintsFacade(t *testing.T) {
+	g := signedteams.MustFromEdges(4, []signedteams.Edge{
+		{U: 0, V: 1, Sign: signedteams.Positive},
+		{U: 0, V: 2, Sign: signedteams.Positive},
+		{U: 1, V: 3, Sign: signedteams.Positive},
+		{U: 2, V: 3, Sign: signedteams.Positive},
+	})
+	univ, _ := signedteams.NewUniverse([]string{"a", "b"})
+	assign := signedteams.NewAssignment(univ, 4)
+	assign.MustAdd(1, 0)
+	assign.MustAdd(2, 0)
+	assign.MustAdd(3, 1)
+	rel := signedteams.MustNewRelation(signedteams.NNE, g, signedteams.RelationOptions{})
+	task := signedteams.NewTask(0, 1)
+
+	tm, err := signedteams.FormTeam(rel, assign, task, signedteams.FormOptions{
+		Constraints: signedteams.TeamConstraints{
+			MustExclude: []signedteams.NodeID{1},
+			MaxTeamSize: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range tm.Members {
+		if m == 1 {
+			t.Fatalf("excluded user 1 in %v", tm.Members)
+		}
+	}
+	if len(tm.Members) > 2 {
+		t.Fatalf("cap ignored: %v", tm.Members)
+	}
+
+	_, err = signedteams.FormTeam(rel, assign, task, signedteams.FormOptions{
+		Constraints: signedteams.TeamConstraints{MustExclude: []signedteams.NodeID{1, 2}},
+	})
+	if !errors.Is(err, signedteams.ErrInfeasibleTeam) || !errors.Is(err, signedteams.ErrNoTeam) {
+		t.Fatalf("excluding every holder of a: err = %v, want ErrInfeasibleTeam wrapping ErrNoTeam", err)
+	}
+
+	plain, err := signedteams.FormTopK(rel, assign, task, signedteams.FormOptions{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverse, err := signedteams.FormTopKDiverse(rel, assign, task, signedteams.FormOptions{}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(diverse) {
+		t.Fatalf("lambda=0 diverse returned %d teams, FormTopK %d", len(diverse), len(plain))
+	}
+	for i := range plain {
+		if fmt.Sprint(plain[i].Members) != fmt.Sprint(diverse[i].Members) || plain[i].Cost != diverse[i].Cost {
+			t.Fatalf("lambda=0 team %d: diverse %+v, plain %+v", i, diverse[i], plain[i])
+		}
+	}
+	if _, err := signedteams.FormTopKDiverse(rel, assign, task, signedteams.FormOptions{}, 3, -1); err == nil {
+		t.Fatal("negative lambda accepted")
 	}
 }
 

@@ -1,0 +1,83 @@
+// The constrained-formation vocabulary shared by the binaries and the
+// serving layer: one grammar for must-include / must-exclude user
+// lists and the team-size cap, whether the values arrive as tfsn
+// flags (-include/-exclude/-max-team) or as tfsnd query parameters
+// (include/exclude/maxteam). Parsing here is purely syntactic — ids
+// are non-negative decimals, the cap is non-negative; semantic
+// validation (range against the loaded dataset, contradiction
+// detection) is team.Constraints.Validate's job, so a spelling that
+// parses on the command line parses identically in a curl request.
+
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sgraph"
+	"repro/internal/team"
+)
+
+// ConstraintSpec is the raw, unparsed constraint vocabulary: two
+// comma-separated user-id lists and a size cap. The zero value means
+// unconstrained.
+type ConstraintSpec struct {
+	Include string // comma-separated user ids the team must contain
+	Exclude string // comma-separated user ids the team must not contain
+	MaxTeam int    // team-size cap; 0 = unbounded
+}
+
+// Register installs the spec's flags (-include, -exclude, -max-team)
+// on fs.
+func (c *ConstraintSpec) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Include, "include", "", "comma-separated user ids the team must contain")
+	fs.StringVar(&c.Exclude, "exclude", "", "comma-separated user ids the team must not contain")
+	fs.IntVar(&c.MaxTeam, "max-team", 0, "cap the team size (0 = unbounded)")
+}
+
+// IsZero reports the unconstrained zero value.
+func (c ConstraintSpec) IsZero() bool {
+	return c.Include == "" && c.Exclude == "" && c.MaxTeam == 0
+}
+
+// ParseUserList parses a comma-separated list of non-negative decimal
+// user ids ("3,1,17"); empty or all-whitespace input is an empty list.
+// Order and duplicates are preserved (team.Constraints canonicalises).
+func ParseUserList(spec string) ([]sgraph.NodeID, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	ids := make([]sgraph.NodeID, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		v, err := strconv.ParseInt(p, 10, 32)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad user id %q in %q (want a non-negative decimal)", p, spec)
+		}
+		ids = append(ids, sgraph.NodeID(v))
+	}
+	return ids, nil
+}
+
+// Parse converts the raw spec into team.Constraints, rejecting
+// syntactic garbage (unparseable ids, a negative cap). It does not
+// check ids against a dataset or detect contradictions — pass the
+// result through team.Constraints.Validate for that.
+func (c ConstraintSpec) Parse() (team.Constraints, error) {
+	var cons team.Constraints
+	var err error
+	if cons.MustInclude, err = ParseUserList(c.Include); err != nil {
+		return team.Constraints{}, fmt.Errorf("include: %w", err)
+	}
+	if cons.MustExclude, err = ParseUserList(c.Exclude); err != nil {
+		return team.Constraints{}, fmt.Errorf("exclude: %w", err)
+	}
+	if c.MaxTeam < 0 {
+		return team.Constraints{}, fmt.Errorf("max-team must be >= 0, got %d", c.MaxTeam)
+	}
+	cons.MaxTeamSize = c.MaxTeam
+	return cons, nil
+}

@@ -28,16 +28,18 @@ import (
 
 // optsKey is the comparable options fingerprint that decides which
 // requests may share a batch window. Rng is absent by construction:
-// the RandomUser policy is rejected at parse time.
+// the RandomUser policy is rejected at parse time. Constraints are
+// carried as their canonical string fingerprint ("" when
+// unconstrained), so requests under different constraints never merge
+// into one window — equal fingerprints imply semantically equal
+// constraints, and the window solves with the first caller's full
+// Options (see window.opts).
 type optsKey struct {
 	skill    team.SkillPolicy
 	user     team.UserPolicy
 	cost     team.CostKind
 	maxSeeds int
-}
-
-func (k optsKey) options() team.Options {
-	return team.Options{Skill: k.skill, User: k.user, Cost: k.cost, MaxSeeds: k.maxSeeds}
+	cons     string
 }
 
 // caller is one request waiting on a window: its task, and the slot
@@ -53,6 +55,10 @@ type caller struct {
 type window struct {
 	callers []*caller
 	timer   *time.Timer
+	// opts is the first caller's parsed options — the non-comparable
+	// full form of the window's optsKey (every later caller mapped to
+	// the same key, so their options are semantically identical).
+	opts team.Options
 	// latest tracks the furthest caller deadline; when every caller
 	// has one (all == true), the batch context uses it, so the batch
 	// never outlives the last caller that could still want its result.
@@ -79,7 +85,13 @@ func newCoalescer(s *Server, wait time.Duration, batch int) *coalescer {
 // solve routes one request through a window and waits for the result
 // or the caller's own context, whichever comes first.
 func (co *coalescer) solve(ctx context.Context, task skills.Task, opts team.Options) (*team.Team, error) {
-	k := optsKey{skill: opts.Skill, user: opts.User, cost: opts.Cost, maxSeeds: opts.MaxSeeds}
+	k := optsKey{
+		skill:    opts.Skill,
+		user:     opts.User,
+		cost:     opts.Cost,
+		maxSeeds: opts.MaxSeeds,
+		cons:     opts.Constraints.Fingerprint(),
+	}
 	c := &caller{task: task, done: make(chan struct{})}
 
 	co.mu.Lock()
@@ -92,7 +104,7 @@ func (co *coalescer) solve(ctx context.Context, task skills.Task, opts team.Opti
 	}
 	w := co.windows[k]
 	if w == nil {
-		w = &window{all: true}
+		w = &window{all: true, opts: opts}
 		co.windows[k] = w
 		w.timer = time.AfterFunc(co.wait, func() { co.fire(k, w) })
 	}
@@ -170,7 +182,7 @@ func (co *coalescer) flush() {
 // exactly once per wg.Add.
 func (co *coalescer) run(k optsKey, w *window) {
 	defer co.wg.Done()
-	opts := k.options()
+	opts := w.opts
 	bctx := co.s.baseCtx
 	if w.all && len(w.callers) > 0 {
 		var cancel context.CancelFunc

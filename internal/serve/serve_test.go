@@ -194,6 +194,174 @@ func TestNoTeamIsFoundFalse(t *testing.T) {
 	}
 }
 
+// TestFormConstraintsEndpoint: the include/exclude/maxteam query
+// parameters reach the solver as team.Constraints — the served result
+// equals a direct constrained solve, malformed constraints are 400s,
+// and contradictory ones are a successful "found: false, infeasible:
+// true" with its own counter.
+func TestFormConstraintsEndpoint(t *testing.T) {
+	g, a := fixtureGraph(t)
+	rel := matrixRel(t, g)
+	s := New(rel, a, Options{PlanCache: 8})
+	defer s.Wait(context.Background())
+
+	// Excluding user 1 with a size cap must match the direct solve.
+	res, body := get(t, s, "/form?task=A,B,C&exclude=1&maxteam=4")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", res.StatusCode, body)
+	}
+	tr := decodeTeam(t, body)
+	want, err := team.Form(rel, a, skills.NewTask(0, 1, 2), team.Options{
+		Constraints: team.Constraints{MustExclude: []sgraph.NodeID{1}, MaxTeamSize: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(tr.Members) != fmt.Sprint(want.Members) || tr.Cost != want.Cost {
+		t.Fatalf("served %+v, direct %+v", tr, want)
+	}
+	for _, m := range tr.Members {
+		if m == 1 {
+			t.Fatalf("excluded user 1 served in %v", tr.Members)
+		}
+	}
+
+	// A required member shows up in the team.
+	res, body = get(t, s, "/form?task=A,B&include=3")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("include status %d, body %s", res.StatusCode, body)
+	}
+	tr = decodeTeam(t, body)
+	found := false
+	for _, m := range tr.Members {
+		found = found || m == 3
+	}
+	if !tr.Found || !found {
+		t.Fatalf("include=3 not honoured: %s", body)
+	}
+
+	// Malformed constraints — unparseable ids, a negative or garbled
+	// cap, users outside the dataset — are client errors.
+	for _, path := range []string{
+		"/form?task=A,B&include=x",
+		"/form?task=A,B&maxteam=-1",
+		"/form?task=A,B&maxteam=zz",
+		"/form?task=A,B&include=99",
+		"/form?task=A,B&exclude=1,-2",
+	} {
+		if res, body := get(t, s, path); res.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", path, res.StatusCode, body)
+		}
+	}
+
+	// Excluding every holder of B is contradictory, not malformed: the
+	// solver answers it as a cached infeasible plan, 200 with the flag.
+	res, body = get(t, s, "/form?task=A,B&exclude=1,2")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("infeasible status %d (%s), want 200", res.StatusCode, body)
+	}
+	if tr = decodeTeam(t, body); tr.Found || !tr.Infeasible {
+		t.Fatalf("infeasible exclusion answered %s, want found:false infeasible:true", body)
+	}
+	// An include∩exclude contradiction takes the same path.
+	res, body = get(t, s, "/form?task=A,B&include=1&exclude=1")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("overlap status %d (%s), want 200", res.StatusCode, body)
+	}
+	if tr = decodeTeam(t, body); tr.Found || !tr.Infeasible {
+		t.Fatalf("overlap answered %s, want found:false infeasible:true", body)
+	}
+	if st := s.counters.snapshot(); st.Infeasible < 2 {
+		t.Fatalf("infeasible counter %d, want >= 2", st.Infeasible)
+	}
+}
+
+// TestFormTopKDiverseParam: the lambda query parameter switches
+// /formtopk to diversity re-scoring, matching the direct
+// FormTopKDiverse call; garbage and negative lambdas are 400s.
+func TestFormTopKDiverseParam(t *testing.T) {
+	g, a := fixtureGraph(t)
+	rel := matrixRel(t, g)
+	s := New(rel, a, Options{PlanCache: 8})
+	defer s.Wait(context.Background())
+
+	for _, path := range []string{
+		"/formtopk?task=B,C&k=3&lambda=abc",
+		"/formtopk?task=B,C&k=3&lambda=-1",
+	} {
+		if res, body := get(t, s, path); res.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", path, res.StatusCode, body)
+		}
+	}
+
+	res, body := get(t, s, "/formtopk?task=B,C&k=3&lambda=0.5")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", res.StatusCode, body)
+	}
+	var out struct {
+		Found bool         `json:"found"`
+		Teams []teamResult `json:"teams"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	want, err := team.NewSolver(rel, a, team.SolverOptions{}).FormTopKDiverse(skills.NewTask(1, 2), team.Options{}, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Found || len(out.Teams) != len(want) {
+		t.Fatalf("diverse topk %s, want %d teams", body, len(want))
+	}
+	for i := range want {
+		if fmt.Sprint(out.Teams[i].Members) != fmt.Sprint(want[i].Members) || out.Teams[i].Cost != want[i].Cost {
+			t.Fatalf("diverse team %d served %+v, direct %+v", i, out.Teams[i], want[i])
+		}
+	}
+}
+
+// TestCoalescingConstraintSplit: requests under different constraints
+// must never merge into one batch window — a constrained request that
+// landed in an unconstrained window would be solved without its
+// constraints. The two unconstrained callers share a window (coalesced
+// = 2); the constrained caller runs in its own window of one
+// (uncounted) and still honours its exclusion. A merged window would
+// count all three.
+func TestCoalescingConstraintSplit(t *testing.T) {
+	g, a := fixtureGraph(t)
+	s := New(matrixRel(t, g), a, Options{PlanCache: 8, CoalesceWait: 40 * time.Millisecond})
+	defer s.Wait(context.Background())
+
+	paths := []string{"/form?task=A,B,C", "/form?task=A,B,C", "/form?task=A,B,C&exclude=4"}
+	results := make([]teamResult, len(paths))
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			res, body := get(t, s, path)
+			if res.StatusCode != http.StatusOK {
+				t.Errorf("%s: status %d (%s)", path, res.StatusCode, body)
+				return
+			}
+			results[i] = decodeTeam(t, body)
+		}(i, path)
+	}
+	wg.Wait()
+	for i, tr := range results {
+		if !tr.Found {
+			t.Fatalf("request %d found no team", i)
+		}
+	}
+	for _, m := range results[2].Members {
+		if m == 4 {
+			t.Fatalf("constrained caller's exclusion lost in a merged window: %v", results[2].Members)
+		}
+	}
+	if st := s.counters.snapshot(); st.Coalesced != 2 {
+		t.Fatalf("coalesced %d, want 2 (constrained caller must sit in its own window)", st.Coalesced)
+	}
+}
+
 // TestAdmissionOverflow429: with a single admission slot held by a
 // blocked solve, the next request is shed instantly with 429 and
 // Retry-After, never queued.

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -192,6 +193,9 @@ type teamResult struct {
 	Cost           int32           `json:"cost,omitempty"`
 	SeedsTried     int             `json:"seeds_tried,omitempty"`
 	SeedsSucceeded int             `json:"seeds_succeeded,omitempty"`
+	// Infeasible marks a "found: false" caused by contradictory
+	// constraints rather than an exhausted search.
+	Infeasible bool `json:"infeasible,omitempty"`
 }
 
 func resultOf(tm *team.Team) teamResult {
@@ -284,6 +288,40 @@ func parseOpts(r *http.Request) (team.Options, error) {
 	return opts, nil
 }
 
+// parseConstraints resolves the include/exclude/maxteam query
+// parameters into opts.Constraints, sharing the list grammar with the
+// command lines (cliflags.ParseUserList). Malformed constraints —
+// unparseable ids, a negative cap, users outside the dataset — return
+// an error (400); well-formed but contradictory constraints pass
+// through so the solver answers them as cached ErrInfeasible plans.
+func (s *Server) parseConstraints(r *http.Request, opts *team.Options) error {
+	q := r.URL.Query()
+	spec := cliflags.ConstraintSpec{Include: q.Get("include"), Exclude: q.Get("exclude")}
+	if v := q.Get("maxteam"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad maxteam %q", v)
+		}
+		spec.MaxTeam = n
+	}
+	if spec.IsZero() {
+		return nil
+	}
+	cons, err := spec.Parse()
+	if err != nil {
+		return err
+	}
+	limit := s.rel.Graph().NumNodes()
+	if nu := s.assign.NumUsers(); nu < limit {
+		limit = nu
+	}
+	if err := cons.Validate(limit); err != nil && !errors.Is(err, team.ErrInfeasible) {
+		return err
+	}
+	opts.Constraints = cons
+	return nil
+}
+
 // requestCtx applies the effective deadline: the server default,
 // lowered (never raised) by the request's deadline_ms.
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
@@ -305,10 +343,14 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 }
 
 // writeSolveError maps solver errors onto responses: no team is a
-// successful "found: false", a deadline abort is 504, a cancellation
-// (client gone, server hard-stopped) is 503.
+// successful "found: false" (flagged and counted separately when the
+// cause is contradictory constraints), a deadline abort is 504, a
+// cancellation (client gone, server hard-stopped) is 503.
 func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, team.ErrInfeasible):
+		s.counters.infeasible.Add(1)
+		writeJSON(w, http.StatusOK, teamResult{Found: false, Infeasible: true})
 	case errors.Is(err, team.ErrNoTeam):
 		writeJSON(w, http.StatusOK, teamResult{Found: false})
 	case errors.Is(err, team.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
@@ -345,6 +387,10 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := parseOpts(r)
 	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
+		return
+	}
+	if err := s.parseConstraints(r, &opts); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
 		return
 	}
@@ -396,10 +442,21 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
 		return
 	}
+	if err := s.parseConstraints(r, &opts); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResult{Error: err.Error()})
+		return
+	}
 	k := 1
 	if v := r.URL.Query().Get("k"); v != "" {
 		if k, err = strconv.Atoi(v); err != nil || k <= 0 {
 			writeJSON(w, http.StatusBadRequest, errorResult{Error: fmt.Sprintf("bad k %q", v)})
+			return
+		}
+	}
+	lambda := 0.0
+	if v := r.URL.Query().Get("lambda"); v != "" {
+		if lambda, err = strconv.ParseFloat(v, 64); err != nil || math.IsNaN(lambda) || lambda < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResult{Error: fmt.Sprintf("bad lambda %q (want a finite number >= 0)", v)})
 			return
 		}
 	}
@@ -411,7 +468,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	snap := s.snapshot()
-	teams, err := s.solver.FormTopKContext(ctx, task, opts, k)
+	var teams []*team.Team
+	if lambda > 0 {
+		teams, err = s.solver.FormTopKDiverseContext(ctx, task, opts, k, lambda)
+	} else {
+		teams, err = s.solver.FormTopKContext(ctx, task, opts, k)
+	}
 	snap.Release()
 	if err != nil {
 		s.writeSolveError(w, err)

@@ -21,6 +21,10 @@ type ServerStats struct {
 	// on its deadline, or the caller's deadline fired while its batch
 	// window was still solving.
 	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// Infeasible counts solves answered "found: false" because the
+	// request's constraints were contradictory (team.ErrInfeasible) —
+	// most of them served from cached negative plan entries.
+	Infeasible int64 `json:"infeasible"`
 	// InFlight is the live gauge of admitted-but-unfinished requests.
 	InFlight int64 `json:"in_flight"`
 }
@@ -31,6 +35,7 @@ type counters struct {
 	shed             atomic.Int64
 	coalesced        atomic.Int64
 	deadlineExceeded atomic.Int64
+	infeasible       atomic.Int64
 	inFlight         atomic.Int64
 }
 
@@ -42,6 +47,7 @@ func (c *counters) snapshot() ServerStats {
 		Shed:             c.shed.Load(),
 		Coalesced:        c.coalesced.Load(),
 		DeadlineExceeded: c.deadlineExceeded.Load(),
+		Infeasible:       c.infeasible.Load(),
 		InFlight:         c.inFlight.Load(),
 	}
 }

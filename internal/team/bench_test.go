@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/compat"
+	"repro/internal/sgraph"
 	"repro/internal/skills"
 )
 
@@ -25,6 +26,60 @@ func BenchmarkPickMinDistancePacked(b *testing.B) {
 	}
 	task := skills.Task{0, 3, 5, 9}
 	opts := Options{Skill: RarestFirst, User: MinDistance, Cost: Diameter}
+
+	b.Run("warm", func(b *testing.B) {
+		s := NewSolver(m, assign, SolverOptions{Workers: 1, PlanCache: 8})
+		var dst Team
+		if err := s.FormInto(task, opts, &dst); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.FormInto(task, opts, &dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		s := NewSolver(m, assign, SolverOptions{Workers: 1})
+		var dst Team
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.FormInto(task, opts, &dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkConstrainedFormInto is BenchmarkPickMinDistancePacked's
+// instance under constraints: an include joining every grow, a packed
+// exclusion mask folded into the eligibility mask, and a size cap
+// gating the greedy loop. Constraint state lives entirely in the
+// compiled plan, so the warm sub-benchmark must stay 0 allocs/op
+// exactly like the unconstrained path (asserted by CI's alloc-smoke);
+// cold recompiles the plan — canonicalisation, exclusion bitset,
+// allow-mask — every call.
+func BenchmarkConstrainedFormInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	const n, numSkills = 512, 12
+	g := randomTeamGraph(rng, n, 8*n, 0.2)
+	assign := randomAssignment(b, rng, n, numSkills)
+	m, err := compat.NewMatrix(compat.SPO, g, compat.MatrixOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := skills.Task{0, 3, 5, 9}
+	opts := Options{
+		Skill: RarestFirst, User: MinDistance, Cost: Diameter,
+		Constraints: Constraints{
+			MustInclude: []sgraph.NodeID{7},
+			MustExclude: []sgraph.NodeID{11, 42, 99, 200},
+			MaxTeamSize: 8,
+		},
+	}
 
 	b.Run("warm", func(b *testing.B) {
 		s := NewSolver(m, assign, SolverOptions{Workers: 1, PlanCache: 8})

@@ -1,0 +1,136 @@
+// Top-K diverse team selection: FormTopK re-scored by member-set
+// overlap, in the spirit of Gajewar & Das Sarma's density objectives.
+// The candidate list is exactly FormTopK's (every distinct grown team,
+// cost-sorted), but instead of returning the k cheapest, selection is
+// greedy over score = cost + lambda·maxOverlap, where maxOverlap is
+// the largest Jaccard similarity between a candidate's member set and
+// any already-selected team. Member sets are packed into row-width
+// bitsets so each Jaccard is one word-parallel AND/popcount pass
+// (kernels.AndCount via container.AndCount) — the penalty is near-free
+// next to the solve itself. lambda = 0 degenerates to FormTopK's exact
+// order (ties resolve to the earlier, cost-sorted candidate).
+
+package team
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/container"
+	"repro/internal/skills"
+)
+
+// validateTopKDiverse rejects the parameter space both entry layers
+// (solver and plan) refuse identically.
+func validateTopKDiverse(k int, lambda float64) error {
+	if k <= 0 {
+		return fmt.Errorf("team: FormTopKDiverse k = %d, want > 0", k)
+	}
+	if math.IsNaN(lambda) || lambda < 0 {
+		return fmt.Errorf("team: FormTopKDiverse lambda = %v, want >= 0", lambda)
+	}
+	return nil
+}
+
+// FormTopKDiverse returns up to k distinct teams selected greedily by
+// cost + lambda·maxOverlap(Jaccard) against the already-selected
+// teams: the first team is always FormTopK's cheapest, each subsequent
+// pick trades cost against member overlap with everything selected so
+// far. Results are in selection order (not cost order). lambda = 0
+// reproduces FormTopK exactly; larger lambdas pay more cost for less
+// overlap. Constraints on opts apply as everywhere else. The aggregate
+// SeedsTried/SeedsSucceeded stamping matches FormTopK.
+func (s *Solver) FormTopKDiverse(task skills.Task, opts Options, k int, lambda float64) ([]*Team, error) {
+	return s.FormTopKDiverseContext(context.Background(), task, opts, k, lambda)
+}
+
+// FormTopKDiverseContext is FormTopKDiverse bounded by ctx (one
+// context check per seed, like FormTopKContext).
+func (s *Solver) FormTopKDiverseContext(ctx context.Context, task skills.Task, opts Options, k int, lambda float64) ([]*Team, error) {
+	if err := validateTopKDiverse(k, lambda); err != nil {
+		return nil, err
+	}
+	// The lambda is part of the query: stamping it on the options puts
+	// it in the plan-cache fingerprint, so differently-weighted queries
+	// never share a cache slot with each other or with plain FormTopK.
+	opts.DiverseLambda = lambda
+	p, err := s.planFor(ctx, task, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return p.FormTopKDiverseContext(ctx, k, lambda)
+}
+
+// FormTopKDiverse solves the plan under the diverse top-K objective
+// (see Solver.FormTopKDiverse).
+func (p *TaskPlan) FormTopKDiverse(k int, lambda float64) ([]*Team, error) {
+	return p.FormTopKDiverseContext(context.Background(), k, lambda)
+}
+
+// FormTopKDiverseContext is FormTopKDiverse bounded by ctx.
+func (p *TaskPlan) FormTopKDiverseContext(ctx context.Context, k int, lambda float64) ([]*Team, error) {
+	if err := validateTopKDiverse(k, lambda); err != nil {
+		return nil, err
+	}
+	if p.empty {
+		return []*Team{{Members: nil, Cost: 0}}, nil
+	}
+	distinct, keys, succeeded, err := p.rankedTeams(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(distinct) {
+		k = len(distinct)
+	}
+	// Pack each candidate's member set to row width so the Jaccard
+	// intersections below are word-parallel.
+	words := (p.s.n + 63) / 64
+	sets := make([][]uint64, len(distinct))
+	for i, key := range keys {
+		w := make([]uint64, words)
+		for _, u := range key {
+			w[int(u)>>6] |= 1 << (uint(u) & 63)
+		}
+		sets[i] = w
+	}
+	selected := make([]*Team, 0, k)
+	selSets := make([][]uint64, 0, k)
+	selSizes := make([]int, 0, k)
+	chosen := make([]bool, len(distinct))
+	for len(selected) < k {
+		bestIdx := -1
+		var bestScore float64
+		for i, tm := range distinct {
+			if chosen[i] {
+				continue
+			}
+			overlap := 0.0
+			for j, sel := range selSets {
+				inter := container.AndCount(sets[i], sel)
+				union := len(keys[i]) + selSizes[j] - inter
+				if union > 0 {
+					if jac := float64(inter) / float64(union); jac > overlap {
+						overlap = jac
+					}
+				}
+			}
+			// Strict improvement: score ties resolve to the earlier
+			// candidate in cost-sorted order, which is what makes
+			// lambda = 0 reproduce FormTopK bit-for-bit.
+			score := float64(tm.Cost) + lambda*overlap
+			if bestIdx < 0 || score < bestScore {
+				bestIdx, bestScore = i, score
+			}
+		}
+		chosen[bestIdx] = true
+		selected = append(selected, distinct[bestIdx])
+		selSets = append(selSets, sets[bestIdx])
+		selSizes = append(selSizes, len(keys[bestIdx]))
+	}
+	for _, tm := range selected {
+		tm.SeedsTried = len(p.seeds)
+		tm.SeedsSucceeded = succeeded
+	}
+	return selected, nil
+}

@@ -60,6 +60,25 @@
 //     keys; the tie-break comparator reproduces the legacy decimal
 //     string order exactly.
 //
+// # Objective variants
+//
+// Options.Constraints restricts the search — must-include members,
+// must-exclude members, a team-size cap — and compiles into the
+// TaskPlan rather than post-filtering: includes are pre-covered
+// positions that join every grow first, excludes fold into the packed
+// eligibility mask as one AND, and the cap gates the growth loop. A
+// contradictory constraint set (include ∩ exclude, every holder of a
+// required skill excluded, cap below the include count) returns
+// ErrInfeasible, which wraps ErrNoTeam and is cached as a negative
+// plan entry under the canonical constraint fingerprint. Warm
+// constrained FormInto solves on packed engines stay 0 allocs/op
+// (CI-asserted). FormTopKDiverse re-scores FormTopK's candidates by
+// cost + lambda·maxOverlap (maximum Jaccard similarity against the
+// teams already selected, computed word-parallel over member
+// bitsets); lambda = 0 reproduces FormTopK exactly. Both variants are
+// pinned bit-identical to brute-force reference oracles across every
+// engine, policy and worker count in solver_reference_test.go.
+//
 // The package-level Form and FormTopK are thin wrappers over a
 // single-use, single-worker Solver and produce byte-identical results
 // to the pre-solver implementation (asserted against a naive reference

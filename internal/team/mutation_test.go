@@ -11,6 +11,7 @@ package team
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/compat"
@@ -223,6 +224,192 @@ func TestSolverMutationOracle(t *testing.T) {
 	}
 	if st := cached.PlanCacheStats(); st.Misses < steps {
 		t.Fatalf("every mutation must recompile at least one plan: %+v", st)
+	}
+}
+
+// TestConstrainedInfeasibleStubEpochKeying: cached ErrInfeasible plan
+// stubs (an exclusion set that starves a task skill of holders) are
+// epoch-keyed like every other negative entry — a mutation retires the
+// stub, the next constrained solve recompiles (and re-fails, since the
+// assignment did not change), and repeats at the new epoch are served
+// from the fresh stub.
+func TestConstrainedInfeasibleStubEpochKeying(t *testing.T) {
+	rng := rand.New(rand.NewSource(841))
+	const n = 16
+	g := randomTeamGraph(rng, n, 4*n, 0.25)
+	u := skills.GenerateUniverse(2)
+	assign := skills.NewAssignment(u, n)
+	for v := 0; v < n; v++ {
+		assign.MustAdd(sgraph.NodeID(v), 0)
+	}
+	assign.MustAdd(0, 1) // skill 1 held only by users 0 and 1
+	assign.MustAdd(1, 1)
+	rel := compat.MustNewMatrix(compat.SPO, g, compat.MatrixOptions{})
+	s := NewSolver(rel, assign, SolverOptions{Workers: 1, PlanCache: 4})
+	task := skills.NewTask(0, 1)
+	opts := Options{Constraints: Constraints{MustExclude: []sgraph.NodeID{0, 1}}}
+	mustInfeasible := func(stage string) {
+		t.Helper()
+		if _, err := s.Form(task, opts); !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("%s: err = %v, want ErrInfeasible", stage, err)
+		}
+	}
+	mustInfeasible("cold")
+	mustInfeasible("warm")
+	st := s.PlanCacheStats()
+	if st.NegativeHits != 1 || st.Misses != 1 {
+		t.Fatalf("pre-mutation stats %+v, want 1 negative hit / 1 miss", st)
+	}
+	e := teamGraphEdges(g)[0]
+	if _, err := rel.Mutate(sgraph.Mutation{Op: sgraph.MutFlip, U: e.U, V: e.V}); err != nil {
+		t.Fatal(err)
+	}
+	mustInfeasible("post-mutation cold") // stale stub must not match
+	mustInfeasible("post-mutation warm")
+	st = s.PlanCacheStats()
+	if st.Misses != 2 {
+		t.Fatalf("post-mutation stats %+v, want a second miss (recompile)", st)
+	}
+	if st.NegativeHits != 2 {
+		t.Fatalf("post-mutation stats %+v, want the fresh stub to serve the repeat", st)
+	}
+}
+
+// TestConstrainedSolverMutationOracle extends the mutation oracle to
+// the objective variants: constrained FormBatchSpecs and
+// FormTopKDiverse on a cached solver over a mutable sharded engine,
+// every post-mutation answer pinned to a fresh solver built from
+// scratch on the mutated graph.
+func TestConstrainedSolverMutationOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(851))
+	const n, steps = 20, 8
+	g := randomTeamGraph(rng, n, 5*n, 0.25)
+	assign := randomAssignment(t, rng, n, 5)
+	var specs []TaskSpec
+	for i := 0; i < 3; i++ {
+		task, err := skills.RandomTask(rng, assign, 2+rng.Intn(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, TaskSpec{Task: task, Constraints: randomConstraints(rng, n)})
+	}
+	opts := Options{Skill: LeastCompatibleFirst, User: MinDistance}
+	rel := compat.MustNewSharded(compat.SPO, g, compat.ShardedOptions{
+		ShardRows: 3, MaxResidentShards: 2, SpillDir: t.TempDir(),
+	})
+	defer rel.Close()
+	cached := NewSolver(rel, assign, SolverOptions{Workers: 2, PlanCache: 4})
+
+	edges := teamGraphEdges(g)
+	for step := 0; step < steps; step++ {
+		e := edges[(step*7)%len(edges)]
+		if _, err := rel.Mutate(sgraph.Mutation{Op: sgraph.MutFlip, U: e.U, V: e.V}); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+
+		fresh := compat.MustNew(compat.SPO, rel.Graph(), compat.Options{})
+		oracle := NewSolver(fresh, assign, SolverOptions{Workers: 1})
+		want, err := oracle.FormBatchSpecs(specs, opts)
+		if err != nil {
+			t.Fatalf("step %d: oracle batch: %v", step, err)
+		}
+		got, err := cached.FormBatchSpecs(specs, opts)
+		if err != nil {
+			t.Fatalf("step %d: cached batch: %v", step, err)
+		}
+		for i := range specs {
+			if (want[i] == nil) != (got[i] == nil) {
+				t.Fatalf("step %d spec %d: solvability diverged (oracle %v, cached %v)",
+					step, i, want[i] != nil, got[i] != nil)
+			}
+			if want[i] != nil {
+				sameTeam(t, "batch-specs", want[i], got[i])
+				checkConstraints(t, "batch-specs", got[i], specs[i].Constraints)
+			}
+		}
+		// The diverse objective must track mutations too (its own plan
+		// key, its own cached plans).
+		dOpts := Options{Constraints: specs[0].Constraints}
+		wantD, errW := oracle.FormTopKDiverse(specs[0].Task, dOpts, 3, 1.25)
+		gotD, errG := cached.FormTopKDiverse(specs[0].Task, dOpts, 3, 1.25)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("step %d: diverse err diverged: oracle %v, cached %v", step, errW, errG)
+		}
+		if errW == nil {
+			if len(wantD) != len(gotD) {
+				t.Fatalf("step %d: diverse %d teams vs %d", step, len(wantD), len(gotD))
+			}
+			for i := range wantD {
+				sameTeam(t, "diverse", wantD[i], gotD[i])
+			}
+		}
+	}
+	if st := cached.PlanCacheStats(); st.Misses < steps {
+		t.Fatalf("every mutation must recompile at least one plan: %+v", st)
+	}
+}
+
+// TestConstrainedFormBatchVsMutators races constrained batch solves
+// against sign-flipping mutators on a cached sharded engine — a pure
+// interleaving shaker for the CI race-workers job (correctness under
+// mutation is the oracle test's job; here only invariants cheap enough
+// to hold mid-race are asserted: no errors beyond ErrNoTeam, and every
+// returned team honours its spec's constraints).
+func TestConstrainedFormBatchVsMutators(t *testing.T) {
+	rng := rand.New(rand.NewSource(861))
+	const n = 24
+	g := randomTeamGraph(rng, n, 5*n, 0.25)
+	assign := randomAssignment(t, rng, n, 5)
+	var specs []TaskSpec
+	for i := 0; i < 4; i++ {
+		task, err := skills.RandomTask(rng, assign, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, TaskSpec{Task: task, Constraints: randomConstraints(rng, n)})
+	}
+	rel := compat.MustNewSharded(compat.SPO, g, compat.ShardedOptions{ShardRows: 1})
+	defer rel.Close()
+	s := NewSolver(rel, assign, SolverOptions{Workers: 4, PlanCache: 4})
+	edges := teamGraphEdges(g)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				e := edges[(i*2+w)%len(edges)]
+				if _, err := rel.Mutate(sgraph.Mutation{Op: sgraph.MutFlip, U: e.U, V: e.V}); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				teams, err := s.FormBatchSpecs(specs, Options{Skill: RarestFirst, User: MinDistance})
+				if err != nil {
+					errc <- err
+					return
+				}
+				for j, tm := range teams {
+					if tm != nil {
+						checkConstraints(t, "race-batch", tm, specs[j].Constraints)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
 	}
 }
 

@@ -15,10 +15,12 @@
 package team
 
 import (
+	"math"
 	"slices"
 	"sync"
 
 	"repro/internal/container"
+	"repro/internal/sgraph"
 	"repro/internal/skills"
 )
 
@@ -69,6 +71,11 @@ type planCache struct {
 	lru    *container.IndexLRU
 	free   []int32
 	canon  []skills.SkillID // reused canonicalisation buffer
+	// Reused constraint canonicalisation buffers (lookup's opts copy
+	// points its constraint slices at these, keeping non-canonical
+	// constrained lookups allocation-free too).
+	canonInc []sgraph.NodeID
+	canonExc []sgraph.NodeID
 
 	hits, misses, evictions, negativeHits int64
 }
@@ -114,6 +121,33 @@ func (c *planCache) canonicalLocked(task skills.Task) skills.Task {
 	return skills.Task(out)
 }
 
+// canonicalNodesLocked is canonicalLocked for constraint user lists:
+// already-canonical (strictly increasing) lists are returned as-is,
+// anything else is canonicalised into the given reused buffer.
+// Requires c.mu held.
+func (c *planCache) canonicalNodesLocked(buf *[]sgraph.NodeID, xs []sgraph.NodeID) []sgraph.NodeID {
+	canonical := true
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			canonical = false
+			break
+		}
+	}
+	if canonical {
+		return xs
+	}
+	*buf = append((*buf)[:0], xs...)
+	slices.Sort(*buf)
+	out := (*buf)[:0]
+	for i, u := range *buf {
+		if i == 0 || u != (*buf)[i-1] {
+			out = append(out, u)
+		}
+	}
+	*buf = (*buf)[:len(out)] // out aliases buf's prefix
+	return out
+}
+
 // planKeyHash hashes the canonical task, the options fingerprint and
 // the relation epoch the plan serves (the package-shared FNV-1a mix).
 // Mixing the epoch means a mutation retires every cached plan at once:
@@ -128,6 +162,20 @@ func planKeyHash(task skills.Task, opts Options, epoch uint64) uint64 {
 	}
 	h = fnvMix(h, uint64(uint32(opts.Skill))<<32|uint64(uint32(opts.User)), 8)
 	h = fnvMix(h, uint64(uint32(opts.Cost))<<32|uint64(uint32(opts.MaxSeeds)), 8)
+	// The constraints/diversity component (PR 9): canonical include and
+	// exclude lists, the size cap, and the diversity penalty weight.
+	// Zero-value constraints mix fixed constants, so unconstrained keys
+	// stay consistent across all callers.
+	cons := opts.Constraints
+	h = fnvMix(h, uint64(uint32(len(cons.MustInclude)))<<32|uint64(uint32(len(cons.MustExclude))), 8)
+	for _, u := range cons.MustInclude {
+		h = fnvMix(h, uint64(uint32(u)), 4)
+	}
+	for _, u := range cons.MustExclude {
+		h = fnvMix(h, uint64(uint32(u)), 4)
+	}
+	h = fnvMix(h, uint64(uint32(cons.MaxTeamSize)), 4)
+	h = fnvMix(h, math.Float64bits(opts.DiverseLambda), 8)
 	h = fnvMix(h, epoch, 8)
 	return h
 }
@@ -140,6 +188,11 @@ func planMatches(p *TaskPlan, task skills.Task, opts Options, epoch uint64) bool
 	}
 	if p.opts.Skill != opts.Skill || p.opts.User != opts.User ||
 		p.opts.Cost != opts.Cost || p.opts.MaxSeeds != opts.MaxSeeds {
+		return false
+	}
+	// Both sides hold canonical constraints: plans store them, lookup
+	// canonicalises before probing.
+	if p.opts.DiverseLambda != opts.DiverseLambda || !p.opts.Constraints.equal(opts.Constraints) {
 		return false
 	}
 	if len(p.task) != len(task) {
@@ -160,6 +213,8 @@ func (c *planCache) lookup(task skills.Task, opts Options, epoch uint64) (*TaskP
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	canonical := c.canonicalLocked(task)
+	opts.Constraints.MustInclude = c.canonicalNodesLocked(&c.canonInc, opts.Constraints.MustInclude)
+	opts.Constraints.MustExclude = c.canonicalNodesLocked(&c.canonExc, opts.Constraints.MustExclude)
 	h := planKeyHash(canonical, opts, epoch)
 	for _, idx := range c.byHash[h] {
 		if planMatches(c.slots[idx].plan, canonical, opts, epoch) {

@@ -217,19 +217,59 @@ func (s *Solver) FormBatch(tasks []skills.Task, opts Options) ([]*Team, error) {
 // coalescing layers that need partial results should bound their
 // windows instead. The solver remains fully reusable after an abort.
 func (s *Solver) FormBatchContext(ctx context.Context, tasks []skills.Task, opts Options) ([]*Team, error) {
-	out := make([]*Team, len(tasks))
+	return s.formBatch(ctx, len(tasks), opts, func(i int) (skills.Task, Options) {
+		return tasks[i], opts
+	})
+}
+
+// TaskSpec is one FormBatchSpecs element: a task with its own
+// constraints.
+type TaskSpec struct {
+	Task skills.Task
+	// Constraints replaces the batch Options.Constraints verbatim for
+	// this task (the zero value solves unconstrained, even when the
+	// batch options carry constraints).
+	Constraints Constraints
+}
+
+// FormBatchSpecs is FormBatch with per-task constraints: coalescing
+// layers that batch same-options requests can keep merging even when
+// the callers constrain differently. Everything else — worker pool,
+// nil teams for ErrNoTeam (and ErrInfeasible), error reporting —
+// matches FormBatch; each spec's Constraints replaces opts.Constraints
+// for that task.
+func (s *Solver) FormBatchSpecs(specs []TaskSpec, opts Options) ([]*Team, error) {
+	return s.FormBatchSpecsContext(context.Background(), specs, opts)
+}
+
+// FormBatchSpecsContext is FormBatchSpecs bounded by ctx (see
+// FormBatchContext).
+func (s *Solver) FormBatchSpecsContext(ctx context.Context, specs []TaskSpec, opts Options) ([]*Team, error) {
+	return s.formBatch(ctx, len(specs), opts, func(i int) (skills.Task, Options) {
+		o := opts
+		o.Constraints = specs[i].Constraints
+		return specs[i].Task, o
+	})
+}
+
+// formBatch is the one batch implementation behind FormBatchContext
+// and FormBatchSpecsContext: at(i) yields task i with its per-task
+// options (the batch options with, possibly, per-spec constraints).
+func (s *Solver) formBatch(ctx context.Context, count int, opts Options, at func(i int) (skills.Task, Options)) ([]*Team, error) {
+	out := make([]*Team, count)
 	workers := s.workers
-	if workers > len(tasks) {
-		workers = len(tasks)
+	if workers > count {
+		workers = count
 	}
 	if opts.User == RandomUser || workers <= 1 {
 		sc := s.getScratch()
 		defer s.putScratch(sc)
-		for i, task := range tasks {
+		for i := 0; i < count; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("team: batch task %d: %w", i, ctxErr(err))
 			}
-			tm, err := s.formOne(ctx, sc, task, opts)
+			task, o := at(i)
+			tm, err := s.formOne(ctx, sc, task, o)
 			if err != nil {
 				return nil, fmt.Errorf("team: batch task %d: %w", i, err)
 			}
@@ -237,8 +277,9 @@ func (s *Solver) FormBatchContext(ctx context.Context, tasks []skills.Task, opts
 		}
 		return out, nil
 	}
-	err := s.runPool(ctx, workers, len(tasks), func(sc *scratch, i int) error {
-		tm, err := s.formOne(ctx, sc, tasks[i], opts)
+	err := s.runPool(ctx, workers, count, func(sc *scratch, i int) error {
+		task, o := at(i)
+		tm, err := s.formOne(ctx, sc, task, o)
 		if err != nil {
 			return fmt.Errorf("team: batch task %d: %w", i, err)
 		}
@@ -296,7 +337,22 @@ type TaskPlan struct {
 
 	order    []skills.SkillID // task skills, best-ranked first
 	orderPos []int32          // orderPos[i] = index of order[i] in task
-	seeds    []sgraph.NodeID  // holders of order[0], MaxSeeds applied
+	seeds    []sgraph.NodeID  // eligible holders of the seed skill, MaxSeeds applied
+
+	// Compiled constraints (opts.Constraints is stored canonical).
+	// includes joins every grow before the seed; exclSet marks the
+	// forbidden users; allowWords is its complement sized to the packed
+	// row words, ANDed into the scratch mask so exclusion costs one
+	// kernel pass per member on packed engines (nil on lazy engines,
+	// whose candidate loop tests exclSet per holder); maxSize caps the
+	// member count (0 = unbounded). seedInc marks the degenerate case
+	// where the includes already cover the whole task: the seed list is
+	// includes[:1] and grow adds no seed beyond them.
+	includes   []sgraph.NodeID
+	exclSet    *container.Bitset
+	allowWords []uint64
+	maxSize    int
+	seedInc    bool
 
 	// MostCompatible only: the distinct holders of any task skill
 	// (sorted) and, aligned with it, each holder's compatibility degree
@@ -350,6 +406,9 @@ func (s *Solver) planFor(ctx context.Context, task skills.Task, opts Options, sc
 	p, err := s.planWith(ctx, task, opts, sc)
 	if err != nil {
 		if errors.Is(err, ErrNoTeam) {
+			// Negative entries store canonical constraints, like
+			// positive plans, so lookups under any spelling match.
+			opts.Constraints = opts.Constraints.canonical()
 			s.plans.insert(&TaskPlan{
 				s:       s,
 				opts:    opts,
@@ -362,6 +421,15 @@ func (s *Solver) planFor(ctx context.Context, task skills.Task, opts Options, sc
 	}
 	p.epoch = epoch
 	return s.plans.insert(p), nil
+}
+
+// userLimit bounds the constraint-user universe: ids must index both
+// the relation's rows and the assignment's user table.
+func (s *Solver) userLimit() int {
+	if nu := s.assign.NumUsers(); nu < s.n {
+		return nu
+	}
+	return s.n
 }
 
 // relEpoch returns the relation's current mutation epoch, or 0 when
@@ -389,13 +457,21 @@ func (s *Solver) planWith(ctx context.Context, task skills.Task, opts Options, s
 	if opts.User == RandomUser && opts.Rng == nil {
 		return nil, errors.New("team: RandomUser policy requires Options.Rng")
 	}
+	if !opts.Constraints.IsZero() {
+		if err := opts.Constraints.Validate(s.userLimit()); err != nil {
+			return nil, err
+		}
+		opts.Constraints = opts.Constraints.canonical()
+	}
 	// Re-canonicalise (sort, dedup, copy) rather than trusting the
 	// skills.Task contract: the solve path indexes coverage by task
 	// position and early-exits on sorted order, so an unsorted or
 	// duplicated input must not reach it.
 	p := &TaskPlan{s: s, opts: opts, task: skills.NewTask(task...)}
 	task = p.task
-	if len(task) == 0 {
+	p.includes = opts.Constraints.MustInclude
+	p.maxSize = opts.Constraints.MaxTeamSize
+	if len(task) == 0 && len(p.includes) == 0 {
 		p.empty = true
 		return p, nil
 	}
@@ -404,14 +480,87 @@ func (s *Solver) planWith(ctx context.Context, task skills.Task, opts Options, s
 			return nil, fmt.Errorf("%w: skill %d has no holders", ErrNoTeam, sk)
 		}
 	}
-	if err := p.rankSkills(sc); err != nil {
-		return nil, err
+	if excl := opts.Constraints.MustExclude; len(excl) > 0 {
+		p.exclSet = container.NewBitset(s.n)
+		for _, u := range excl {
+			p.exclSet.Set(int(u))
+		}
+		if s.packed != nil {
+			// The allow mask (complement of the exclusions) is sized to
+			// the packed row words; set tail bits past n are harmless
+			// because row tails are always zero.
+			words := p.exclSet.Words()
+			p.allowWords = make([]uint64, len(words))
+			for i, w := range words {
+				p.allowWords[i] = ^w
+			}
+		}
 	}
-	seeds := s.assign.Holders(p.order[0])
-	if opts.MaxSeeds > 0 && len(seeds) > opts.MaxSeeds {
-		seeds = seeds[:opts.MaxSeeds]
+	if len(task) > 0 {
+		if err := p.rankSkills(sc); err != nil {
+			return nil, err
+		}
 	}
-	p.seeds = seeds
+	// Mark the task positions the includes pre-cover; the seed skill
+	// is the best-ranked uncovered one.
+	sc.covered.Grow(len(task))
+	for _, u := range p.includes {
+		for _, sk := range s.assign.UserSkills(u) {
+			if i := p.taskIndex(sk); i >= 0 {
+				sc.covered.Set(i)
+			}
+		}
+	}
+	if p.exclSet != nil {
+		// Infeasible before any seed is tried: an uncovered task skill
+		// whose every holder is excluded (pre-covered skills need no
+		// holder — an include supplies them).
+		for i, sk := range task {
+			if sc.covered.Contains(i) {
+				continue
+			}
+			eligible := false
+			for _, u := range s.assign.Holders(sk) {
+				if !p.exclSet.Contains(int(u)) {
+					eligible = true
+					break
+				}
+			}
+			if !eligible {
+				return nil, fmt.Errorf("%w: every holder of skill %d is excluded", ErrInfeasible, sk)
+			}
+		}
+	}
+	seedSkill := skills.SkillID(-1)
+	seedFound := false
+	for i, sk := range p.order {
+		if !sc.covered.Contains(int(p.orderPos[i])) {
+			seedSkill, seedFound = sk, true
+			break
+		}
+	}
+	if !seedFound {
+		// The includes cover the whole task (or the task is empty):
+		// the only candidate team is the includes themselves; grow
+		// from the first include, which is already a member.
+		p.seedInc = true
+		p.seeds = p.includes[:1]
+	} else {
+		seeds := s.assign.Holders(seedSkill)
+		if p.exclSet != nil {
+			eligible := make([]sgraph.NodeID, 0, len(seeds))
+			for _, u := range seeds {
+				if !p.exclSet.Contains(int(u)) {
+					eligible = append(eligible, u)
+				}
+			}
+			seeds = eligible
+		}
+		if opts.MaxSeeds > 0 && len(seeds) > opts.MaxSeeds {
+			seeds = seeds[:opts.MaxSeeds]
+		}
+		p.seeds = seeds
+	}
 	switch opts.User {
 	case MinDistance, RandomUser:
 	case MostCompatible:
@@ -504,6 +653,9 @@ func (p *TaskPlan) buildPoolDegrees(sc *scratch) error {
 	members := 0
 	for _, s := range p.task {
 		for _, u := range p.s.assign.Holders(s) {
+			if p.exclSet != nil && p.exclSet.Contains(int(u)) {
+				continue // excluded users are not pool members
+			}
 			if !poolSet.Contains(int(u)) {
 				poolSet.Set(int(u))
 				members++
@@ -714,6 +866,12 @@ func (sc *scratch) addMember(p *TaskPlan, u sgraph.NodeID) {
 	if sc.mask != nil {
 		if len(sc.members) == 0 {
 			sc.mask.CopyFrom(p.s.packed.RowWords(u))
+			if p.allowWords != nil {
+				// Fold the exclusion complement in once; every later
+				// member ANDs on top, so excluded users stay masked out
+				// of candidate enumeration for the whole grow.
+				sc.mask.And(p.allowWords)
+			}
 		} else {
 			sc.mask.And(p.s.packed.RowWords(u))
 		}
@@ -745,16 +903,59 @@ func (p *TaskPlan) nextSkill(sc *scratch) skills.SkillID {
 	panic("team: nextSkill called with all skills covered")
 }
 
+// teamCompatible reports whether u is compatible with every current
+// member (vacuously true for the first). On packed engines the scratch
+// mask answers in one bit test; the lazy path checks pairwise.
+func (p *TaskPlan) teamCompatible(sc *scratch, u sgraph.NodeID) (bool, error) {
+	if len(sc.members) == 0 {
+		return true, nil
+	}
+	if sc.mask != nil {
+		return sc.mask.Contains(int(u)), nil
+	}
+	for _, x := range sc.members {
+		ok, err := p.s.rel.Compatible(x, u)
+		if err != nil || !ok {
+			return ok, err
+		}
+	}
+	return true, nil
+}
+
 // grow runs Algorithm 2's inner loop for one seed into sc.members.
-// ok=false reports a failed seed (no compatible holder of some skill);
-// a non-nil error is a relation failure and aborts the whole solve.
+// ok=false reports a failed seed (no compatible holder of some skill,
+// an include or seed incompatible with the members so far, or the size
+// cap reached with skills uncovered); a non-nil error is a relation
+// failure and aborts the whole solve. Includes join first, in
+// canonical order, each checked against the members before it — so a
+// mutually incompatible include set fails every seed and the solve
+// reports ErrNoTeam.
 func (p *TaskPlan) grow(sc *scratch, seed sgraph.NodeID) (bool, error) {
 	sc.members = sc.members[:0]
 	sc.rows.Reset()
 	sc.covered.Grow(len(p.task))
 	sc.nCov = 0
-	sc.addMember(p, seed)
+	for _, u := range p.includes {
+		ok, err := p.teamCompatible(sc, u)
+		if err != nil || !ok {
+			return false, err
+		}
+		sc.addMember(p, u)
+	}
+	if !p.seedInc {
+		if p.maxSize > 0 && len(sc.members) >= p.maxSize {
+			return false, nil
+		}
+		ok, err := p.teamCompatible(sc, seed)
+		if err != nil || !ok {
+			return false, err
+		}
+		sc.addMember(p, seed)
+	}
 	for sc.nCov < len(p.task) {
+		if p.maxSize > 0 && len(sc.members) >= p.maxSize {
+			return false, nil
+		}
 		v, ok, err := p.pick(sc, p.nextSkill(sc))
 		if err != nil || !ok {
 			return false, err
@@ -792,6 +993,9 @@ func (p *TaskPlan) pick(sc *scratch, skill skills.SkillID) (sgraph.NodeID, bool,
 	} else {
 	holders:
 		for _, v := range p.s.assign.Holders(skill) {
+			if p.exclSet != nil && p.exclSet.Contains(int(v)) {
+				continue
+			}
 			for _, x := range sc.members {
 				// Query with the team member first: relations cache
 				// rows per source, and the team side is small and
@@ -1073,16 +1277,10 @@ func (p *TaskPlan) FormTopKContext(ctx context.Context, k int) ([]*Team, error) 
 	if p.empty {
 		return []*Team{{Members: nil, Cost: 0}}, nil
 	}
-	teams, err := p.allTeams(ctx)
+	distinct, _, succeeded, err := p.rankedTeams(ctx)
 	if err != nil {
 		return nil, err
 	}
-	succeeded := len(teams)
-	if succeeded == 0 {
-		return nil, fmt.Errorf("%w: all %d seeds failed for task %v", ErrNoTeam, len(p.seeds), p.task)
-	}
-	distinct, sortedSets := dedupTeams(teams)
-	sort.Sort(&teamsByCost{teams: distinct, keys: sortedSets})
 	if len(distinct) > k {
 		distinct = distinct[:k]
 	}
@@ -1091,6 +1289,24 @@ func (p *TaskPlan) FormTopKContext(ctx context.Context, k int) ([]*Team, error) 
 		tm.SeedsSucceeded = succeeded
 	}
 	return distinct, nil
+}
+
+// rankedTeams is the shared prologue of the top-K entry points: grow
+// every seed, drop duplicate member sets, and sort by cost (legacy
+// member-set tie-break). It returns the distinct teams, their aligned
+// sorted member sets, and how many seeds grew into a priced team.
+func (p *TaskPlan) rankedTeams(ctx context.Context) ([]*Team, [][]sgraph.NodeID, int, error) {
+	teams, err := p.allTeams(ctx)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	succeeded := len(teams)
+	if succeeded == 0 {
+		return nil, nil, 0, fmt.Errorf("%w: all %d seeds failed for task %v", ErrNoTeam, len(p.seeds), p.task)
+	}
+	distinct, sortedSets := dedupTeams(teams)
+	sort.Sort(&teamsByCost{teams: distinct, keys: sortedSets})
+	return distinct, sortedSets, succeeded, nil
 }
 
 // allTeams grows every seed and returns the successful teams in seed

@@ -137,6 +137,16 @@ type Options struct {
 	// MaxSeeds caps how many holders of the first skill are tried as
 	// seeds; 0 tries all of them (Algorithm 2's outer loop).
 	MaxSeeds int
+	// Constraints restricts formation: required members, forbidden
+	// members and a team-size cap. The zero value is unconstrained;
+	// see Constraints for the semantics and ErrInfeasible for
+	// contradictory sets.
+	Constraints Constraints
+	// DiverseLambda is the overlap penalty weight of FormTopKDiverse.
+	// It is set by that entry point (callers pass lambda explicitly)
+	// and exists on Options so the plan-cache fingerprint covers it;
+	// plain Form/FormTopK ignore it.
+	DiverseLambda float64
 }
 
 // Team is a solution: its members, the diameter cost, and search
