@@ -20,7 +20,10 @@ const NoDistance = noDist32
 // engine built (uint8 with a sentinel, or int32 after overflow). It is
 // an immutable view — valid even after the owning shard is evicted on
 // the sharded engine — and At never locks, so hot loops resolve the
-// row once and then index freely.
+// row once and then index freely. It aliases engine-owned (possibly
+// mmap-backed) memory and must not outlive the engine's Close.
+//
+//tfsn:viewtype
 type DistRow struct {
 	d8  []uint8
 	d32 []int32

@@ -181,6 +181,10 @@ func (r DistRow) MinExcluding(skip sgraph.NodeID) (int32, sgraph.NodeID, bool) {
 // hand the whole stack to the u8 kernels when every row is
 // byte-packed (the engines promote to int32 only after a distance
 // overflows uint8, in which case every scan takes the generic path).
+// As a container of DistRow views it is itself a view type: holders
+// must Clear it before pooling (see putScratch in internal/team).
+//
+//tfsn:viewtype
 type DistRows struct {
 	rows  []DistRow
 	d8    [][]uint8 // aligned with rows; nil entries on promoted rows
@@ -230,6 +234,8 @@ func (rs *DistRows) At(i int, v sgraph.NodeID) (int32, bool) { return rs.rows[i]
 // SumDistance), with ok=false when any of those rows has no defined
 // distance to v. It is the one scoring loop shared by the solver's
 // pick fallbacks and cost functions.
+//
+//tfsn:noalloc
 func (rs *DistRows) Contribution(k int, v sgraph.NodeID, sum bool) (int32, bool) {
 	c := int32(0)
 	for i := 0; i < k; i++ {
@@ -254,6 +260,8 @@ func (rs *DistRows) Contribution(k int, v sgraph.NodeID, sum bool) (int32, bool)
 // ArgminSumU8); otherwise a scalar scan over the same candidate
 // enumeration, so the picked node is identical either way. holder and
 // mask must be row-word-aligned (WordsPerRow) with zero tail bits.
+//
+//tfsn:noalloc
 func (rs *DistRows) PickMin(holder, mask []uint64, sum bool) (sgraph.NodeID, bool) {
 	if rs.notU8 == 0 && len(rs.rows) > 0 {
 		if sum {

@@ -796,7 +796,10 @@ func (r shardedRowView) distance(v sgraph.NodeID) (int32, bool) {
 // issues a prefetch, the goroutine scheduler is nudged once after the
 // lock is released so the background decode starts promptly even on a
 // single CPU (a pure-CPU demand sweep would otherwise starve it until
-// async preemption).
+// async preemption). With the shard resident (the serving steady
+// state) the call allocates nothing.
+//
+//tfsn:noalloc
 func (m *ShardedMatrix) rowView(u sgraph.NodeID) ([]uint64, []uint8, []int32, error) {
 	m.mu.Lock()
 	s := int(u) / m.shardRows
@@ -843,7 +846,11 @@ func (m *ShardedMatrix) rowView(u sgraph.NodeID) ([]uint64, []uint8, []int32, er
 // slab (a prefetch hit); otherwise the spill file serves it — as a
 // zero-copy view into the mapping when views are enabled, by decoding
 // into fresh heap slabs when not. Room is made before the load, so
-// residency never exceeds the bound (pinned shards excepted).
+// residency never exceeds the bound (pinned shards excepted). The
+// resident fast path (sh.bits != nil) allocates nothing; only cold
+// loads and the closed-spill error path do.
+//
+//tfsn:noalloc
 func (m *ShardedMatrix) residentLocked(s int) (*shardState, error) {
 	sh := &m.shards[s]
 	if sh.bits == nil {
@@ -857,6 +864,7 @@ func (m *ShardedMatrix) residentLocked(s int) (*shardState, error) {
 			m.admitLocked()
 		} else {
 			if m.spill == nil {
+				//tfsn:allow-alloc(cold error path: spill closed underneath a resident miss)
 				return nil, fmt.Errorf("compat: shard %d is spilled but the spill file is closed", s)
 			}
 			if err := m.makeRoomLocked(); err != nil {

@@ -1,0 +1,157 @@
+// The atomicmix analyzer: a struct field that is touched through
+// sync/atomic anywhere (atomic.AddInt64(&s.n, 1), atomic.LoadInt64)
+// must be touched that way everywhere — one plain read racing one
+// atomic write is a data race the race detector only catches when a
+// test happens to interleave it. The serving stack converted its
+// counters to typed atomic.Int64 in PR 6 precisely to make this
+// unexpressible; this analyzer covers the remaining old-style sites
+// and any future backsliding. Fields are tracked cross-package by
+// qualified name (Facts.AtomicFields), collected over the whole load
+// before any package is checked.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags plain reads/writes of struct fields that are
+// elsewhere accessed through sync/atomic.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicMix,
+}
+
+// gatherAtomicFields records, into the cross-package Facts, every
+// struct field that appears as an &x.f argument to a sync/atomic
+// call.
+func gatherAtomicFields(p *Package, f *Facts) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if key, ok := atomicFieldArg(p, arg); ok {
+					if _, seen := f.AtomicFields[key]; !seen {
+						f.AtomicFields[key] = p.Fset.Position(arg.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall matches calls of the sync/atomic package-level
+// functions (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicFieldArg resolves an &x.f argument to its qualified field key.
+func atomicFieldArg(p *Package, arg ast.Expr) (string, bool) {
+	un, ok := arg.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return "", false
+	}
+	sel, ok := un.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return selectionFieldKey(p, sel)
+}
+
+// selectionFieldKey names the field a selector expression resolves to
+// as "pkgpath.StructName.field".
+func selectionFieldKey(p *Package, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	name, ok := qualifiedTypeName(recv)
+	if !ok {
+		return "", false
+	}
+	obj := s.Obj()
+	if obj.Pkg() == nil {
+		return "", false
+	}
+	return fieldKey(obj.Pkg().Path(), name[indexLastDot(name)+1:], obj.Name()), true
+}
+
+func runAtomicMix(p *Package, facts *Facts) []Diagnostic {
+	if len(facts.AtomicFields) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range p.Files {
+		// First pass: the selector nodes sanctioned as &x.f arguments of
+		// atomic calls in this file.
+		sanctioned := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+					if sel, ok := un.X.(*ast.SelectorExpr); ok {
+						sanctioned[sel] = true
+					}
+				}
+			}
+			return true
+		})
+		// Second pass: any other use of a tracked field is a mixed
+		// access — a plain read, a plain write, or an escaped &x.f
+		// handed to non-atomic code.
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			key, ok := selectionFieldKey(p, sel)
+			if !ok {
+				return true
+			}
+			if atomicSite, tracked := facts.AtomicFields[key]; tracked {
+				out = append(out, Diagnostic{
+					Analyzer: "atomicmix",
+					Pos:      p.Fset.Position(sel.Pos()),
+					Message: fmt.Sprintf("plain access to %s, which is accessed via sync/atomic at %s:%d; mixed atomic/plain access races",
+						key, atomicSite.Filename, atomicSite.Line),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

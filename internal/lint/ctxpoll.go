@@ -1,0 +1,135 @@
+// The ctxpoll analyzer: PR 6 threaded context.Context through every
+// solver entry point so a request deadline can stop a solve at the
+// next seed/batch boundary. That only works while the loops keep
+// polling — a new loop that forgets ctx silently reverts the path to
+// uncancellable. Checked functions are the *Context-suffixed entry
+// points plus anything annotated //tfsn:ctxpoll (the shared loop
+// bodies the entry points delegate to). Every loop must reference the
+// context parameter — a ctx.Err()/ctx.Done() poll, forwarding ctx to
+// a callee, or capturing it in a worker closure all count; a loop (or
+// one of its enclosing loops) that never mentions ctx cannot be
+// cancellation-aware and is flagged. Trivially bounded loops
+// (result stamping) carry an audited //tfsn:ctxfree(reason).
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPoll requires loops in context-bounded solver entry points to
+// stay cancellation-aware.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "loops in *Context entry points (and //tfsn:ctxpoll functions) must poll or forward ctx",
+	Run:  runCtxPoll,
+}
+
+func runCtxPoll(p *Package, facts *Facts) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range p.Files {
+		sups := collectLineSuppressions(p, file, "ctxfree")
+		any := false
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			_, annotated := hasDirective(fd.Doc, "ctxpoll")
+			if !annotated && !strings.HasSuffix(fd.Name.Name, "Context") {
+				continue
+			}
+			ctxParams := contextParams(p, fd)
+			if len(ctxParams) == 0 {
+				if annotated {
+					out = append(out, Diagnostic{Analyzer: "ctxpoll", Pos: p.Fset.Position(fd.Pos()),
+						Message: fmt.Sprintf("%s is annotated //tfsn:ctxpoll but has no context.Context parameter", fd.Name.Name)})
+				}
+				continue
+			}
+			any = true
+			out = append(out, ctxPollWalk(p, fd, ctxParams, sups)...)
+		}
+		if any || len(sups) > 0 {
+			out = append(out, suppressionDebt("ctxpoll", "ctxfree", sups)...)
+		}
+	}
+	return out
+}
+
+// contextParams returns the objects of fd's context.Context parameters.
+func contextParams(p *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if name, ok := qualifiedTypeName(t); !ok || name != "context.Context" {
+			continue
+		}
+		for _, ident := range field.Names {
+			if obj := p.Info.Defs[ident]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// ctxPollWalk flags every outermost loop in fd whose body (func
+// literals included) never references a context parameter. Nested
+// loops under a flagged or ctx-aware loop are not re-flagged: the
+// outermost loop is where the poll belongs.
+func ctxPollWalk(p *Package, fd *ast.FuncDecl, ctxParams map[types.Object]bool, sups map[int]*lineSuppression) []Diagnostic {
+	var out []Diagnostic
+	referencesCtx := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := m.(*ast.Ident); ok && ctxParams[p.Info.Uses[id]] {
+				found = true
+			}
+			return true
+		})
+		return found
+	}
+	var walk func(n ast.Node, covered bool)
+	walk = func(n ast.Node, covered bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			var body ast.Node
+			switch loop := m.(type) {
+			case *ast.ForStmt:
+				body = loop
+			case *ast.RangeStmt:
+				body = loop
+			default:
+				return true
+			}
+			if !covered && !referencesCtx(body) {
+				pos := p.Fset.Position(m.Pos())
+				if suppressed(sups, pos.Line) == nil {
+					out = append(out, Diagnostic{Analyzer: "ctxpoll", Pos: pos,
+						Message: fmt.Sprintf("%s: loop never polls ctx.Err()/ctx.Done() or forwards ctx; a deadline cannot stop it", fd.Name.Name)})
+				}
+			}
+			// Either this loop is ctx-aware or it has been flagged;
+			// don't cascade into its nested loops.
+			walk(body, true)
+			return false
+		})
+	}
+	walk(fd.Body, false)
+	return out
+}

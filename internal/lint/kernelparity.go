@@ -1,0 +1,168 @@
+// The kernelparity analyzer guards PR 8's build-tag twins: for every
+// <base>_generic.go in a package there may be sibling files
+// <base>_<arch>.go behind //go:build constraints (kernels_amd64v3.go
+// under GOAMD64=v3). The compiler only ever sees one side of a pair,
+// so a drifted twin — a function added to one file, a signature
+// changed in one — surfaces as a build break on the *other* tag
+// matrix leg, or worse, as silently divergent behaviour. This
+// analyzer parses both sides ignoring build tags and requires the
+// package-level function sets and signatures to match exactly.
+
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// KernelParity requires build-tag variant files to declare identical
+// function sets with identical signatures.
+var KernelParity = &Analyzer{
+	Name: "kernelparity",
+	Doc:  "build-tag kernel variants (X_generic.go vs X_<arch>.go) must stay signature-identical (PR 8 rule)",
+	Run:  runKernelParity,
+}
+
+func runKernelParity(p *Package, facts *Facts) []Diagnostic {
+	entries, err := os.ReadDir(p.Dir)
+	if err != nil {
+		return []Diagnostic{{Analyzer: "kernelparity", Pos: token.Position{Filename: p.Dir},
+			Message: fmt.Sprintf("reading package directory: %v", err)}}
+	}
+	var out []Diagnostic
+	for _, e := range entries {
+		name := e.Name()
+		base, ok := strings.CutSuffix(name, "_generic.go")
+		if !ok || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		generic := filepath.Join(p.Dir, name)
+		for _, v := range entries {
+			vn := v.Name()
+			if vn == name || !strings.HasPrefix(vn, base+"_") || !strings.HasSuffix(vn, ".go") ||
+				strings.HasSuffix(vn, "_test.go") {
+				continue
+			}
+			variant := filepath.Join(p.Dir, vn)
+			if !hasBuildConstraint(variant) {
+				continue // not a build-tag twin (e.g. foo_helpers.go)
+			}
+			out = append(out, compareVariantPair(p, generic, variant)...)
+		}
+	}
+	return out
+}
+
+// hasBuildConstraint reports whether the file carries a //go:build (or
+// legacy // +build) constraint before its package clause.
+func hasBuildConstraint(path string) bool {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if strings.HasPrefix(trimmed, "//go:build ") || strings.HasPrefix(trimmed, "// +build ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcSig is one package-level function's identity: its (possibly
+// receiver-qualified) name and printed signature.
+type funcSig struct {
+	sig string
+	pos token.Pos
+}
+
+// compareVariantPair parses both files tag-blind and diffs their
+// package-level function sets. Diagnostics anchor on the variant file:
+// that is the one the default build (and most editors) never check.
+func compareVariantPair(p *Package, genericPath, variantPath string) []Diagnostic {
+	gFuncs, _, err := parseFuncSigs(p.Fset, genericPath)
+	if err != nil {
+		return []Diagnostic{{Analyzer: "kernelparity", Pos: token.Position{Filename: genericPath},
+			Message: fmt.Sprintf("parsing %s: %v", filepath.Base(genericPath), err)}}
+	}
+	vFuncs, vPos, err := parseFuncSigs(p.Fset, variantPath)
+	if err != nil {
+		return []Diagnostic{{Analyzer: "kernelparity", Pos: token.Position{Filename: variantPath},
+			Message: fmt.Sprintf("parsing %s: %v", filepath.Base(variantPath), err)}}
+	}
+	gName, vName := filepath.Base(genericPath), filepath.Base(variantPath)
+
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{Analyzer: "kernelparity", Pos: p.Fset.Position(pos),
+			Message: fmt.Sprintf(format, args...)})
+	}
+	var names []string
+	for name := range gFuncs {
+		names = append(names, name)
+	}
+	for name := range vFuncs {
+		if _, ok := gFuncs[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g, inG := gFuncs[name]
+		v, inV := vFuncs[name]
+		switch {
+		case inG && !inV:
+			report(vPos, "variant %s is missing func %s (declared in %s); kernel variants must export identical function sets", vName, name, gName)
+		case !inG && inV:
+			report(v.pos, "func %s exists only in variant %s, not in %s; kernel variants must export identical function sets", name, vName, gName)
+		case g.sig != v.sig:
+			report(v.pos, "func %s signature diverges between variants: %s has %q, %s has %q", name, vName, v.sig, gName, g.sig)
+		}
+	}
+	return out
+}
+
+// parseFuncSigs parses one file (build tags ignored — the parse is
+// direct, not via the build context) and returns its package-level
+// functions keyed by receiver-qualified name, plus the package
+// clause position for file-level diagnostics.
+func parseFuncSigs(fset *token.FileSet, path string) (map[string]funcSig, token.Pos, error) {
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, token.NoPos, err
+	}
+	out := map[string]funcSig{}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		name := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) == 1 {
+			name = printNode(fset, fd.Recv.List[0].Type) + "." + name
+		}
+		out[name] = funcSig{sig: printNode(fset, fd.Type), pos: fd.Pos()}
+	}
+	return out, f.Name.Pos(), nil
+}
+
+// printNode renders a syntax node to its canonical gofmt form, for
+// textual signature comparison.
+func printNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return buf.String()
+}

@@ -1,0 +1,216 @@
+// The noalloc analyzer: functions annotated //tfsn:noalloc are the
+// warm serving paths CI's alloc smokes benchmark at 0 allocs/op (PRs
+// 1, 3, 4, 5, 6, 8, 9). The benchmarks prove the property end to end
+// but only for the configurations they run; this analyzer rejects the
+// allocation-introducing *constructs* in the annotated bodies
+// themselves, so a regression is named at the line that introduced it
+// rather than as a bench counter. Calls into helpers are not followed
+// — a callee that allocates is that callee's business (annotate it
+// too if it is warm). //tfsn:allow-alloc(reason) on or above a line
+// records an audited exception (cold or error paths, amortised growth
+// into pooled scratch).
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Noalloc rejects allocation-introducing constructs in
+// //tfsn:noalloc-annotated functions.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "reject allocation-introducing constructs in //tfsn:noalloc functions",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(p *Package, facts *Facts) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range p.Files {
+		sups := collectLineSuppressions(p, file, "allow-alloc")
+		any := false
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := hasDirective(fd.Doc, "noalloc"); !ok {
+				continue
+			}
+			any = true
+			out = append(out, noallocWalk(p, fd, sups)...)
+		}
+		if any || len(sups) > 0 {
+			out = append(out, suppressionDebt("noalloc", "allow-alloc", sups)...)
+		}
+	}
+	return out
+}
+
+// noallocWalk flags every allocation-introducing construct in fd's
+// body, honouring line suppressions.
+func noallocWalk(p *Package, fd *ast.FuncDecl, sups map[int]*lineSuppression) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		position := p.Fset.Position(pos)
+		if suppressed(sups, position.Line) != nil {
+			return
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "noalloc",
+			Pos:      position,
+			Message:  fmt.Sprintf("%s: %s", fd.Name.Name, fmt.Sprintf(format, args...)),
+		})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			noallocCall(p, n, report)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "allocates: &composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "allocates: slice literal")
+				case *types.Map:
+					report(n.Pos(), "allocates: map literal")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(p.Info.TypeOf(n.X)) {
+				report(n.Pos(), "allocates: string concatenation")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(p.Info.TypeOf(n.Lhs[0])) {
+				report(n.Pos(), "allocates: string concatenation")
+			}
+			noallocBoxing(p, n, report)
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				lt := p.Info.TypeOf(n.Type)
+				for _, v := range n.Values {
+					if boxesInterface(p, lt, v) {
+						report(v.Pos(), "allocates: interface boxing of %s", p.Info.TypeOf(v))
+					}
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "allocates: closure (func literal)")
+		case *ast.GoStmt:
+			report(n.Pos(), "allocates: go statement")
+		}
+		return true
+	})
+	return out
+}
+
+// noallocCall flags the allocating call forms: the make/new builtins,
+// append without pre-allocated-cap evidence, fmt calls, and
+// string<->byte-slice conversions.
+func noallocCall(p *Package, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := p.Info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "allocates: make")
+			case "new":
+				report(call.Pos(), "allocates: new")
+			case "append":
+				// append(x[:0], ...) and append(x[:n], ...) carry
+				// pre-allocated-cap evidence: the caller re-slices a
+				// buffer it owns. A bare append(x, ...) grows x.
+				if len(call.Args) > 0 {
+					if _, ok := call.Args[0].(*ast.SliceExpr); !ok {
+						report(call.Pos(), "allocates: append without preallocated-cap evidence (first argument is not a slice expression)")
+					}
+				}
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				report(call.Pos(), "allocates: call into package fmt")
+				return
+			}
+		}
+	}
+	// Conversions: string([]byte), []byte(string), string([]rune), ...
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, p.Info.TypeOf(call.Args[0])
+		if stringByteConversion(to, from) {
+			report(call.Pos(), "allocates: string/byte-slice conversion")
+		}
+	}
+}
+
+// noallocBoxing flags plain assignments that box a concrete value into
+// an interface-typed destination.
+func noallocBoxing(p *Package, n *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	if n.Tok != token.ASSIGN {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		if boxesInterface(p, p.Info.TypeOf(lhs), n.Rhs[i]) {
+			report(n.Rhs[i].Pos(), "allocates: interface boxing of %s", p.Info.TypeOf(n.Rhs[i]))
+		}
+	}
+}
+
+// boxesInterface reports whether assigning rhs to an lt-typed
+// destination converts a concrete value to an interface.
+func boxesInterface(p *Package, lt types.Type, rhs ast.Expr) bool {
+	if lt == nil || !types.IsInterface(lt) {
+		return false
+	}
+	rt := p.Info.TypeOf(rhs)
+	if rt == nil || types.IsInterface(rt) {
+		return false
+	}
+	if b, ok := rt.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringByteConversion reports a string <-> []byte/[]rune conversion
+// in either direction.
+func stringByteConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isStringType(from) && isByteOrRuneSlice(to))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,111 @@
+// The sentinelcmp analyzer: the repo's error taxonomy (team.ErrNoTeam
+// wrapped by ErrInfeasible, compat/sgraph structure errors, the serve
+// layer's 4xx/5xx mapping) relies on wrapped errors, so comparing an
+// error against a package sentinel with == or != silently stops
+// matching the moment a call site gains a fmt.Errorf("%w") wrapper.
+// Any comparison of an error value against a package-level error
+// variable (ErrNoTeam, io.EOF, http.ErrServerClosed, ...) must go
+// through errors.Is; == is only for nil checks.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SentinelCmp flags ==/!= comparisons of errors against package-level
+// sentinel error variables.
+var SentinelCmp = &Analyzer{
+	Name: "sentinelcmp",
+	Doc:  "error comparisons against package sentinels must use errors.Is",
+	Run:  runSentinelCmp,
+}
+
+func runSentinelCmp(p *Package, facts *Facts) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{Analyzer: "sentinelcmp", Pos: p.Fset.Position(pos),
+			Message: fmt.Sprintf(format, args...)})
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+					if name, ok := sentinelErrorVar(p, pair[0]); ok && isErrorExpr(p, pair[1]) {
+						report(n.Pos(), "error compared against sentinel %s with %s; use errors.Is (a wrapped error never matches ==)", name, n.Op)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorExpr(p, n.Tag) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, expr := range cc.List {
+						if name, ok := sentinelErrorVar(p, expr); ok {
+							report(expr.Pos(), "switch on an error matches sentinel %s by ==; use errors.Is in an if/else chain", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// sentinelErrorVar reports whether e is a reference to a package-level
+// variable of error type — a sentinel like team.ErrNoTeam or io.EOF —
+// and returns its printable name.
+func sentinelErrorVar(p *Package, e ast.Expr) (string, bool) {
+	var obj types.Object
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[e.Sel]
+	default:
+		return "", false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	if v.Pkg().Path() == p.ImportPath {
+		return v.Name(), true
+	}
+	return v.Pkg().Name() + "." + v.Name(), true
+}
+
+// isErrorExpr reports whether e's static type is (assignable to)
+// error, excluding the untyped nil.
+func isErrorExpr(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.AssignableTo(t, errorType)
+}

@@ -1,0 +1,38 @@
+// Fixture for the atomicmix analyzer: once a field is touched through
+// sync/atomic anywhere, every plain access of it is a race.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	safe  int64
+	plain int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) read() int64 {
+	return c.hits // want `plain access to .*counters\.hits`
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want `plain access to .*counters\.hits`
+}
+
+// safe is only ever touched atomically: no diagnostics.
+func (c *counters) load() int64 {
+	return atomic.LoadInt64(&c.safe)
+}
+
+func (c *counters) store(v int64) {
+	atomic.StoreInt64(&c.safe, v)
+}
+
+// plain is never touched atomically: plain access is fine.
+func (c *counters) inc() int64 {
+	c.plain++
+	return c.plain
+}

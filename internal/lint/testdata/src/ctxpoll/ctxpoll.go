@@ -1,0 +1,85 @@
+// Fixture for the ctxpoll analyzer: loops in *Context entry points
+// (and //tfsn:ctxpoll functions) must poll, forward or capture ctx.
+package ctxpoll
+
+import "context"
+
+func SolveContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ { // want `never polls`
+		_ = i
+	}
+	return nil
+}
+
+func GoodContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func helper(ctx context.Context, i int) { _ = ctx }
+
+// Forwarding ctx to a callee counts: the callee owns the poll.
+func ForwardContext(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		helper(ctx, i)
+	}
+}
+
+// Capturing ctx in a worker closure counts too.
+func ClosureContext(ctx context.Context, items []int) {
+	for range items {
+		go func() {
+			<-ctx.Done()
+		}()
+	}
+}
+
+// Only the outermost ctx-blind loop is flagged; no cascades.
+func NestedContext(ctx context.Context, grid [][]int) {
+	for _, row := range grid { // want `never polls`
+		for _, v := range row {
+			_ = v
+		}
+	}
+}
+
+// Bounded post-processing under an audited //tfsn:ctxfree passes.
+func StampContext(ctx context.Context, xs []int) {
+	if ctx.Err() != nil {
+		return
+	}
+	//tfsn:ctxfree(bounded stamping of already-computed results)
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// The annotation opts in functions the naming convention misses.
+//
+//tfsn:ctxpoll
+func annotatedHelper(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want `never polls`
+		_ = i
+	}
+}
+
+//tfsn:ctxpoll
+func noParam() {} // want `no context.Context parameter`
+
+// Unsuffixed, unannotated: not checked.
+func plain(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+func AuditDebtContext(ctx context.Context, xs []int) {
+	_ = ctx.Err()
+	//tfsn:ctxfree(suppresses nothing)
+	// want[-1] `unused //tfsn:ctxfree directive`
+	_ = xs
+}

@@ -1,0 +1,17 @@
+//go:build !lintfixturevariant
+
+// Fixture for the kernelparity analyzer, in-sync pair: the variant
+// declares the same functions with the same signatures, so the
+// analyzer stays silent.
+package kernelparity
+
+// Variant names the active kernel build.
+func Variant() string { return "generic" }
+
+func count(ws []uint64) int {
+	n := 0
+	for range ws {
+		n++
+	}
+	return n
+}

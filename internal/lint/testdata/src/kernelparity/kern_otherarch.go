@@ -1,0 +1,8 @@
+//go:build lintfixturevariant
+
+package kernelparity
+
+// Variant names the active kernel build.
+func Variant() string { return "otherarch" }
+
+func count(ws []uint64) int { return len(ws) }

@@ -1,0 +1,9 @@
+//go:build lintfixturevariant
+
+package kernelparity_bad // want `is missing func OnlyGeneric`
+
+func Shared(a, b []uint64) int { return len(a) + len(b) }
+
+func Diverged(n int64) int64 { return n } // want `signature diverges`
+
+func OnlyVariant() {} // want `exists only in variant`

@@ -1,0 +1,13 @@
+// Fixture for the kernelparity analyzer, desynced pair: the variant
+// dropped a function, grew a new one, and changed a signature — the
+// three drift modes the analyzer must name. The generic file carries
+// no build tag (it is the default implementation); the variant's
+// never-satisfied tag keeps the desync from breaking the fixture
+// build while the analyzer still parses it tag-blind.
+package kernelparity_bad
+
+func Shared(a, b []uint64) int { return len(a) + len(b) }
+
+func OnlyGeneric() {}
+
+func Diverged(n int) int { return n }

@@ -1,0 +1,81 @@
+// Fixture for the noalloc analyzer: every construct the analyzer
+// rejects, the escape hatch, and the clean shapes it must accept.
+package noalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+//tfsn:noalloc
+func builtins(n int) {
+	s := make([]int, n) // want `allocates: make`
+	p := new(int)       // want `allocates: new`
+	s = append(s, n)    // want `allocates: append without preallocated-cap evidence`
+	_ = []int{1, 2}     // want `allocates: slice literal`
+	_ = map[int]int{}   // want `allocates: map literal`
+	_ = &point{}        // want `allocates: &composite literal`
+	fmt.Println(s, p)   // want `allocates: call into package fmt`
+}
+
+//tfsn:noalloc
+func stringy(a, b string, bs []byte) {
+	_ = a + b      // want `allocates: string concatenation`
+	a += b         // want `allocates: string concatenation`
+	_ = string(bs) // want `allocates: string/byte-slice conversion`
+	_ = []byte(a)  // want `allocates: string/byte-slice conversion`
+}
+
+//tfsn:noalloc
+func control() {
+	f := func() {} // want `allocates: closure`
+	go f()         // want `allocates: go statement`
+}
+
+//tfsn:noalloc
+func boxing(n int) {
+	var x interface{} = n // want `allocates: interface boxing`
+	var y any
+	y = n // want `allocates: interface boxing`
+	_, _ = x, y
+}
+
+// good reuses caller-owned backing arrays: append into a resliced
+// prefix carries preallocated-cap evidence and passes.
+//
+//tfsn:noalloc
+func good(dst, src []int) []int {
+	dst = append(dst[:0], src...)
+	for i := range dst {
+		dst[i]++
+	}
+	return dst
+}
+
+// unannotated functions allocate freely without diagnostics.
+func unannotated(n int) []int { return make([]int, n) }
+
+//tfsn:noalloc
+func audited(fail bool) error {
+	if fail {
+		//tfsn:allow-alloc(cold error path, never on the warm serve loop)
+		return fmt.Errorf("boom")
+	}
+	return nil
+}
+
+//tfsn:noalloc
+func emptyReason() {
+	_ = make([]int, 1) //tfsn:allow-alloc()
+	// want[-1] `needs a reason`
+}
+
+//tfsn:noalloc
+func fine(xs []int) int {
+	total := 0
+	//tfsn:allow-alloc(nothing here suppresses anything)
+	// want[-1] `unused //tfsn:allow-alloc directive`
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,39 @@
+// Fixture for the sentinelcmp analyzer: errors compared against
+// package sentinels with ==/!= (or switched on) must use errors.Is.
+package sentinelcmp
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrBoom = errors.New("boom")
+
+func bad(err error) bool {
+	if err == ErrBoom { // want `use errors\.Is`
+		return true
+	}
+	return err != io.EOF // want `use errors\.Is`
+}
+
+func badSwitch(err error) int {
+	switch err {
+	case ErrBoom: // want `switch on an error`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func good(err error) bool {
+	if errors.Is(err, ErrBoom) {
+		return true
+	}
+	return err == nil // nil checks are fine
+}
+
+func localCompare(err error) bool {
+	target := errors.New("local")
+	return err == target // local error var: not a sentinel
+}

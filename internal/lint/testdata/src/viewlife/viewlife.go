@@ -1,0 +1,62 @@
+// Fixture for the viewlife analyzer: view-typed values may live in
+// locals, parameters and results, but storing one into a struct field,
+// package-level variable or channel needs an audited //tfsn:viewok.
+package viewlife
+
+// Row is an engine view over engine-owned memory.
+//
+//tfsn:viewtype
+type Row struct{ d []uint8 }
+
+// Rows is a view container; as a viewtype its own fields are exempt.
+//
+//tfsn:viewtype
+type Rows struct{ rows []Row }
+
+// Append mutates the container's own field: no diagnostic.
+func (rs *Rows) Append(r Row) { rs.rows = append(rs.rows, r) }
+
+type holder struct {
+	row Row // want `holds an engine view`
+}
+
+type audited struct {
+	//tfsn:viewok(cleared before the holder is pooled)
+	row Row
+}
+
+type emptyReason struct {
+	row Row //tfsn:viewok()
+	// want[-1] `needs a reason`
+}
+
+type notAView struct {
+	n int //tfsn:viewok(pointless)
+	// want[-1] `unused //tfsn:viewok`
+}
+
+var leaked Row // want `holds an engine view`
+
+//tfsn:viewok(process-lifetime cache, dropped on shutdown before Close)
+var cached Row
+
+func store(h *holder, r Row) {
+	h.row = r // want `stored in field holder.row`
+}
+
+func storeAudited(a *audited, r Row) {
+	a.row = r // audited destination: no diagnostic
+}
+
+func send(ch chan Row, r Row) {
+	ch <- r // want `sent on a channel`
+}
+
+func local(r Row) Row {
+	tmp := r // locals are fine: they die with the call
+	return tmp
+}
+
+func use(h holder, a audited, e emptyReason, v notAView) (holder, audited, emptyReason, notAView) {
+	return h, a, e, v
+}

@@ -1,0 +1,303 @@
+// The viewlife analyzer encodes PR 5's lifetime rule: row and DistRow
+// views handed out by the packed engines alias engine-owned memory —
+// on the sharded engine, possibly the mmap'd spill file — and must
+// not outlive the matrix (Close unmaps). Types annotated
+// //tfsn:viewtype are such views (or containers of them, like
+// compat.DistRows); a value of a view type may live in locals,
+// parameters and results, but storing one where it can outlive the
+// current call — a struct field, a package-level variable, a channel
+// — needs an audited //tfsn:viewok(reason) at the declaration of the
+// destination. Fields inside a viewtype-annotated container are
+// exempt: the container inherits the rule.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ViewLife flags stores of engine-view values into destinations that
+// can outlive the view's engine.
+var ViewLife = &Analyzer{
+	Name: "viewlife",
+	Doc:  "mmap-backed row/DistRow views must not be stored where they can outlive the engine (PR 5 rule)",
+	Run:  runViewLife,
+}
+
+// gatherViewDirectives records //tfsn:viewtype types and
+// //tfsn:viewok fields/globals into the cross-package Facts.
+func gatherViewDirectives(p *Package, f *Facts) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch spec := spec.(type) {
+				case *ast.TypeSpec:
+					if _, ok := directiveOnSpec(gd, spec.Doc, spec.Comment, "viewtype"); ok {
+						f.ViewTypes[p.ImportPath+"."+spec.Name.Name] = true
+					}
+					if st, ok := spec.Type.(*ast.StructType); ok {
+						for _, field := range st.Fields.List {
+							arg, ok := fieldDirective(field, "viewok")
+							if !ok {
+								continue
+							}
+							for _, name := range field.Names {
+								f.ViewOK[fieldKey(p.ImportPath, spec.Name.Name, name.Name)] = arg
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					if arg, ok := directiveOnSpec(gd, spec.Doc, spec.Comment, "viewok"); ok {
+						for _, name := range spec.Names {
+							f.ViewOK[p.ImportPath+".var."+name.Name] = arg
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// directiveOnSpec looks for a directive on a spec's own doc/trailing
+// comment, falling back to the enclosing GenDecl's doc for the common
+// single-spec `// comment\ntype T ...` form.
+func directiveOnSpec(gd *ast.GenDecl, doc, comment *ast.CommentGroup, name string) (string, bool) {
+	if arg, ok := hasDirective(doc, name); ok {
+		return arg, true
+	}
+	if arg, ok := hasDirective(comment, name); ok {
+		return arg, true
+	}
+	if len(gd.Specs) == 1 {
+		return hasDirective(gd.Doc, name)
+	}
+	return "", false
+}
+
+func fieldDirective(field *ast.Field, name string) (string, bool) {
+	if arg, ok := hasDirective(field.Doc, name); ok {
+		return arg, true
+	}
+	return hasDirective(field.Comment, name)
+}
+
+func runViewLife(p *Package, facts *Facts) []Diagnostic {
+	if len(facts.ViewTypes) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Analyzer: "viewlife",
+			Pos:      p.Fset.Position(n.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	containsView := func(t types.Type) bool {
+		return typeContainsView(t, facts.ViewTypes, map[types.Type]bool{})
+	}
+
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok {
+				out = append(out, viewLifeDecls(p, facts, gd, containsView)...)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if t := p.Info.TypeOf(n.Value); t != nil && containsView(t) {
+					report(n, "engine view (%s) sent on a channel may outlive its engine; views must not outlive the matrix", t)
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+						break
+					}
+					rhs := n.Rhs[0]
+					if i < len(n.Rhs) {
+						rhs = n.Rhs[i]
+					}
+					rt := p.Info.TypeOf(rhs)
+					if rt == nil || !containsView(rt) {
+						continue
+					}
+					if d, bad := viewStoreTarget(p, facts, lhs); bad {
+						report(n, "engine view (%s) stored in %s; views must not outlive the matrix — annotate the declaration //tfsn:viewok(reason) if audited", rt, d)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// viewLifeDecls checks declaration sites: struct fields and
+// package-level variables whose type embeds a view type must carry
+// //tfsn:viewok, and viewok annotations must be real (non-empty
+// reason, view-holding destination).
+func viewLifeDecls(p *Package, facts *Facts, gd *ast.GenDecl, containsView func(types.Type) bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Analyzer: "viewlife",
+			Pos:      p.Fset.Position(n.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, spec := range gd.Specs {
+		switch spec := spec.(type) {
+		case *ast.TypeSpec:
+			// Fields of a viewtype container are the view's own plumbing.
+			if facts.ViewTypes[p.ImportPath+"."+spec.Name.Name] {
+				continue
+			}
+			st, ok := spec.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				ft := p.Info.TypeOf(field.Type)
+				holds := ft != nil && containsView(ft)
+				for _, name := range field.Names {
+					reason, audited := facts.ViewOK[fieldKey(p.ImportPath, spec.Name.Name, name.Name)]
+					switch {
+					case holds && !audited:
+						report(name, "field %s.%s holds an engine view (%s) beyond a call; annotate //tfsn:viewok(reason) after auditing its lifetime", spec.Name.Name, name.Name, ft)
+					case holds && audited && reason == "":
+						report(name, "//tfsn:viewok on %s.%s needs a reason: //tfsn:viewok(why)", spec.Name.Name, name.Name)
+					case !holds && audited:
+						report(name, "unused //tfsn:viewok on %s.%s: field holds no view type", spec.Name.Name, name.Name)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if gd.Tok.String() != "var" {
+				continue
+			}
+			for _, name := range spec.Names {
+				obj := p.Info.Defs[name]
+				if obj == nil || obj.Parent() != p.Types.Scope() {
+					continue // not package-level
+				}
+				t := obj.Type()
+				reason, audited := facts.ViewOK[p.ImportPath+".var."+name.Name]
+				switch {
+				case containsView(t) && !audited:
+					report(name, "package-level var %s holds an engine view (%s); annotate //tfsn:viewok(reason) after auditing its lifetime", name.Name, t)
+				case containsView(t) && audited && reason == "":
+					report(name, "//tfsn:viewok on var %s needs a reason: //tfsn:viewok(why)", name.Name)
+				case !containsView(t) && audited:
+					report(name, "unused //tfsn:viewok on var %s: it holds no view type", name.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// viewStoreTarget classifies an assignment destination; bad=true means
+// a view stored there can outlive the current call without an audit
+// trail. Destinations inside viewtype containers or under a viewok
+// annotation are fine, as are locals.
+func viewStoreTarget(p *Package, facts *Facts, lhs ast.Expr) (desc string, bad bool) {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := p.Info.Selections[lhs]
+		if !ok || sel.Kind() != types.FieldVal {
+			// Qualified package identifier (pkg.Var): resolve as global.
+			if obj := p.Info.Uses[lhs.Sel]; obj != nil && isPackageLevelVar(obj) {
+				if _, audited := facts.ViewOK[obj.Pkg().Path()+".var."+obj.Name()]; !audited {
+					return fmt.Sprintf("package-level var %s", obj.Name()), true
+				}
+			}
+			return "", false
+		}
+		recv := sel.Recv()
+		if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		name, ok := qualifiedTypeName(recv)
+		if !ok {
+			return "", false
+		}
+		if facts.ViewTypes[name] {
+			return "", false // a view container's own field
+		}
+		obj := sel.Obj()
+		if obj.Pkg() == nil {
+			return "", false
+		}
+		// fieldKey uses the receiver's named type; embedded promotions
+		// may miss, which fails open (no diagnostic), never spuriously.
+		short := name[indexLastDot(name)+1:]
+		if _, audited := facts.ViewOK[fieldKey(obj.Pkg().Path(), short, obj.Name())]; audited {
+			return "", false
+		}
+		return fmt.Sprintf("field %s.%s", short, obj.Name()), true
+	case *ast.Ident:
+		obj := p.Info.Uses[lhs]
+		if obj == nil {
+			obj = p.Info.Defs[lhs]
+		}
+		if obj != nil && isPackageLevelVar(obj) {
+			if _, audited := facts.ViewOK[obj.Pkg().Path()+".var."+obj.Name()]; !audited {
+				return fmt.Sprintf("package-level var %s", obj.Name()), true
+			}
+		}
+		return "", false
+	case *ast.IndexExpr:
+		// x.f[i] = view stores into x.f; recurse on the base.
+		return viewStoreTarget(p, facts, lhs.X)
+	}
+	return "", false
+}
+
+func isPackageLevelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func indexLastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// typeContainsView reports whether t directly embeds a view type:
+// named view types themselves, and slices/arrays/structs of them.
+// Pointers, maps and channels are deliberately not traversed — the
+// pointee is a separately-declared object with its own annotation
+// obligations at its declaration.
+func typeContainsView(t types.Type, views map[string]bool, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if name, ok := qualifiedTypeName(t); ok && views[name] {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeContainsView(u.Field(i).Type(), views, seen) {
+				return true
+			}
+		}
+	case *types.Slice:
+		return typeContainsView(u.Elem(), views, seen)
+	case *types.Array:
+		return typeContainsView(u.Elem(), views, seen)
+	}
+	return false
+}

@@ -366,6 +366,8 @@ func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
 // solveOne is the direct (uncoalesced) solve path into a pooled Team —
 // kept as its own method so the alloc benchmark measures exactly what
 // a warm /form request runs between parse and response.
+//
+//tfsn:noalloc
 func (s *Server) solveOne(ctx context.Context, task skills.Task, opts team.Options, dst *team.Team) error {
 	return s.solver.FormIntoContext(ctx, task, opts, dst)
 }

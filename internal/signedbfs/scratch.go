@@ -53,6 +53,8 @@ func (s *Scratch) begin(n int) ([]int32, int32) {
 // state. res's slices are reused when large enough and reallocated
 // otherwise, so a warm (res, scratch) pair makes the call free of heap
 // allocations. It returns res for convenience.
+//
+//tfsn:noalloc
 func CountPathsInto(g *sgraph.Graph, src sgraph.NodeID, res *Result, scratch *Scratch) *Result {
 	n := g.NumNodes()
 	res.Source = src
@@ -116,6 +118,8 @@ func CountPathsInto(g *sgraph.Graph, src sgraph.NodeID, res *Result, scratch *Sc
 // it computes single-source shortest-path lengths from src into dist,
 // growing it only when too small, and returns the slice. A warm
 // (dist, scratch) pair allocates nothing.
+//
+//tfsn:noalloc
 func DistancesInto(g *sgraph.Graph, src sgraph.NodeID, dist []int32, scratch *Scratch) []int32 {
 	n := g.NumNodes()
 	dist = resizeInt32(dist, n)

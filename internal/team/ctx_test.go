@@ -74,6 +74,9 @@ func TestFormContextAlreadyCanceled(t *testing.T) {
 	if _, err := s.FormBatchContext(ctx, []skills.Task{f.task}, Options{}); !errors.Is(err, ErrCanceled) {
 		t.Fatalf("FormBatchContext: got %v, want ErrCanceled", err)
 	}
+	if _, err := s.FormTopKDiverseContext(ctx, f.task, Options{}, 3, 0.5); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("FormTopKDiverseContext: got %v, want ErrCanceled", err)
+	}
 }
 
 func TestFormContextExpiredDeadline(t *testing.T) {

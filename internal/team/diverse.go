@@ -87,6 +87,7 @@ func (p *TaskPlan) FormTopKDiverseContext(ctx context.Context, k int, lambda flo
 	// intersections below are word-parallel.
 	words := (p.s.n + 63) / 64
 	sets := make([][]uint64, len(distinct))
+	//tfsn:ctxfree(one pass over the already-computed member sets; bounded by rankedTeams output)
 	for i, key := range keys {
 		w := make([]uint64, words)
 		for _, u := range key {
@@ -99,6 +100,12 @@ func (p *TaskPlan) FormTopKDiverseContext(ctx context.Context, k int, lambda flo
 	selSizes := make([]int, 0, k)
 	chosen := make([]bool, len(distinct))
 	for len(selected) < k {
+		// The greedy re-scoring below is O(candidates x selected) per
+		// pick — the expensive half of diverse top-K — so honour the
+		// deadline at every pick boundary like the solver does per seed.
+		if err := ctx.Err(); err != nil {
+			return nil, ctxErr(err)
+		}
 		bestIdx := -1
 		var bestScore float64
 		for i, tm := range distinct {
@@ -128,6 +135,7 @@ func (p *TaskPlan) FormTopKDiverseContext(ctx context.Context, k int, lambda flo
 		selSets = append(selSets, sets[bestIdx])
 		selSizes = append(selSizes, len(keys[bestIdx]))
 	}
+	//tfsn:ctxfree(stamping k already-selected teams; bounded and allocation-free)
 	for _, tm := range selected {
 		tm.SeedsTried = len(p.seeds)
 		tm.SeedsSucceeded = succeeded

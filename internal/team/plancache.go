@@ -209,6 +209,8 @@ func planMatches(p *TaskPlan, task skills.Task, opts Options, epoch uint64) bool
 // lookup returns the cached plan for (task, opts) at the given
 // relation epoch, counting a hit or a miss. Allocation-free for
 // canonical tasks.
+//
+//tfsn:noalloc
 func (c *planCache) lookup(task skills.Task, opts Options, epoch uint64) (*TaskPlan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -161,6 +161,8 @@ func (s *Solver) FormContext(ctx context.Context, task skills.Task, opts Options
 // point: on a single-worker solver over a packed engine, a warm call
 // whose plan is served from the cache performs no allocations at all
 // (the CI alloc smoke asserts this via BenchmarkPlanCacheServe).
+//
+//tfsn:noalloc
 func (s *Solver) FormInto(task skills.Task, opts Options, dst *Team) error {
 	return s.FormIntoContext(context.Background(), task, opts, dst)
 }
@@ -168,6 +170,8 @@ func (s *Solver) FormInto(task skills.Task, opts Options, dst *Team) error {
 // FormIntoContext is FormInto bounded by ctx (see FormContext). The
 // context check is one Err call per seed, so a warm cache hit under
 // context.Background stays on the zero-allocation path.
+//
+//tfsn:noalloc
 func (s *Solver) FormIntoContext(ctx context.Context, task skills.Task, opts Options, dst *Team) error {
 	p, err := s.planFor(ctx, task, opts, nil)
 	if err != nil {
@@ -255,6 +259,8 @@ func (s *Solver) FormBatchSpecsContext(ctx context.Context, specs []TaskSpec, op
 // formBatch is the one batch implementation behind FormBatchContext
 // and FormBatchSpecsContext: at(i) yields task i with its per-task
 // options (the batch options with, possibly, per-spec constraints).
+//
+//tfsn:ctxpoll
 func (s *Solver) formBatch(ctx context.Context, count int, opts Options, at func(i int) (skills.Task, Options)) ([]*Team, error) {
 	out := make([]*Team, count)
 	workers := s.workers
@@ -754,6 +760,8 @@ type scratch struct {
 	// pick (compat.DistRows.PickMin, one kernel pass over holder AND
 	// mask words) and the shared Contribution scoring loop of the
 	// pick fallbacks and costMembers.
+	//
+	//tfsn:viewok(putScratch Clears the rows before pooling, so no view outlives the solve that resolved it)
 	rows compat.DistRows
 	cand []sgraph.NodeID
 	best []sgraph.NodeID
@@ -806,6 +814,8 @@ func (s *Solver) putScratch(sc *scratch) {
 // is returned, so error reporting is deterministic. The context is
 // checked before every item, so a firing deadline stops all workers at
 // their next item boundary with the typed context error.
+//
+//tfsn:ctxpoll
 func (s *Solver) runPool(ctx context.Context, workers, count int, fn func(sc *scratch, i int) error, start, finish func(sc *scratch)) error {
 	if workers > count {
 		workers = count
@@ -1124,6 +1134,8 @@ func (p *TaskPlan) pickMinDistancePacked(sc *scratch) (sgraph.NodeID, bool) {
 // packed engine, warm calls are allocation-free; multi-worker solvers
 // pay per-call goroutine bookkeeping to parallelise the seed loop
 // instead. It returns ErrNoTeam when every seed fails.
+//
+//tfsn:noalloc
 func (p *TaskPlan) FormInto(dst *Team) error {
 	return p.FormIntoContext(context.Background(), dst)
 }
@@ -1131,6 +1143,8 @@ func (p *TaskPlan) FormInto(dst *Team) error {
 // FormIntoContext is FormInto bounded by ctx: the seed loop checks the
 // context once per seed and aborts with ErrDeadlineExceeded or
 // ErrCanceled, leaving scratch pooled and reusable.
+//
+//tfsn:noalloc
 func (p *TaskPlan) FormIntoContext(ctx context.Context, dst *Team) error {
 	if p.empty {
 		*dst = Team{Members: dst.Members[:0]}
@@ -1157,7 +1171,12 @@ func (p *TaskPlan) Form() (*Team, error) {
 // scratch. It keeps the cheapest team (first seed wins ties, as the
 // loop order dictates) in sc.best and copies it into dst at the end.
 // The context is checked once per seed — cooperative cancellation at
-// the granularity of one grow-and-price step.
+// the granularity of one grow-and-price step. The body allocates only
+// on the all-seeds-failed error path; warm wins reuse sc.best and
+// dst.Members in place.
+//
+//tfsn:noalloc
+//tfsn:ctxpoll
 func (p *TaskPlan) formSeq(ctx context.Context, sc *scratch, dst *Team) error {
 	if p.empty {
 		*dst = Team{Members: dst.Members[:0]}
@@ -1193,6 +1212,7 @@ func (p *TaskPlan) formSeq(ctx context.Context, sc *scratch, dst *Team) error {
 		}
 	}
 	if !found {
+		//tfsn:allow-alloc(terminal error path: every seed failed, no team to return)
 		return fmt.Errorf("%w: all %d seeds failed for task %v", ErrNoTeam, len(p.seeds), p.task)
 	}
 	dst.Members = append(dst.Members[:0], sc.best...)
@@ -1284,6 +1304,7 @@ func (p *TaskPlan) FormTopKContext(ctx context.Context, k int) ([]*Team, error) 
 	if len(distinct) > k {
 		distinct = distinct[:k]
 	}
+	//tfsn:ctxfree(stamping at most k already-computed teams; bounded and allocation-free)
 	for _, tm := range distinct {
 		tm.SeedsTried = len(p.seeds)
 		tm.SeedsSucceeded = succeeded
@@ -1312,6 +1333,8 @@ func (p *TaskPlan) rankedTeams(ctx context.Context) ([]*Team, [][]sgraph.NodeID,
 // allTeams grows every seed and returns the successful teams in seed
 // order (the legacy formAll), using the worker pool for deterministic
 // parallel exploration when available.
+//
+//tfsn:ctxpoll
 func (p *TaskPlan) allTeams(ctx context.Context) ([]*Team, error) {
 	results := make([]*Team, len(p.seeds))
 	collect := func(sc *scratch, i int) (bool, error) {
@@ -1347,6 +1370,7 @@ func (p *TaskPlan) allTeams(ctx context.Context) ([]*Team, error) {
 		}
 	}
 	teams := results[:0]
+	//tfsn:ctxfree(in-place compaction of the already-grown results; bounded by the seed count)
 	for _, tm := range results {
 		if tm != nil {
 			teams = append(teams, tm)
